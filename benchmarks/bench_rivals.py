@@ -1,0 +1,111 @@
+"""§IV-F rival comparison: watermarking and classical graph similarity.
+
+Paper claims to reproduce in shape:
+
+* watermarking offers P_c = 1.11e-87 at 0.13 %-26.12 % area overhead; the
+  GNN has zero overhead and a comparably tiny false-negative rate;
+* classical graph-similarity algorithms ([6]) run "in the order of
+  minutes" on large designs while GNN4IP scores a pair in milliseconds.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report
+from repro.baselines import (
+    RAI_ISVLSI19,
+    compare_with_gnn,
+    ged_similarity,
+    spectral_similarity,
+    wl_similarity,
+)
+
+
+def bench_rivals_watermark(rtl_dataset, rtl_trained, benchmark):
+    model, trainer, _ = rtl_trained
+    result = trainer.test(rtl_dataset)
+    table = compare_with_gnn(result["false_negative_rate"])
+    benchmark(compare_with_gnn, result["false_negative_rate"])
+    lines = [
+        f"watermarking [10]: P_c = {table['watermark_p_coincidence']:.3e}, "
+        f"area overhead up to {table['watermark_overhead'] * 100:.2f}%",
+        f"(signature: {RAI_ISVLSI19.signature_bits} bits)",
+        f"GNN4IP: false-negative rate = "
+        f"{table['gnn_false_negative_rate']:.4e}, overhead = 0",
+        "paper: FNR 6.65e-4 (RTL) / 0.0 (netlist) at zero overhead",
+    ]
+    report("rivals_watermark", "\n".join(lines))
+    assert table["gnn_overhead"] == 0.0
+
+
+def bench_rivals_graph_similarity_timing(rtl_dataset, rtl_trained,
+                                         benchmark):
+    """GNN inference vs classical graph-similarity runtimes per pair."""
+    model, _, _ = rtl_trained
+    # Pick the two largest graphs in the corpus — scalability is the claim.
+    records = sorted(rtl_dataset.records, key=lambda r: -len(r.graph))[:2]
+    graph_a, graph_b = records[0].graph, records[1].graph
+
+    def time_call(function, *args, repeat=3):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            function(*args)
+        return (time.perf_counter() - start) / repeat
+
+    gnn_time = time_call(model.similarity, graph_a, graph_b)
+    wl_time = time_call(wl_similarity, graph_a, graph_b)
+    ged_time = time_call(ged_similarity, graph_a, graph_b)
+    spectral_time = time_call(spectral_similarity, graph_a, graph_b)
+    benchmark(model.similarity, graph_a, graph_b)
+
+    lines = [
+        f"largest DFGs: {records[0].graph.name} ({len(graph_a)} nodes), "
+        f"{records[1].graph.name} ({len(graph_b)} nodes)",
+        f"GNN4IP similarity:          {gnn_time * 1000:9.2f} ms/pair",
+        f"WL-kernel similarity:       {wl_time * 1000:9.2f} ms/pair",
+        f"greedy graph edit distance: {ged_time * 1000:9.2f} ms/pair",
+        f"spectral similarity:        {spectral_time * 1000:9.2f} ms/pair",
+        "",
+        "note: exact GED (what [6] uses) is NP-complete; even these",
+        "polynomial approximations do not learn behaviour, and exact",
+        "methods run minutes-scale on designs of this size.",
+    ]
+    report("rivals_timing", "\n".join(lines))
+
+
+def bench_rivals_baselines_fooled_by_obfuscation(iscas_trained, config,
+                                                 benchmark):
+    """Structure-only similarity drops under obfuscation; GNN4IP holds.
+
+    This is the paper's central argument against classical graph
+    similarity: 'different typologies in DFGs can easily fool the standard
+    graph similarity algorithms'.  The GNN model is the ISCAS-trained one
+    (as in Table III); the structural baselines need no training at all.
+    """
+    from repro.designs import iscas_records
+
+    model = iscas_trained
+    records = iscas_records(names=["c880"], obfuscated_per_benchmark=3,
+                            seed=1, strength=1)
+    base = records[0].graph
+    obfuscated = [r.graph for r in records[1:]]
+
+    gnn_scores = [model.similarity(base, g) for g in obfuscated]
+    wl_scores = [wl_similarity(base, g) for g in obfuscated]
+    ged_scores = [ged_similarity(base, g) for g in obfuscated]
+    benchmark(wl_similarity, base, obfuscated[0])
+
+    lines = [
+        "c880 vs 3 obfuscated instances (mean similarity):",
+        f"  GNN4IP:      {np.mean(gnn_scores):+.4f}  (wants +1: same IP)",
+        f"  WL kernel:   {np.mean(wl_scores):+.4f}",
+        f"  greedy GED:  {np.mean(ged_scores):+.4f}",
+        "",
+        "shape: the trained GNN stays near +1; the structural baselines",
+        "are inconsistent — WL tolerates mild rewrites but GED degrades,",
+        "and neither offers a learned, calibrated decision boundary.",
+    ]
+    report("rivals_obfuscation", "\n".join(lines))
+    assert np.mean(gnn_scores) > 0.8
+    assert np.mean(gnn_scores) > np.mean(ged_scores)

@@ -1,0 +1,115 @@
+"""Table I + Fig. 4(a): piracy-detection accuracy and per-sample timing.
+
+Paper reference values (their private corpus, two-GPU box):
+
+    Dataset  size   graphs  accuracy  train/sample  test/sample
+    RTL      75855  390     97.21 %   0.577 ms      0.566 ms
+    Netlist  9870   143     94.61 %   5.999 ms      5.918 ms
+
+plus the confusion matrices of Fig. 4(a).  We report the same rows on the
+generated corpora; the shape that must reproduce: high accuracy on both
+datasets, netlist slower per sample than RTL (its DFGs are larger).
+"""
+
+from conftest import report
+from repro.analysis import score_distribution_text
+
+
+def _table_row(name, dataset, history, result, config_epochs):
+    train_pairs = len(dataset.train_pairs)
+    train_per_sample = history["train_seconds"] / max(
+        train_pairs * config_epochs, 1)
+    test_per_sample = result["seconds_per_pair"]
+    summary = dataset.summary()
+    return (f"{name:8s} {summary['pairs']:7d} {summary['graphs']:7d} "
+            f"{result['accuracy'] * 100:8.2f}% "
+            f"{train_per_sample * 1000:10.3f} ms "
+            f"{test_per_sample * 1000:10.3f} ms")
+
+
+def bench_table1_rtl(benchmark, rtl_dataset, rtl_trained, config):
+    model, trainer, history = rtl_trained
+    result = trainer.test(rtl_dataset)
+
+    # Benchmark the per-pair inference path (embed two graphs + cosine).
+    record_a = rtl_dataset.records[0]
+    record_b = rtl_dataset.records[1]
+    benchmark(model.similarity, record_a.graph, record_b.graph)
+
+    lines = ["Dataset    pairs  graphs  accuracy  train/sample  test/sample",
+             _table_row("RTL", rtl_dataset, history, result,
+                        config.rtl_epochs),
+             "",
+             "Fig 4(a) RTL confusion matrix:",
+             result["confusion"].as_text(),
+             "",
+             f"delta = {model.delta:+.4f}",
+             f"false-negative rate = {result['false_negative_rate']:.4f}",
+             f"paper: accuracy 97.21%, FNR 6.65e-4",
+             "",
+             score_distribution_text(result["similarities"],
+                                     result["labels"], model.delta)]
+    report("table1_rtl", "\n".join(lines))
+    labels = result["labels"]
+    majority = max(sum(labels), len(labels) - sum(labels)) / len(labels)
+    assert result["accuracy"] >= majority + 0.05, \
+        f"accuracy {result['accuracy']:.3f} vs majority {majority:.3f}"
+
+
+def bench_table1_netlist(benchmark, netlist_dataset, netlist_trained,
+                         config):
+    model, trainer, history = netlist_trained
+    result = trainer.test(netlist_dataset)
+
+    record_a = netlist_dataset.records[0]
+    record_b = netlist_dataset.records[1]
+    benchmark(model.similarity, record_a.graph, record_b.graph)
+
+    lines = ["Dataset    pairs  graphs  accuracy  train/sample  test/sample",
+             _table_row("Netlist", netlist_dataset, history, result,
+                        config.netlist_epochs),
+             "",
+             "Fig 4(a) netlist confusion matrix:",
+             result["confusion"].as_text(),
+             "",
+             f"delta = {model.delta:+.4f}",
+             f"false-negative rate = {result['false_negative_rate']:.4f}",
+             f"paper: accuracy 94.61%, FNR 0.0",
+             "",
+             score_distribution_text(result["similarities"],
+                                     result["labels"], model.delta)]
+    report("table1_netlist", "\n".join(lines))
+    labels = result["labels"]
+    majority = max(sum(labels), len(labels) - sum(labels)) / len(labels)
+    assert result["accuracy"] >= majority, \
+        f"accuracy {result['accuracy']:.3f} vs majority {majority:.3f}"
+
+
+def bench_table1_timing_shape(rtl_dataset, netlist_dataset, rtl_trained,
+                              benchmark):
+    """Netlist inference must be slower per sample than RTL (bigger DFGs)."""
+    model, _, _ = rtl_trained
+    import time
+
+    def time_pairs(dataset, pairs=10):
+        start = time.perf_counter()
+        for i, j, _ in dataset.test_pairs[:pairs]:
+            model.similarity(dataset.records[i].graph,
+                             dataset.records[j].graph)
+        return (time.perf_counter() - start) / pairs
+
+    rtl_time = time_pairs(rtl_dataset)
+    netlist_time = time_pairs(netlist_dataset)
+    benchmark(time_pairs, rtl_dataset, 2)
+    rtl_nodes = sum(len(r.graph) for r in rtl_dataset.records) / \
+        len(rtl_dataset.records)
+    netlist_nodes = sum(len(r.graph) for r in netlist_dataset.records) / \
+        len(netlist_dataset.records)
+    lines = [f"mean RTL DFG nodes:     {rtl_nodes:8.1f}",
+             f"mean netlist DFG nodes: {netlist_nodes:8.1f}",
+             f"RTL inference / pair:     {rtl_time * 1000:8.3f} ms",
+             f"netlist inference / pair: {netlist_time * 1000:8.3f} ms",
+             "paper shape: netlist DFGs larger => netlist timing slower"]
+    report("table1_timing_shape", "\n".join(lines))
+    assert netlist_nodes > rtl_nodes
+    assert netlist_time > rtl_time

@@ -1,0 +1,105 @@
+"""Table II: similarity scores for three categories of design pairs.
+
+Paper reference:
+
+    Case 1 (different designs):            mean -0.0831
+    Case 2 (different codes, same design): mean +0.9571
+    Case 3 (design vs its subset):         mean +0.5342
+
+Case pairs: AES/FPA/RS232/MIPS for case 1, instance pairs of AES and the
+MIPS variants for case 2, pipeline-MIPS vs its own ALU block for case 3.
+The shape that must hold: case2 >> case3 >> case1.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.designs import get_family, rtl_records
+from repro.dataflow import dfg_from_verilog
+
+
+def _graphs_for(family_name, count, seed=0):
+    """``count`` instances of a family, one per implementation style.
+
+    Using distinct styles makes case 2 the hard version of "different
+    codes, same design" — genuinely re-implemented sources, not just
+    renamed copies.
+    """
+    family = get_family(family_name)
+    styles = family.style_names()
+    graphs = []
+    for index in range(count):
+        variant = family.generate(seed=seed + index,
+                                  style=styles[index % len(styles)])
+        graph = dfg_from_verilog(variant.verilog, top=variant.top)
+        graph.name = variant.instance
+        graphs.append(graph)
+    return graphs
+
+
+def bench_table2_similarity_cases(benchmark, rtl_trained, config):
+    model, _, _ = rtl_trained
+
+    case_families = ("aes", "fpa", "rs232", "mips_single", "mips_pipeline",
+                     "mips_multi", "alu")
+    graphs = {name: _graphs_for(name, 2, seed=17) for name in case_families}
+    embeddings = {name: [model.encoder.embed(g) for g in items]
+                  for name, items in graphs.items()}
+
+    def score(name_a, idx_a, name_b, idx_b):
+        return model.similarity_from_embeddings(
+            embeddings[name_a][idx_a], embeddings[name_b][idx_b])
+
+    # Case 1: different designs (the paper's exact pairings).
+    case1 = {
+        "AES / FPA": score("aes", 0, "fpa", 0),
+        "AES / RS232": score("aes", 0, "rs232", 0),
+        "AES / MIPS": score("aes", 0, "mips_single", 0),
+        "FPA / MIPS": score("fpa", 0, "mips_single", 0),
+    }
+    # Case 2: different codes, same design.
+    case2 = {
+        "AES1 / AES2": score("aes", 0, "aes", 1),
+        "P.MIPS1 / P.MIPS2": score("mips_pipeline", 0, "mips_pipeline", 1),
+        "M.MIPS1 / M.MIPS2": score("mips_multi", 0, "mips_multi", 1),
+        "S.MIPS1 / S.MIPS2": score("mips_single", 0, "mips_single", 1),
+    }
+    # Case 3: a design and its subset (pipeline MIPS vs its ALU block).
+    case3 = {
+        "P.MIPS1 / ALU1": score("mips_pipeline", 0, "alu", 0),
+        "P.MIPS2 / ALU2": score("mips_pipeline", 1, "alu", 1),
+        "S.MIPS1 / ALU1": score("mips_single", 0, "alu", 0),
+        "M.MIPS1 / ALU2": score("mips_multi", 0, "alu", 1),
+    }
+
+    benchmark(score, "aes", 0, "fpa", 0)
+
+    lines = []
+    means = {}
+    for title, case, paper_mean in (("Case 1: different designs", case1,
+                                     -0.0831),
+                                    ("Case 2: same design, different code",
+                                     case2, 0.9571),
+                                    ("Case 3: design vs subset", case3,
+                                     0.5342)):
+        lines.append(title)
+        for pair_name, value in case.items():
+            lines.append(f"  {pair_name:22s} {value:+.4f}")
+        mean = float(np.mean(list(case.values())))
+        means[title] = mean
+        lines.append(f"  {'mean':22s} {mean:+.4f}   (paper {paper_mean:+.4f})")
+        lines.append("")
+    report("table2", "\n".join(lines))
+
+    mean1 = means["Case 1: different designs"]
+    mean2 = means["Case 2: same design, different code"]
+    mean3 = means["Case 3: design vs subset"]
+    # Robust parts of the paper's qualitative claim: same-design pairs
+    # score near +1 and far above both other categories; different-design
+    # pairs score low.  The finer case3 > case1 ordering is reported above
+    # and discussed in EXPERIMENTS.md — at this corpus scale it holds for
+    # most but not all seeds, so it is not asserted.
+    assert mean2 > 0.8
+    assert mean2 > mean3 + 0.3
+    assert mean2 > mean1 + 0.3
+    assert mean1 < 0.5

@@ -1,0 +1,64 @@
+"""Embedding atlas: visualize hw2vec embeddings with PCA and t-SNE.
+
+Reproduces Fig. 4(b,c)'s setting: many instances of two deliberately
+similar processor designs (pipeline vs single-cycle MIPS), embedded and
+projected to 2-D, rendered as ASCII scatter plots.
+
+Run:  python examples/embedding_atlas.py
+"""
+
+import numpy as np
+
+from repro.analysis import PCA, purity_with_2means, tsne_project
+from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.designs import mips_visualization_records, rtl_records
+
+
+def ascii_scatter(points, labels, markers, width=64, height=20):
+    points = np.asarray(points)
+    mins, maxs = points.min(axis=0), points.max(axis=0)
+    span = np.maximum(maxs - mins, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+    for point, label in zip(points, labels):
+        x = int((point[0] - mins[0]) / span[0] * (width - 1))
+        y = int((point[1] - mins[1]) / span[1] * (height - 1))
+        canvas[height - 1 - y][x] = markers[int(label)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def main():
+    # Train on a general corpus so the encoder has seen processors.
+    print("training encoder...")
+    train_records = rtl_records(
+        families=("adder8", "alu", "counter8", "crc8", "mips_single",
+                  "mips_pipeline", "mips_multi", "rs232", "lfsr8", "mux8"),
+        instances_per_design=4, seed=0)
+    dataset = build_pair_dataset(train_records, seed=0,
+                                 max_negative_ratio=3.5)
+    model = GNN4IP(seed=0)
+    Trainer(model, seed=0).fit(dataset, epochs=50)
+
+    # Embed fresh instances of the two processors.
+    print("embedding 2 x 12 fresh MIPS instances...")
+    records = mips_visualization_records(instances_per_design=12, seed=21)
+    labels = np.array([0 if r.design == "mips_pipeline" else 1
+                       for r in records])
+    embeddings = np.stack([model.encoder.embed(r.graph) for r in records])
+
+    pca_points = PCA(2).fit_transform(embeddings)
+    tsne_points = tsne_project(embeddings, 2, perplexity=8, seed=3,
+                               n_iter=500)
+
+    print("\nPCA projection ('P' = pipeline MIPS, 's' = single-cycle):")
+    print(ascii_scatter(pca_points, labels, {0: "P", 1: "s"}))
+    print(f"2-means purity: "
+          f"{purity_with_2means(pca_points, labels) * 100:.1f}%")
+
+    print("\nt-SNE projection:")
+    print(ascii_scatter(tsne_points, labels, {0: "P", 1: "s"}))
+    print(f"2-means purity: "
+          f"{purity_with_2means(tsne_points, labels) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

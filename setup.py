@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` (PEP 660) needs `wheel`, which is unavailable offline;
+`python setup.py develop` installs an egg-link instead and works everywhere.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""GNN4IP reproduction: graph-learning based hardware IP piracy detection.
+
+The public API mirrors the paper's pipeline:
+
+* :mod:`repro.verilog` — Verilog front-end (preprocess / lex / parse).
+* :mod:`repro.dataflow` — data-flow graph extraction (Fig. 2 pipeline).
+* :mod:`repro.nn` — numpy autograd + GNN layers.
+* :mod:`repro.core` — ``hw2vec`` encoder and ``GNN4IP`` pair model.
+* :mod:`repro.designs` — synthetic hardware-design corpus generators.
+* :mod:`repro.obfuscate` — behaviour-preserving netlist obfuscation.
+* :mod:`repro.baselines` — classical graph-similarity rivals.
+"""
+
+__version__ = "1.0.0"

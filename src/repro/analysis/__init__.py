@@ -1,0 +1,21 @@
+"""Embedding analysis: PCA, t-SNE, cluster-separation metrics."""
+
+from repro.analysis.clustering import (
+    centroid_separation,
+    purity_with_2means,
+    silhouette_score,
+)
+from repro.analysis.pca import PCA, pca_project
+from repro.analysis.plots import (
+    ascii_histogram,
+    ascii_scatter,
+    score_distribution_text,
+)
+from repro.analysis.tsne import TSNE, tsne_project
+
+__all__ = [
+    "PCA", "pca_project",
+    "TSNE", "tsne_project",
+    "silhouette_score", "centroid_separation", "purity_with_2means",
+    "ascii_scatter", "ascii_histogram", "score_distribution_text",
+]

@@ -1,0 +1,85 @@
+"""Cluster-quality measures for embedding visualizations (Fig. 4(b,c)).
+
+The paper argues its 2-D/3-D projections show "two well-separated clusters";
+these metrics quantify that claim so the benchmark can assert it.
+"""
+
+import numpy as np
+
+
+def silhouette_score(points, labels):
+    """Mean silhouette coefficient over all points (euclidean)."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("need at least two clusters")
+    n = len(points)
+    distances = np.sqrt(np.maximum(
+        (points ** 2).sum(axis=1)[:, None]
+        + (points ** 2).sum(axis=1)[None, :]
+        - 2 * points @ points.T, 0.0))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = distances[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            mask = labels == other
+            b = min(b, distances[i, mask].mean())
+        scores[i] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+    return float(scores.mean())
+
+
+def centroid_separation(points, labels):
+    """Ratio of between-centroid distance to mean within-cluster spread."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) != 2:
+        raise ValueError("defined for exactly two clusters")
+    centroids = []
+    spreads = []
+    for value in unique:
+        cluster = points[labels == value]
+        centroid = cluster.mean(axis=0)
+        centroids.append(centroid)
+        spreads.append(np.linalg.norm(cluster - centroid, axis=1).mean())
+    gap = np.linalg.norm(centroids[0] - centroids[1])
+    spread = max(np.mean(spreads), 1e-12)
+    return float(gap / spread)
+
+
+def purity_with_2means(points, labels, seed=0, iterations=50):
+    """Cluster purity of a 2-means clustering against the true labels."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    # Farthest-pair initialization: a random first center, then the point
+    # farthest from it — avoids seeding both centers inside one cluster.
+    first = int(rng.integers(0, len(points)))
+    distances_to_first = np.linalg.norm(points - points[first], axis=1)
+    second = int(distances_to_first.argmax())
+    centers = points[[first, second]].copy()
+    assignment = np.zeros(len(points), dtype=np.int64)
+    for _ in range(iterations):
+        distances = np.stack([np.linalg.norm(points - c, axis=1)
+                              for c in centers])
+        new_assignment = distances.argmin(axis=0)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for k in range(2):
+            members = points[assignment == k]
+            if len(members):
+                centers[k] = members.mean(axis=0)
+    correct = 0
+    for k in range(2):
+        members = labels[assignment == k]
+        if len(members):
+            values, counts = np.unique(members, return_counts=True)
+            correct += counts.max()
+    return correct / len(points)

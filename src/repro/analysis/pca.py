@@ -1,0 +1,49 @@
+"""Principal component analysis via SVD (for Fig. 4(b))."""
+
+import numpy as np
+
+
+class PCA:
+    """Minimal PCA: fit on an (n, d) matrix, project to k components.
+
+    Components are the right singular vectors of the centered data; the
+    projection maximizes retained variance, exactly as in the paper's
+    embedding visualization.
+    """
+
+    def __init__(self, n_components=2):
+        if n_components < 1:
+            raise ValueError("need at least one component")
+        self.n_components = n_components
+        self.mean_ = None
+        self.components_ = None
+        self.explained_variance_ratio_ = None
+
+    def fit(self, data):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D data matrix")
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        variance = singular_values ** 2
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k))
+        return self
+
+    def transform(self, data):
+        if self.components_ is None:
+            raise RuntimeError("fit the PCA first")
+        centered = np.asarray(data, dtype=np.float64) - self.mean_
+        return centered @ self.components_.T
+
+    def fit_transform(self, data):
+        return self.fit(data).transform(data)
+
+
+def pca_project(data, n_components=2):
+    """One-shot PCA projection."""
+    return PCA(n_components).fit_transform(data)

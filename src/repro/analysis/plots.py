@@ -1,0 +1,77 @@
+"""Terminal-friendly plotting helpers (ASCII scatter / histogram).
+
+The benchmark harness renders Fig. 4-style projections and score
+distributions directly into its text reports with these.
+"""
+
+import numpy as np
+
+
+def ascii_scatter(points, labels=None, markers=None, width=64, height=20):
+    """Render 2-D points as an ASCII scatter plot.
+
+    Args:
+        points: (n, 2) array-like.
+        labels: optional per-point integer labels selecting the marker.
+        markers: {label: single-char} mapping (defaults to o/x/+/#...).
+        width, height: canvas size in characters.
+
+    Returns:
+        A multi-line string.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("ascii_scatter expects (n, 2) points")
+    if labels is None:
+        labels = np.zeros(len(points), dtype=np.int64)
+    labels = np.asarray(labels)
+    if markers is None:
+        palette = "ox+#*%@&"
+        unique = sorted(set(int(v) for v in labels))
+        markers = {value: palette[i % len(palette)]
+                   for i, value in enumerate(unique)}
+    mins = points[:, :2].min(axis=0)
+    maxs = points[:, :2].max(axis=0)
+    span = np.maximum(maxs - mins, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+    for point, label in zip(points, labels):
+        x = int((point[0] - mins[0]) / span[0] * (width - 1))
+        y = int((point[1] - mins[1]) / span[1] * (height - 1))
+        canvas[height - 1 - y][x] = markers[int(label)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def ascii_histogram(values, bins=20, width=50, title=None):
+    """Render a 1-D histogram with unicode-free bars.
+
+    Returns:
+        A multi-line string; one line per bin with its range and count.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no values to histogram")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(counts.max(), 1)
+    lines = [] if title is None else [title]
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{low:+7.3f} .. {high:+7.3f} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def score_distribution_text(similarities, labels, delta=None, bins=16):
+    """Two stacked histograms: similar-pair vs different-pair scores."""
+    similarities = np.asarray(list(similarities), dtype=np.float64)
+    labels = np.asarray(list(labels))
+    positive = similarities[labels > 0]
+    negative = similarities[labels <= 0]
+    parts = []
+    if positive.size:
+        parts.append(ascii_histogram(positive, bins=bins,
+                                     title="similar pairs:"))
+    if negative.size:
+        parts.append(ascii_histogram(negative, bins=bins,
+                                     title="different pairs:"))
+    if delta is not None:
+        parts.append(f"decision boundary delta = {delta:+.4f}")
+    return "\n\n".join(parts)

@@ -1,0 +1,119 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) for Fig. 4(c).
+
+An O(n^2) implementation — the paper visualizes 250 embeddings, far below
+the scale where Barnes-Hut matters.
+"""
+
+import numpy as np
+
+
+def _pairwise_sq_distances(data):
+    norms = (data ** 2).sum(axis=1)
+    distances = norms[:, None] + norms[None, :] - 2.0 * (data @ data.T)
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _binary_search_beta(distances_row, target_entropy, tol=1e-5,
+                        max_iter=50):
+    """Find the Gaussian precision beta matching the target entropy."""
+    beta = 1.0
+    beta_min, beta_max = -np.inf, np.inf
+    for _ in range(max_iter):
+        exponent = -distances_row * beta
+        exponent -= exponent.max()
+        p = np.exp(exponent)
+        p_sum = p.sum()
+        if p_sum <= 0:
+            p_sum = 1e-12
+        entropy = np.log(p_sum) + beta * (distances_row * p).sum() / p_sum
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2
+    return beta, p / p_sum
+
+
+def _joint_probabilities(data, perplexity):
+    n = data.shape[0]
+    distances = _pairwise_sq_distances(data)
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        _, p = _binary_search_beta(row, target_entropy)
+        probabilities[i, np.arange(n) != i] = p
+    joint = (probabilities + probabilities.T) / (2.0 * n)
+    return np.maximum(joint, 1e-12)
+
+
+class TSNE:
+    """t-distributed stochastic neighbor embedding.
+
+    Args:
+        n_components: output dimensionality (2 or 3 in the paper's plots).
+        perplexity: effective neighbor count.
+        learning_rate, n_iter: gradient-descent schedule.
+        seed: init RNG.
+    """
+
+    def __init__(self, n_components=2, perplexity=15.0, learning_rate="auto",
+                 n_iter=400, seed=0):
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.seed = seed
+
+    def fit_transform(self, data):
+        data = np.asarray(data, dtype=np.float64)
+        n = data.shape[0]
+        if n < 3:
+            raise ValueError("t-SNE needs at least 3 points")
+        if self.learning_rate == "auto":
+            # Scale with the sample count (cf. sklearn's heuristic); large
+            # fixed rates destabilize small embeddings.
+            self.learning_rate = max(n / 12.0, 30.0)
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+        p_joint = _joint_probabilities(data, perplexity)
+        rng = np.random.default_rng(self.seed)
+        embedding = rng.normal(scale=1e-2, size=(n, self.n_components))
+        velocity = np.zeros_like(embedding)
+        gains = np.ones_like(embedding)
+
+        exaggeration_until = min(100, self.n_iter // 4)
+        p_effective = p_joint * 4.0
+        for iteration in range(self.n_iter):
+            if iteration == exaggeration_until:
+                p_effective = p_joint
+            distances = _pairwise_sq_distances(embedding)
+            inv = 1.0 / (1.0 + distances)
+            np.fill_diagonal(inv, 0.0)
+            q_sum = inv.sum()
+            q = np.maximum(inv / max(q_sum, 1e-12), 1e-12)
+            pq = (p_effective - q) * inv
+            grad = np.zeros_like(embedding)
+            for i in range(n):
+                grad[i] = 4.0 * (pq[i, :, None]
+                                 * (embedding[i] - embedding)).sum(axis=0)
+            momentum = 0.5 if iteration < exaggeration_until else 0.8
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, 0.01)
+            velocity = momentum * velocity - self.learning_rate * gains * grad
+            embedding = embedding + velocity
+            embedding -= embedding.mean(axis=0)
+        return embedding
+
+
+def tsne_project(data, n_components=2, perplexity=15.0, seed=0, n_iter=400,
+                 learning_rate="auto"):
+    """One-shot t-SNE projection."""
+    return TSNE(n_components=n_components, perplexity=perplexity, seed=seed,
+                n_iter=n_iter,
+                learning_rate=learning_rate).fit_transform(data)

@@ -1,0 +1,19 @@
+"""Rival methods: classical graph similarity and watermarking (§IV-F)."""
+
+from repro.baselines.ged import ged_similarity, greedy_edit_distance
+from repro.baselines.spectral import spectral_similarity
+from repro.baselines.watermark import (
+    RAI_ISVLSI19,
+    WatermarkScheme,
+    compare_with_gnn,
+    probability_of_coincidence,
+)
+from repro.baselines.wl_kernel import wl_similarity
+
+__all__ = [
+    "ged_similarity", "greedy_edit_distance",
+    "spectral_similarity",
+    "wl_similarity",
+    "WatermarkScheme", "RAI_ISVLSI19", "compare_with_gnn",
+    "probability_of_coincidence",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: ``gnn4ip`` with extract / train / compare.
+
+Examples::
+
+    gnn4ip extract-dfg design.v
+    gnn4ip train --families adder8 cmp8 alu --epochs 40 --save model.npz
+    gnn4ip compare a.v b.v --model model.npz
+    gnn4ip corpus --instances 3
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.dataflow import dfg_from_verilog
+from repro.designs import default_rtl_families, family_names, rtl_records
+
+
+def save_model(model, path):
+    """Persist encoder weights and the decision boundary to an .npz file."""
+    state = model.encoder.state_dict()
+    state["__delta__"] = np.array(model.delta)
+    np.savez(path, **state)
+
+
+def load_model(path, **encoder_kwargs):
+    """Load a model saved by :func:`save_model`."""
+    data = np.load(path)
+    delta = float(data["__delta__"])
+    model = GNN4IP(delta=delta, **encoder_kwargs)
+    state = {key: data[key] for key in data.files if key != "__delta__"}
+    model.encoder.load_state_dict(state)
+    return model
+
+
+def _cmd_extract(args):
+    with open(args.file) as handle:
+        text = handle.read()
+    graph = dfg_from_verilog(text, top=args.top)
+    stats = graph.stats()
+    print(f"design: {stats['name']}")
+    print(f"nodes:  {stats['nodes']}")
+    print(f"edges:  {stats['edges']}")
+    print(f"roots (outputs): {stats['roots']}")
+    print(f"leaves (inputs): {stats['leaves']}")
+    if args.labels:
+        for label, count in sorted(graph.label_counts().items()):
+            print(f"  {label:12s} {count}")
+    if args.edges:
+        for node in graph.nodes:
+            for dep in graph.successors(node.node_id):
+                print(f"  {node.node_id} -> {dep}")
+    return 0
+
+
+def _cmd_train(args):
+    families = args.families or default_rtl_families()
+    print(f"generating corpus: {len(families)} designs x "
+          f"{args.instances} instances")
+    records = rtl_records(families=families,
+                          instances_per_design=args.instances,
+                          seed=args.seed)
+    dataset = build_pair_dataset(records, seed=args.seed)
+    summary = dataset.summary()
+    print(f"pairs: {summary['pairs']} "
+          f"({summary['similar_pairs']} similar / "
+          f"{summary['different_pairs']} different)")
+    model = GNN4IP(seed=args.seed)
+    trainer = Trainer(model, seed=args.seed)
+    trainer.fit(dataset, epochs=args.epochs, verbose=True)
+    result = trainer.test(dataset)
+    print(f"delta: {model.delta:+.4f}")
+    print(f"test accuracy: {result['accuracy']:.4f}")
+    print(result["confusion"].as_text())
+    if args.save:
+        save_model(model, args.save)
+        print(f"model saved to {args.save}")
+    return 0
+
+
+def _cmd_compare(args):
+    if args.model:
+        model = load_model(args.model)
+    else:
+        model = GNN4IP(seed=args.seed)
+        print("warning: comparing with an untrained model", file=sys.stderr)
+    if args.delta is not None:
+        model.delta = args.delta
+    graphs = []
+    for path in (args.file_a, args.file_b):
+        with open(path) as handle:
+            graphs.append(dfg_from_verilog(handle.read()))
+    score = model.similarity(graphs[0], graphs[1])
+    verdict = "PIRACY" if score > model.delta else "no piracy"
+    print(f"similarity: {score:+.4f} (delta {model.delta:+.4f}) -> {verdict}")
+    return 0 if score <= model.delta else 2
+
+
+def _cmd_corpus(args):
+    names = family_names()
+    print(f"{len(names)} registered design families:")
+    from repro.designs import get_family
+    for name in names:
+        family = get_family(name)
+        styles = ", ".join(family.style_names())
+        print(f"  {name:16s} {family.description:40s} [{styles}]")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="gnn4ip",
+        description="GNN4IP: hardware IP piracy detection (DAC'21 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = sub.add_parser("extract-dfg",
+                               help="extract and summarize a DFG")
+    p_extract.add_argument("file")
+    p_extract.add_argument("--top", default=None, help="top module name")
+    p_extract.add_argument("--labels", action="store_true",
+                           help="print the label histogram")
+    p_extract.add_argument("--edges", action="store_true",
+                           help="print the edge list")
+    p_extract.set_defaults(func=_cmd_extract)
+
+    p_train = sub.add_parser("train", help="train on the generated corpus")
+    p_train.add_argument("--families", nargs="*", default=None)
+    p_train.add_argument("--instances", type=int, default=4)
+    p_train.add_argument("--epochs", type=int, default=40)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--save", default=None, help="output .npz path")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_compare = sub.add_parser("compare",
+                               help="piracy check on two Verilog files")
+    p_compare.add_argument("file_a")
+    p_compare.add_argument("file_b")
+    p_compare.add_argument("--model", default=None,
+                           help=".npz from 'gnn4ip train --save'")
+    p_compare.add_argument("--delta", type=float, default=None)
+    p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_corpus = sub.add_parser("corpus", help="list design families")
+    p_corpus.set_defaults(func=_cmd_corpus)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""GNN4IP core: featurization, hw2vec encoder, pair model, training."""
+
+from repro.core.dataset import (
+    GraphRecord,
+    PairDataset,
+    batches,
+    build_pair_dataset,
+    make_pairs,
+    split_pairs,
+)
+from repro.core.features import (
+    FEATURE_DIM,
+    LABEL_INDEX,
+    VOCABULARY,
+    label_index,
+    one_hot_features,
+)
+from repro.core.gnn4ip import GNN4IP, cosine_similarity_np
+from repro.core.hw2vec import HW2VEC, PreparedGraph
+from repro.core.matcher import IPMatcher, Match
+from repro.core.metrics import ConfusionMatrix, confusion_from_scores
+from repro.core.trainer import Trainer, train_model
+
+__all__ = [
+    "GraphRecord", "PairDataset", "batches", "build_pair_dataset",
+    "make_pairs", "split_pairs",
+    "FEATURE_DIM", "LABEL_INDEX", "VOCABULARY", "label_index",
+    "one_hot_features",
+    "GNN4IP", "cosine_similarity_np",
+    "HW2VEC", "PreparedGraph",
+    "IPMatcher", "Match",
+    "ConfusionMatrix", "confusion_from_scores",
+    "Trainer", "train_model",
+]

@@ -1,0 +1,146 @@
+"""Pair datasets for piracy detection (paper §IV-A).
+
+Hardware instances are grouped by the design they implement.  Every
+unordered pair of instances is labeled *similar* (+1, piracy) when both
+come from the same design and *different* (-1, no piracy) otherwise.  Pairs
+are split into train/test sets (the paper holds out 20 % of pairs).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass
+class GraphRecord:
+    """One hardware instance: its design family, instance id, and DFG."""
+
+    design: str
+    instance: str
+    graph: object
+    kind: str = "rtl"  # "rtl" or "netlist"
+
+
+@dataclass
+class PairDataset:
+    """Graphs plus labeled index pairs split into train and test."""
+
+    records: list
+    train_pairs: list = field(default_factory=list)
+    test_pairs: list = field(default_factory=list)
+
+    @property
+    def num_graphs(self):
+        return len(self.records)
+
+    @property
+    def num_pairs(self):
+        return len(self.train_pairs) + len(self.test_pairs)
+
+    def graphs(self):
+        return [record.graph for record in self.records]
+
+    def summary(self):
+        """Dataset-size summary mirroring Table I's columns."""
+        positives = sum(1 for _, _, label in self.train_pairs + self.test_pairs
+                        if label == 1)
+        return {
+            "graphs": self.num_graphs,
+            "pairs": self.num_pairs,
+            "similar_pairs": positives,
+            "different_pairs": self.num_pairs - positives,
+            "train_pairs": len(self.train_pairs),
+            "test_pairs": len(self.test_pairs),
+        }
+
+
+def make_pairs(records):
+    """All unordered index pairs with +1/-1 similarity labels."""
+    pairs = []
+    for i in range(len(records)):
+        for j in range(i + 1, len(records)):
+            label = 1 if records[i].design == records[j].design else -1
+            pairs.append((i, j, label))
+    return pairs
+
+
+def split_pairs(pairs, test_fraction=0.2, seed=0):
+    """Shuffle and split pairs; keeps both classes in both splits.
+
+    The split is stratified by label so small corpora do not end up with a
+    test set that lacks positive pairs.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    by_label = {1: [], -1: []}
+    for pair in pairs:
+        by_label[pair[2]].append(pair)
+    train, test = [], []
+    for label_pairs in by_label.values():
+        label_pairs = list(label_pairs)
+        rng.shuffle(label_pairs)
+        cut = int(round(len(label_pairs) * test_fraction))
+        test.extend(label_pairs[:cut])
+        train.extend(label_pairs[cut:])
+    rng.shuffle(train)
+    rng.shuffle(test)
+    return train, test
+
+
+def subsample_negatives(pairs, max_negative_ratio, seed=0):
+    """Keep all similar pairs and at most ratio x as many different pairs.
+
+    The paper's dataset is built the same way: 19094 similar vs 66631
+    different pairs (about 1:3.5) — far from the all-pairs ratio, so the
+    authors subsampled the cross-design combinations.
+    """
+    positives = [p for p in pairs if p[2] == 1]
+    negatives = [p for p in pairs if p[2] == -1]
+    limit = int(round(len(positives) * max_negative_ratio))
+    if limit < 1:
+        raise DatasetError("negative ratio leaves no different pairs")
+    if len(negatives) > limit:
+        rng = np.random.default_rng(seed)
+        keep = rng.choice(len(negatives), size=limit, replace=False)
+        negatives = [negatives[int(i)] for i in keep]
+    return positives + negatives
+
+
+def build_pair_dataset(records, test_fraction=0.2, seed=0,
+                       max_negative_ratio=None):
+    """Build a :class:`PairDataset` from graph records.
+
+    Args:
+        records: :class:`GraphRecord` list.
+        test_fraction: held-out pair fraction (paper: 0.2).
+        max_negative_ratio: if set, subsample different pairs down to this
+            multiple of the similar-pair count (the paper's corpus uses
+            about 3.5).
+    """
+    records = list(records)
+    if len(records) < 2:
+        raise DatasetError("need at least two graphs to form pairs")
+    designs = {record.design for record in records}
+    if len(designs) < 2:
+        raise DatasetError("need at least two distinct designs")
+    pairs = make_pairs(records)
+    if max_negative_ratio is not None:
+        pairs = subsample_negatives(pairs, max_negative_ratio, seed=seed)
+    train, test = split_pairs(pairs, test_fraction=test_fraction, seed=seed)
+    if not any(label == 1 for _, _, label in train):
+        raise DatasetError("train split has no similar pairs")
+    return PairDataset(records=records, train_pairs=train, test_pairs=test)
+
+
+def batches(pairs, batch_size, seed=None):
+    """Yield shuffled batches of pairs (paper: batch size 64)."""
+    if batch_size < 1:
+        raise DatasetError("batch size must be >= 1")
+    pairs = list(pairs)
+    if seed is not None:
+        np.random.default_rng(seed).shuffle(pairs)
+    for start in range(0, len(pairs), batch_size):
+        yield pairs[start:start + batch_size]

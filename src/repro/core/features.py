@@ -1,0 +1,67 @@
+"""Node featurization: label vocabulary and one-hot encodings.
+
+The paper initializes each node embedding "by directly converting the node's
+name to its corresponding one-hot vector" (§III-C).  Like hw2vec, the name is
+first normalized to a type label (operator kind, signal role, or ``const``);
+the vocabulary below enumerates every label the dataflow analyzer can emit.
+"""
+
+import numpy as np
+
+from repro.dataflow.analyzer import (
+    BINARY_OP_LABELS,
+    GATE_LABELS,
+    UNARY_OP_LABELS,
+)
+
+#: Labels the analyzer can attach to op nodes beyond plain operators.
+_STRUCTURAL_LABELS = (
+    "branch", "concat", "repeat", "pointer", "partselect", "partassign",
+    "func", "dff", "posedge", "negedge", "nand", "nor", "buf",
+)
+_SIGNAL_LABELS = ("input", "output", "wire", "reg")
+_CONST_LABELS = ("const",)
+
+
+def _build_vocabulary():
+    labels = []
+    seen = set()
+    for label in (
+            list(BINARY_OP_LABELS.values())
+            + list(UNARY_OP_LABELS.values())
+            + list(GATE_LABELS.values())
+            + list(_STRUCTURAL_LABELS)
+            + list(_SIGNAL_LABELS)
+            + list(_CONST_LABELS)):
+        if label not in seen:
+            seen.add(label)
+            labels.append(label)
+    return tuple(labels)
+
+
+#: The fixed, ordered node-label vocabulary.
+VOCABULARY = _build_vocabulary()
+
+#: label -> index map.
+LABEL_INDEX = {label: i for i, label in enumerate(VOCABULARY)}
+
+#: Dimensionality of the one-hot node features.
+FEATURE_DIM = len(VOCABULARY)
+
+
+def label_index(label):
+    """Index of ``label`` in the vocabulary (KeyError if unknown)."""
+    return LABEL_INDEX[label]
+
+
+def one_hot_features(graph):
+    """(N, FEATURE_DIM) one-hot feature matrix for a DFG.
+
+    Raises:
+        KeyError: if the graph contains a label outside the vocabulary,
+            which would indicate an analyzer/vocabulary mismatch.
+    """
+    features = np.zeros((len(graph), FEATURE_DIM))
+    for node in graph.nodes:
+        features[node.node_id, LABEL_INDEX[node.label]] = 1.0
+    return features

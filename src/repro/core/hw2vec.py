@@ -1,0 +1,90 @@
+"""hw2vec: the graph-embedding model (paper §III-C, Fig. 3).
+
+Architecture (paper's evaluation settings as defaults): a stack of GCN
+layers (2 layers, 16 hidden units), dropout 0.1 after each, a self-attention
+graph-pooling layer with ratio 0.5, and a max readout producing the graph
+embedding h_G.
+"""
+
+import numpy as np
+
+from repro.core.features import FEATURE_DIM, one_hot_features
+from repro.nn.layers import Dropout, GCNConv, Module, normalize_adjacency
+from repro.nn.pooling import Readout, SAGPool
+from repro.nn.tensor import Tensor
+
+
+class PreparedGraph:
+    """A DFG converted to model inputs (features + adjacencies).
+
+    Conversion is deterministic, so prepared graphs can be cached and reused
+    across epochs.
+    """
+
+    __slots__ = ("name", "features", "adjacency", "a_norm", "num_nodes")
+
+    def __init__(self, graph):
+        self.name = graph.name
+        self.features = one_hot_features(graph)
+        self.adjacency = graph.adjacency(symmetric=True)
+        self.a_norm = normalize_adjacency(self.adjacency)
+        self.num_nodes = len(graph)
+
+
+class HW2VEC(Module):
+    """Graph encoder: DFG -> fixed-size embedding.
+
+    Args:
+        in_features: node feature width (defaults to the label vocabulary).
+        hidden: GCN hidden units (paper: 16).
+        num_layers: GCN depth (paper: 2).
+        pool_ratio: SAGPool keep ratio (paper: 0.5).
+        readout: ``max`` / ``mean`` / ``sum`` (paper: max).
+        dropout: dropout rate after each GCN layer (paper: 0.1).
+        seed: RNG seed for weight init and dropout masks.
+    """
+
+    def __init__(self, in_features=FEATURE_DIM, hidden=16, num_layers=2,
+                 pool_ratio=0.5, readout="max", dropout=0.1, seed=0):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GCN layer")
+        rng = np.random.default_rng(seed)
+        self.convs = []
+        width = in_features
+        for index in range(num_layers):
+            conv = GCNConv(width, hidden, rng=rng)
+            self.register_module(f"conv{index}", conv)
+            self.convs.append(conv)
+            width = hidden
+        self.dropout = self.register_module("dropout", Dropout(dropout, rng=rng))
+        self.pool = self.register_module("pool",
+                                         SAGPool(hidden, pool_ratio, rng=rng))
+        self.readout = self.register_module("readout", Readout(readout))
+        self.hidden = hidden
+
+    def prepare(self, graph):
+        """Convert a DFG into cached model inputs."""
+        return PreparedGraph(graph)
+
+    def forward(self, prepared):
+        """Embed one prepared graph; returns a 1-D Tensor of size hidden."""
+        x = Tensor(prepared.features)
+        for conv in self.convs:
+            x = conv(x, prepared.a_norm).relu()
+            x = self.dropout(x)
+        x_pool, _, _, _ = self.pool(x, prepared.a_norm, prepared.adjacency)
+        return self.readout(x_pool)
+
+    def embed(self, graph):
+        """Embed a DFG (prepares it first); returns a numpy vector."""
+        was_training = self.training
+        self.eval()
+        embedding = self.forward(self.prepare(graph)).numpy().copy()
+        if was_training:
+            self.train()
+        return embedding
+
+    def embed_many(self, graphs):
+        """Embed a sequence of DFGs; returns an (n, hidden) array."""
+        return np.stack([self.embed(graph) for graph in graphs])

@@ -1,0 +1,102 @@
+"""IP library matching: rank owned designs against a suspect design.
+
+This is the deployment workflow around Algorithm 1: an IP vendor keeps an
+indexed library of embeddings for every owned design; a suspect design is
+embedded once and compared against the whole library in a single
+vectorized pass.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class Match:
+    """One library hit."""
+
+    design: str
+    instance: str
+    score: float
+    is_piracy: bool
+
+
+class IPMatcher:
+    """Embedding index over an IP library.
+
+    Args:
+        model: a trained :class:`~repro.core.gnn4ip.GNN4IP`.
+
+    Usage::
+
+        matcher = IPMatcher(model)
+        matcher.add_records(records)           # GraphRecord list
+        hits = matcher.match(suspect_graph)    # sorted Match list
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self._designs = []
+        self._instances = []
+        self._matrix = None  # (n, hidden) L2-normalized embeddings
+
+    def __len__(self):
+        return len(self._instances)
+
+    def add(self, design, instance, graph):
+        """Embed one design instance and add it to the index."""
+        embedding = self.model.encoder.embed(graph)
+        norm = np.linalg.norm(embedding)
+        if norm == 0:
+            raise ModelError(f"zero embedding for {instance!r}")
+        row = (embedding / norm)[None, :]
+        self._designs.append(design)
+        self._instances.append(instance)
+        if self._matrix is None:
+            self._matrix = row
+        else:
+            self._matrix = np.vstack([self._matrix, row])
+
+    def add_records(self, records):
+        """Add a list of :class:`~repro.core.dataset.GraphRecord`."""
+        for record in records:
+            self.add(record.design, record.instance, record.graph)
+
+    def match(self, graph, top_k=None):
+        """Score ``graph`` against every indexed instance.
+
+        Returns:
+            :class:`Match` list sorted by descending score (top_k first
+            entries when given).
+        """
+        if self._matrix is None:
+            raise ModelError("the IP library index is empty")
+        embedding = self.model.encoder.embed(graph)
+        norm = np.linalg.norm(embedding)
+        if norm == 0:
+            raise ModelError("zero embedding for the suspect design")
+        scores = self._matrix @ (embedding / norm)
+        order = np.argsort(-scores)
+        if top_k is not None:
+            order = order[:top_k]
+        return [Match(design=self._designs[i], instance=self._instances[i],
+                      score=float(scores[i]),
+                      is_piracy=bool(scores[i] > self.model.delta))
+                for i in order]
+
+    def best_design(self, graph):
+        """The best-matching design name and score (None if empty)."""
+        matches = self.match(graph, top_k=1)
+        if not matches:
+            return None, 0.0
+        return matches[0].design, matches[0].score
+
+    def piracy_report(self, graph):
+        """Per-design maximum score — one row per owned design."""
+        best = {}
+        for match in self.match(graph):
+            if match.design not in best or match.score > best[match.design].score:
+                best[match.design] = match
+        return sorted(best.values(), key=lambda m: -m.score)

@@ -1,0 +1,71 @@
+"""Classification metrics: confusion matrix, accuracy, FNR (paper §IV-B/F)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ConfusionMatrix:
+    """Binary confusion counts, positive = piracy."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def total(self):
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self):
+        """Correctly labeled ratio (TP + TN) / all — the paper's metric."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def false_negative_rate(self):
+        """FN / (FN + TP) — compared against watermark P_c in §IV-F."""
+        positives = self.fn + self.tp
+        return self.fn / positives if positives else 0.0
+
+    @property
+    def false_positive_rate(self):
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    @property
+    def precision(self):
+        predicted = self.tp + self.fp
+        return self.tp / predicted if predicted else 0.0
+
+    @property
+    def recall(self):
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else 0.0
+
+    def as_text(self):
+        """Render in the layout of Fig. 4(a)."""
+        return (f"            Actual +   Actual -\n"
+                f"Pred +   TP: {self.tp:6d}  FP: {self.fp:6d}\n"
+                f"Pred -   FN: {self.fn:6d}  TN: {self.tn:6d}")
+
+
+def confusion_from_scores(similarities, labels, delta):
+    """Build a confusion matrix by thresholding similarity scores.
+
+    Args:
+        similarities: float scores in [-1, 1].
+        labels: ground-truth {0, 1} (or {-1, +1}) piracy labels.
+        delta: decision boundary.
+    """
+    matrix = ConfusionMatrix()
+    scores = np.asarray(list(similarities), dtype=np.float64)
+    truth = np.asarray(list(labels))
+    truth = (truth > 0).astype(np.int64)
+    predictions = (scores > delta).astype(np.int64)
+    matrix.tp = int(np.sum((predictions == 1) & (truth == 1)))
+    matrix.fp = int(np.sum((predictions == 1) & (truth == 0)))
+    matrix.fn = int(np.sum((predictions == 0) & (truth == 1)))
+    matrix.tn = int(np.sum((predictions == 0) & (truth == 0)))
+    return matrix

@@ -1,0 +1,38 @@
+"""Data-flow graph extraction: elaboration, analysis, trimming, pipeline."""
+
+from repro.dataflow.analyzer import (
+    BINARY_OP_LABELS,
+    DataflowAnalyzer,
+    GATE_LABELS,
+    UNARY_OP_LABELS,
+    analyze,
+)
+from repro.dataflow.consteval import evaluate_const, try_evaluate_const, width_bits
+from repro.dataflow.elaborate import Elaborator, elaborate, find_top_module
+from repro.dataflow.graph import DFG, DFGNode, KIND_CONST, KIND_OP, KIND_SIGNAL
+from repro.dataflow.pipeline import DFGPipeline, dfg_from_verilog
+from repro.dataflow.trim import collapse_pass_through, prune_unreachable, trim
+
+__all__ = [
+    "BINARY_OP_LABELS",
+    "UNARY_OP_LABELS",
+    "GATE_LABELS",
+    "DataflowAnalyzer",
+    "analyze",
+    "evaluate_const",
+    "try_evaluate_const",
+    "width_bits",
+    "Elaborator",
+    "elaborate",
+    "find_top_module",
+    "DFG",
+    "DFGNode",
+    "KIND_CONST",
+    "KIND_OP",
+    "KIND_SIGNAL",
+    "DFGPipeline",
+    "dfg_from_verilog",
+    "collapse_pass_through",
+    "prune_unreachable",
+    "trim",
+]

@@ -1,0 +1,113 @@
+"""Constant-expression evaluation over the Verilog AST.
+
+Used by elaboration (parameter binding, width evaluation) and by the
+dataflow analyzer (for-loop unrolling, constant selects).
+"""
+
+from repro.errors import DataflowError
+from repro.verilog import ast_nodes as ast
+
+_BINARY_EVAL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "**": lambda a, b: a ** b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "<<<": lambda a, b: a << b,
+    ">>>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "~^": lambda a, b: ~(a ^ b),
+    "^~": lambda a, b: ~(a ^ b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "===": lambda a, b: int(a == b),
+    "!==": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+_UNARY_EVAL = {
+    "+": lambda a: a,
+    "-": lambda a: -a,
+    "~": lambda a: ~a,
+    "!": lambda a: int(not a),
+    "&": lambda a: int(a != 0 and (a & (a + 1)) == 0 and a != 0),
+    "|": lambda a: int(a != 0),
+    "^": lambda a: bin(a if a >= 0 else ~a).count("1") & 1,
+}
+
+
+def evaluate_const(expr, env=None):
+    """Evaluate ``expr`` to a Python int.
+
+    Args:
+        expr: expression AST node.
+        env: mapping of identifier name -> int (parameters, loop vars).
+
+    Raises:
+        DataflowError: when the expression is not compile-time constant.
+    """
+    env = env or {}
+    if isinstance(expr, ast.IntConst):
+        return expr.value
+    if isinstance(expr, ast.BasedConst):
+        return expr.value
+    if isinstance(expr, ast.Identifier):
+        if expr.name in env:
+            return env[expr.name]
+        raise DataflowError(f"identifier {expr.name!r} is not a constant")
+    if isinstance(expr, ast.UnaryOp):
+        handler = _UNARY_EVAL.get(expr.op)
+        if handler is None:
+            raise DataflowError(f"cannot const-evaluate unary {expr.op!r}")
+        return handler(evaluate_const(expr.operand, env))
+    if isinstance(expr, ast.BinaryOp):
+        handler = _BINARY_EVAL.get(expr.op)
+        if handler is None:
+            raise DataflowError(f"cannot const-evaluate binary {expr.op!r}")
+        return handler(evaluate_const(expr.left, env),
+                       evaluate_const(expr.right, env))
+    if isinstance(expr, ast.Ternary):
+        if evaluate_const(expr.cond, env):
+            return evaluate_const(expr.true_value, env)
+        return evaluate_const(expr.false_value, env)
+    if isinstance(expr, ast.FunctionCall) and expr.name == "$clog2":
+        value = evaluate_const(expr.args[0], env)
+        return max(0, (value - 1).bit_length())
+    if isinstance(expr, ast.Concat):
+        # Constant concatenation: only meaningful when widths are known;
+        # we only need it for based-literal concats in parameter values.
+        result = 0
+        for part in expr.parts:
+            if not isinstance(part, ast.BasedConst) or part.width is None:
+                raise DataflowError("cannot const-evaluate concat part")
+            result = (result << part.width) | part.value
+        return result
+    raise DataflowError(
+        f"expression of type {type(expr).__name__} is not constant")
+
+
+def try_evaluate_const(expr, env=None):
+    """Like :func:`evaluate_const` but returns ``None`` on failure."""
+    try:
+        return evaluate_const(expr, env)
+    except DataflowError:
+        return None
+
+
+def width_bits(width, env=None):
+    """Number of bits described by a :class:`Width` (``None`` -> 1)."""
+    if width is None:
+        return 1
+    msb = evaluate_const(width.msb, env)
+    lsb = evaluate_const(width.lsb, env)
+    return abs(msb - lsb) + 1

@@ -1,0 +1,30 @@
+"""Synthetic hardware-design corpus: families, ISCAS netlists, assembly."""
+
+from repro.designs.base import (
+    DesignFamily,
+    DesignVariant,
+    all_families,
+    family_names,
+    generate_corpus,
+    get_family,
+    register,
+)
+from repro.designs.corpus import (
+    SYNTHESIZABLE_FAMILIES,
+    corpus_statistics,
+    default_rtl_families,
+    iscas_records,
+    mips_visualization_records,
+    netlist_records,
+    rtl_records,
+)
+from repro.designs.iscas import ISCAS_BENCHMARKS, iscas_names, iscas_netlist
+
+__all__ = [
+    "DesignFamily", "DesignVariant", "all_families", "family_names",
+    "generate_corpus", "get_family", "register",
+    "SYNTHESIZABLE_FAMILIES", "corpus_statistics", "default_rtl_families",
+    "iscas_records", "mips_visualization_records", "netlist_records",
+    "rtl_records",
+    "ISCAS_BENCHMARKS", "iscas_names", "iscas_netlist",
+]

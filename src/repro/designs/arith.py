@@ -1,0 +1,358 @@
+"""Arithmetic design families: adders, subtractors, multipliers, comparators.
+
+Each family provides multiple genuinely different implementation styles
+("different codes, same design" — the paper's positive-pair condition).
+"""
+
+from repro.designs.base import DesignFamily, register
+
+
+def _ripple_adder_structural(width, with_carry=True):
+    """Gate-level ripple-carry adder source (unrolled full adders)."""
+    lines = [f"module adder{width} (input [{width-1}:0] a, "
+             f"input [{width-1}:0] b, input cin, "
+             f"output [{width-1}:0] sum, output cout);"]
+    for i in range(width + 1):
+        lines.append(f"  wire c{i};")
+    for i in range(width):
+        lines.append(f"  wire p{i}, g{i}, t{i};")
+    lines.append("  buf (c0, cin);")
+    for i in range(width):
+        lines.append(f"  xor (p{i}, a[{i}], b[{i}]);")
+        lines.append(f"  and (g{i}, a[{i}], b[{i}]);")
+        lines.append(f"  xor (sum[{i}], p{i}, c{i});")
+        lines.append(f"  and (t{i}, p{i}, c{i});")
+        lines.append(f"  or (c{i+1}, g{i}, t{i});")
+    lines.append(f"  buf (cout, c{width});")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+@register
+class Adder8(DesignFamily):
+    """8-bit adder with carry in/out."""
+
+    name = "adder8"
+    top = "adder8"
+    description = "8-bit adder with carry"
+
+    def styles(self):
+        return {
+            "behavioral": self._behavioral,
+            "structural": self._structural,
+            "carry_select": self._carry_select,
+        }
+
+    @staticmethod
+    def _behavioral(rng):
+        return """
+module adder8 (input [7:0] a, input [7:0] b, input cin,
+               output [7:0] sum, output cout);
+  wire [8:0] total;
+  assign total = a + b + cin;
+  assign sum = total[7:0];
+  assign cout = total[8];
+endmodule
+"""
+
+    @staticmethod
+    def _structural(rng):
+        return _ripple_adder_structural(8)
+
+    @staticmethod
+    def _carry_select(rng):
+        return """
+module adder8 (input [7:0] a, input [7:0] b, input cin,
+               output [7:0] sum, output cout);
+  wire [4:0] low;
+  wire [4:0] high0;
+  wire [4:0] high1;
+  wire sel;
+  assign low = a[3:0] + b[3:0] + cin;
+  assign sel = low[4];
+  assign high0 = a[7:4] + b[7:4];
+  assign high1 = a[7:4] + b[7:4] + 4'd1;
+  assign sum = sel ? {high1[3:0], low[3:0]} : {high0[3:0], low[3:0]};
+  assign cout = sel ? high1[4] : high0[4];
+endmodule
+"""
+
+
+@register
+class Adder16(DesignFamily):
+    """16-bit adder (distinct design from the 8-bit one)."""
+
+    name = "adder16"
+    top = "adder16"
+    description = "16-bit adder with carry"
+
+    def styles(self):
+        return {"behavioral": self._behavioral, "blocked": self._blocked}
+
+    @staticmethod
+    def _behavioral(rng):
+        return """
+module adder16 (input [15:0] a, input [15:0] b, input cin,
+                output [15:0] sum, output cout);
+  wire [16:0] total;
+  assign total = a + b + cin;
+  assign sum = total[15:0];
+  assign cout = total[16];
+endmodule
+"""
+
+    @staticmethod
+    def _blocked(rng):
+        return """
+module adder16 (input [15:0] a, input [15:0] b, input cin,
+                output [15:0] sum, output cout);
+  wire [8:0] lo;
+  wire [8:0] hi;
+  assign lo = a[7:0] + b[7:0] + cin;
+  assign hi = a[15:8] + b[15:8] + lo[8];
+  assign sum = {hi[7:0], lo[7:0]};
+  assign cout = hi[8];
+endmodule
+"""
+
+
+@register
+class AddSub8(DesignFamily):
+    """8-bit adder/subtractor with a mode select."""
+
+    name = "addsub8"
+    top = "addsub8"
+    description = "8-bit add/subtract unit"
+
+    def styles(self):
+        return {"ternary": self._ternary, "xor_trick": self._xor_trick}
+
+    @staticmethod
+    def _ternary(rng):
+        return """
+module addsub8 (input [7:0] a, input [7:0] b, input mode,
+                output [7:0] y, output carry);
+  wire [8:0] added;
+  wire [8:0] subbed;
+  assign added = a + b;
+  assign subbed = a - b;
+  assign y = mode ? subbed[7:0] : added[7:0];
+  assign carry = mode ? subbed[8] : added[8];
+endmodule
+"""
+
+    @staticmethod
+    def _xor_trick(rng):
+        return """
+module addsub8 (input [7:0] a, input [7:0] b, input mode,
+                output [7:0] y, output carry);
+  wire [7:0] bx;
+  wire [8:0] total;
+  assign bx = b ^ {8{mode}};
+  assign total = a + bx + mode;
+  assign y = total[7:0];
+  assign carry = total[8];
+endmodule
+"""
+
+
+@register
+class Multiplier4(DesignFamily):
+    """4x4 unsigned multiplier."""
+
+    name = "mult4"
+    top = "mult4"
+    description = "4x4 unsigned multiplier"
+
+    def styles(self):
+        return {"behavioral": self._behavioral, "shift_add": self._shift_add}
+
+    @staticmethod
+    def _behavioral(rng):
+        return """
+module mult4 (input [3:0] a, input [3:0] b, output [7:0] p);
+  assign p = a * b;
+endmodule
+"""
+
+    @staticmethod
+    def _shift_add(rng):
+        return """
+module mult4 (input [3:0] a, input [3:0] b, output [7:0] p);
+  wire [7:0] pp0;
+  wire [7:0] pp1;
+  wire [7:0] pp2;
+  wire [7:0] pp3;
+  assign pp0 = b[0] ? {4'b0, a} : 8'b0;
+  assign pp1 = b[1] ? {3'b0, a, 1'b0} : 8'b0;
+  assign pp2 = b[2] ? {2'b0, a, 2'b0} : 8'b0;
+  assign pp3 = b[3] ? {1'b0, a, 3'b0} : 8'b0;
+  assign p = pp0 + pp1 + pp2 + pp3;
+endmodule
+"""
+
+
+@register
+class Mac8(DesignFamily):
+    """8-bit multiply-accumulate register."""
+
+    name = "mac8"
+    top = "mac8"
+    description = "clocked multiply-accumulate"
+
+    def styles(self):
+        return {"single_always": self._single, "split": self._split}
+
+    @staticmethod
+    def _single(rng):
+        return """
+module mac8 (input clk, input clear, input [3:0] a, input [3:0] b,
+             output reg [7:0] acc);
+  always @(posedge clk) begin
+    if (clear)
+      acc <= 8'd0;
+    else
+      acc <= acc + a * b;
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _split(rng):
+        return """
+module mac8 (input clk, input clear, input [3:0] a, input [3:0] b,
+             output reg [7:0] acc);
+  wire [7:0] product;
+  wire [7:0] next;
+  assign product = a * b;
+  assign next = clear ? 8'd0 : (acc + product);
+  always @(posedge clk)
+    acc <= next;
+endmodule
+"""
+
+
+@register
+class Comparator8(DesignFamily):
+    """8-bit magnitude comparator."""
+
+    name = "cmp8"
+    top = "cmp8"
+    description = "8-bit comparator (lt/eq/gt)"
+
+    def styles(self):
+        return {"operators": self._operators, "subtract": self._subtract,
+                "bitwise": self._bitwise}
+
+    @staticmethod
+    def _operators(rng):
+        return """
+module cmp8 (input [7:0] a, input [7:0] b,
+             output lt, output eq, output gt);
+  assign lt = a < b;
+  assign eq = a == b;
+  assign gt = a > b;
+endmodule
+"""
+
+    @staticmethod
+    def _subtract(rng):
+        return """
+module cmp8 (input [7:0] a, input [7:0] b,
+             output lt, output eq, output gt);
+  wire [8:0] diff;
+  assign diff = {1'b0, a} - {1'b0, b};
+  assign eq = (diff == 9'd0);
+  assign lt = diff[8];
+  assign gt = (~diff[8]) & (~eq);
+endmodule
+"""
+
+    @staticmethod
+    def _bitwise(rng):
+        return """
+module cmp8 (input [7:0] a, input [7:0] b,
+             output lt, output eq, output gt);
+  wire [7:0] same;
+  assign same = ~(a ^ b);
+  assign eq = &same;
+  assign gt = (a[7] & ~b[7])
+            | (same[7] & a[6] & ~b[6])
+            | (same[7] & same[6] & a[5] & ~b[5])
+            | (same[7] & same[6] & same[5] & a[4] & ~b[4])
+            | (same[7] & same[6] & same[5] & same[4] & a[3] & ~b[3])
+            | (same[7] & same[6] & same[5] & same[4] & same[3] & a[2] & ~b[2])
+            | (same[7] & same[6] & same[5] & same[4] & same[3] & same[2] & a[1] & ~b[1])
+            | (same[7] & same[6] & same[5] & same[4] & same[3] & same[2] & same[1] & a[0] & ~b[0]);
+  assign lt = ~gt & ~eq;
+endmodule
+"""
+
+
+@register
+class Abs8(DesignFamily):
+    """8-bit absolute difference |a - b|."""
+
+    name = "absdiff8"
+    top = "absdiff8"
+    description = "8-bit absolute difference"
+
+    def styles(self):
+        return {"compare": self._compare, "negate": self._negate}
+
+    @staticmethod
+    def _compare(rng):
+        return """
+module absdiff8 (input [7:0] a, input [7:0] b, output [7:0] d);
+  assign d = (a > b) ? (a - b) : (b - a);
+endmodule
+"""
+
+    @staticmethod
+    def _negate(rng):
+        return """
+module absdiff8 (input [7:0] a, input [7:0] b, output [7:0] d);
+  wire [8:0] diff;
+  wire [7:0] raw;
+  assign diff = {1'b0, a} - {1'b0, b};
+  assign raw = diff[7:0];
+  assign d = diff[8] ? ((~raw) + 8'd1) : raw;
+endmodule
+"""
+
+
+@register
+class Saturator8(DesignFamily):
+    """Saturating 8-bit adder (clamps at 255)."""
+
+    name = "satadd8"
+    top = "satadd8"
+    description = "saturating 8-bit adder"
+
+    def styles(self):
+        return {"ternary": self._ternary, "always": self._always}
+
+    @staticmethod
+    def _ternary(rng):
+        return """
+module satadd8 (input [7:0] a, input [7:0] b, output [7:0] y);
+  wire [8:0] total;
+  assign total = a + b;
+  assign y = total[8] ? 8'hFF : total[7:0];
+endmodule
+"""
+
+    @staticmethod
+    def _always(rng):
+        return """
+module satadd8 (input [7:0] a, input [7:0] b, output reg [7:0] y);
+  wire [8:0] total;
+  assign total = {1'b0, a} + {1'b0, b};
+  always @(*) begin
+    if (total > 9'd255)
+      y = 8'hFF;
+    else
+      y = total[7:0];
+  end
+endmodule
+"""

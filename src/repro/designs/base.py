@@ -1,0 +1,160 @@
+"""Design-family registry and corpus generation.
+
+The paper's dataset is private; this module reproduces its *structure*:
+about fifty distinct circuit designs, each with several "hardware
+instances" — different source codes implementing the same design.  A
+:class:`DesignFamily` emits canonical Verilog in one of several genuinely
+different implementation styles; instance diversity on top of the style
+choice comes from semantics-preserving RTL rewrites (renaming, reordering,
+operand swaps).
+"""
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.obfuscate.rtl_variants import make_rtl_variant
+
+
+@dataclass
+class DesignVariant:
+    """One hardware instance of a design family."""
+
+    design: str      # family name (the "distinct circuit design")
+    instance: str    # unique instance id
+    verilog: str     # full source text
+    top: str         # top module name
+    style: str       # which implementation style was used
+
+
+class DesignFamily:
+    """Base class for design generators.
+
+    Subclasses define ``name``, ``top``, and ``styles`` (a dict of
+    style-name -> zero-argument or rng-taking callable returning Verilog).
+    """
+
+    #: Family name; also the DFG/"design" label in datasets.
+    name = None
+    #: Top module name in the emitted Verilog.
+    top = None
+    #: Short human description.
+    description = ""
+
+    def styles(self):
+        """Mapping style-name -> callable(rng) -> verilog text."""
+        raise NotImplementedError
+
+    def style_names(self):
+        return sorted(self.styles())
+
+    def generate(self, seed=0, style=None, rewrite=True):
+        """Emit one instance.
+
+        Args:
+            seed: controls the style pick and all stochastic rewrites.
+            style: force a specific style (otherwise chosen from the seed).
+            rewrite: apply the semantics-preserving RTL rewrites for
+                instance diversity (the first instance of each family is
+                usually emitted verbatim by passing ``rewrite=False``).
+        """
+        name_seed = zlib.crc32(self.name.encode()) & 0xFFFF
+        rng = np.random.default_rng(name_seed * 100003 + seed)
+        table = self.styles()
+        if style is None:
+            names = sorted(table)
+            style = names[int(rng.integers(0, len(names)))]
+        elif style not in table:
+            raise DatasetError(
+                f"family {self.name!r} has no style {style!r}")
+        text = table[style](rng)
+        if rewrite:
+            text = make_rtl_variant(text, seed=int(rng.integers(0, 2**31)))
+        return DesignVariant(design=self.name,
+                             instance=f"{self.name}_{style}_s{seed}",
+                             verilog=text, top=self.top, style=style)
+
+    def variants(self, count, seed=0, balanced=True, rewrites_per_style=2):
+        """Emit ``count`` distinct instances.
+
+        With ``balanced`` each style is emitted ``rewrites_per_style``
+        times (different semantics-preserving rewrites) before moving to
+        the next style, mirroring how real IP corpora contain both
+        near-identical copies and genuinely re-implemented versions of one
+        design.  The very first instance is the canonical (unrewritten)
+        source of the first style.
+        """
+        names = self.style_names()
+        out = []
+        for index in range(count):
+            if balanced:
+                style = names[(index // rewrites_per_style) % len(names)]
+            else:
+                style = None
+            rewrite = index != 0
+            out.append(self.generate(seed=seed + index, style=style,
+                                     rewrite=rewrite))
+        return out
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: add a family to the global registry."""
+    if cls.name is None or cls.top is None:
+        raise DatasetError(f"{cls.__name__} must define name and top")
+    if cls.name in _REGISTRY:
+        raise DatasetError(f"duplicate design family {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def family_names():
+    """Sorted names of all registered design families."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_family(name):
+    """Look up a family by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(f"unknown design family {name!r}") from None
+
+
+def all_families():
+    """All registered family instances, sorted by name."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_loaded():
+    """Import the family modules so their @register decorators run."""
+    from repro.designs import arith, crypto, fpu, fsm, logic, mips, seq  # noqa: F401
+
+
+def generate_corpus(families=None, instances_per_design=4, seed=0):
+    """Generate a corpus of RTL instances.
+
+    Args:
+        families: iterable of family names (default: all registered).
+        instances_per_design: hardware instances per design.
+        seed: base seed.
+
+    Returns:
+        list of :class:`DesignVariant`.
+    """
+    _ensure_loaded()
+    if families is None:
+        families = family_names()
+    corpus = []
+    for offset, name in enumerate(families):
+        family = get_family(name)
+        corpus.extend(family.variants(instances_per_design,
+                                      seed=seed + 1000 * offset))
+    return corpus

@@ -1,0 +1,278 @@
+"""Cryptographic / coding design families: AES round, CRC, Hamming SEC."""
+
+from repro.designs.base import DesignFamily, register
+
+#: 4-bit S-box used by the toy AES round (the PRESENT cipher S-box).
+_SBOX4 = [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+          0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+
+
+def _sbox_case(name, in_sig, out_sig):
+    lines = [f"module {name} (input [3:0] {in_sig}, output reg [3:0] {out_sig});",
+             "  always @(*) begin",
+             f"    case ({in_sig})"]
+    for i, v in enumerate(_SBOX4[:-1]):
+        lines.append(f"      4'h{i:X}: {out_sig} = 4'h{v:X};")
+    lines.append(f"      default: {out_sig} = 4'h{_SBOX4[15]:X};")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _sbox_equations(name, in_sig, out_sig):
+    """The same S-box as sum-of-products equations."""
+    terms = {bit: [] for bit in range(4)}
+    for value in range(16):
+        out = _SBOX4[value]
+        for bit in range(4):
+            if (out >> bit) & 1:
+                literals = []
+                for in_bit in range(4):
+                    literal = f"{in_sig}[{in_bit}]"
+                    if not (value >> in_bit) & 1:
+                        literal = "~" + literal
+                    literals.append(literal)
+                terms[bit].append("(" + " & ".join(literals) + ")")
+    lines = [f"module {name} (input [3:0] {in_sig}, output [3:0] {out_sig});"]
+    for bit in range(4):
+        joined = "\n      | ".join(terms[bit])
+        lines.append(f"  assign {out_sig}[{bit}] = {joined};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+@register
+class AesRound(DesignFamily):
+    """Toy AES round: SubNibbles -> rotate (ShiftRows) -> AddRoundKey.
+
+    The paper's AES IP is a full core; this family keeps the same layered
+    structure (S-box substitution, permutation, key mixing) at 16-bit scale.
+    """
+
+    name = "aes"
+    top = "aes_round"
+    description = "mini AES round (sbox/shift/key-mix)"
+
+    def styles(self):
+        return {"case_sbox": self._case_sbox, "eqn_sbox": self._eqn_sbox}
+
+    @staticmethod
+    def _round_body():
+        return """
+module aes_round (input [15:0] state, input [15:0] key,
+                  output [15:0] state_next);
+  wire [15:0] substituted;
+  wire [15:0] rotated;
+  sbox4 s0 (.nibble_in(state[3:0]), .nibble_out(substituted[3:0]));
+  sbox4 s1 (.nibble_in(state[7:4]), .nibble_out(substituted[7:4]));
+  sbox4 s2 (.nibble_in(state[11:8]), .nibble_out(substituted[11:8]));
+  sbox4 s3 (.nibble_in(state[15:12]), .nibble_out(substituted[15:12]));
+  assign rotated = {substituted[11:8], substituted[3:0],
+                    substituted[15:12], substituted[7:4]};
+  assign state_next = rotated ^ key;
+endmodule
+"""
+
+    def _case_sbox(self, rng):
+        return (self._round_body() + "\n"
+                + _sbox_case("sbox4", "nibble_in", "nibble_out"))
+
+    def _eqn_sbox(self, rng):
+        return (self._round_body() + "\n"
+                + _sbox_equations("sbox4", "nibble_in", "nibble_out"))
+
+
+@register
+class Crc8(DesignFamily):
+    """CRC-8 (poly 0x07) over one input byte, combinational."""
+
+    name = "crc8"
+    top = "crc8"
+    description = "CRC-8 generator"
+
+    def styles(self):
+        return {"loop": self._loop, "unrolled": self._unrolled}
+
+    @staticmethod
+    def _loop(rng):
+        return """
+module crc8 (input [7:0] data, input [7:0] crc_in, output reg [7:0] crc_out);
+  reg [7:0] crc;
+  integer i;
+  always @(*) begin
+    crc = crc_in ^ data;
+    for (i = 0; i < 8; i = i + 1) begin
+      if (crc[7])
+        crc = (crc << 1) ^ 8'h07;
+      else
+        crc = crc << 1;
+    end
+    crc_out = crc;
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _unrolled(rng):
+        lines = ["module crc8 (input [7:0] data, input [7:0] crc_in, "
+                 "output [7:0] crc_out);",
+                 "  wire [7:0] s0;",
+                 "  assign s0 = crc_in ^ data;"]
+        for step in range(8):
+            src = f"s{step}"
+            dst = f"s{step + 1}"
+            lines.append(f"  wire [7:0] {dst};")
+            lines.append(f"  assign {dst} = {src}[7] ? "
+                         f"(({src} << 1) ^ 8'h07) : ({src} << 1);")
+        lines.append("  assign crc_out = s8;")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+@register
+class Crc16(DesignFamily):
+    """CRC-16-CCITT (poly 0x1021) over one byte, combinational."""
+
+    name = "crc16"
+    top = "crc16"
+    description = "CRC-16-CCITT generator"
+
+    def styles(self):
+        return {"loop": self._loop, "staged": self._staged}
+
+    @staticmethod
+    def _loop(rng):
+        return """
+module crc16 (input [7:0] data, input [15:0] crc_in,
+              output reg [15:0] crc_out);
+  reg [15:0] crc;
+  integer i;
+  always @(*) begin
+    crc = crc_in ^ {data, 8'b0};
+    for (i = 0; i < 8; i = i + 1) begin
+      if (crc[15])
+        crc = (crc << 1) ^ 16'h1021;
+      else
+        crc = crc << 1;
+    end
+    crc_out = crc;
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _staged(rng):
+        lines = ["module crc16 (input [7:0] data, input [15:0] crc_in, "
+                 "output [15:0] crc_out);",
+                 "  wire [15:0] s0;",
+                 "  assign s0 = crc_in ^ {data, 8'b0};"]
+        for step in range(8):
+            src = f"s{step}"
+            dst = f"s{step + 1}"
+            lines.append(f"  wire [15:0] {dst};")
+            lines.append(f"  assign {dst} = {src}[15] ? "
+                         f"(({src} << 1) ^ 16'h1021) : ({src} << 1);")
+        lines.append("  assign crc_out = s8;")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+@register
+class HammingEnc74(DesignFamily):
+    """(7,4) Hamming encoder."""
+
+    name = "hamenc74"
+    top = "hamenc74"
+    description = "(7,4) Hamming encoder"
+
+    def styles(self):
+        return {"explicit": self._explicit, "concat": self._concat}
+
+    @staticmethod
+    def _explicit(rng):
+        return """
+module hamenc74 (input [3:0] d, output [6:0] code);
+  wire p0, p1, p2;
+  assign p0 = d[0] ^ d[1] ^ d[3];
+  assign p1 = d[0] ^ d[2] ^ d[3];
+  assign p2 = d[1] ^ d[2] ^ d[3];
+  assign code[0] = p0;
+  assign code[1] = p1;
+  assign code[2] = d[0];
+  assign code[3] = p2;
+  assign code[4] = d[1];
+  assign code[5] = d[2];
+  assign code[6] = d[3];
+endmodule
+"""
+
+    @staticmethod
+    def _concat(rng):
+        return """
+module hamenc74 (input [3:0] d, output [6:0] code);
+  wire parity_a;
+  wire parity_b;
+  wire parity_c;
+  assign parity_a = ^(d & 4'b1011);
+  assign parity_b = ^(d & 4'b1101);
+  assign parity_c = ^(d & 4'b1110);
+  assign code = {d[3], d[2], d[1], parity_c, d[0], parity_b, parity_a};
+endmodule
+"""
+
+
+@register
+class HammingDec74(DesignFamily):
+    """(7,4) Hamming decoder with single-error correction."""
+
+    name = "hamdec74"
+    top = "hamdec74"
+    description = "(7,4) Hamming SEC decoder"
+
+    def styles(self):
+        return {"case_fix": self._case_fix, "mask_fix": self._mask_fix}
+
+    @staticmethod
+    def _case_fix(rng):
+        return """
+module hamdec74 (input [6:0] code, output [3:0] d, output err);
+  wire [2:0] syndrome;
+  reg [6:0] fixed;
+  assign syndrome[0] = code[0] ^ code[2] ^ code[4] ^ code[6];
+  assign syndrome[1] = code[1] ^ code[2] ^ code[5] ^ code[6];
+  assign syndrome[2] = code[3] ^ code[4] ^ code[5] ^ code[6];
+  assign err = syndrome != 3'd0;
+  always @(*) begin
+    fixed = code;
+    case (syndrome)
+      3'd1: fixed[0] = ~code[0];
+      3'd2: fixed[1] = ~code[1];
+      3'd3: fixed[2] = ~code[2];
+      3'd4: fixed[3] = ~code[3];
+      3'd5: fixed[4] = ~code[4];
+      3'd6: fixed[5] = ~code[5];
+      3'd7: fixed[6] = ~code[6];
+      default: fixed = code;
+    endcase
+  end
+  assign d = {fixed[6], fixed[5], fixed[4], fixed[2]};
+endmodule
+"""
+
+    @staticmethod
+    def _mask_fix(rng):
+        return """
+module hamdec74 (input [6:0] code, output [3:0] d, output err);
+  wire [2:0] syndrome;
+  wire [6:0] flip;
+  wire [6:0] fixed;
+  assign syndrome[0] = ^(code & 7'b1010101);
+  assign syndrome[1] = ^(code & 7'b1100110);
+  assign syndrome[2] = ^(code & 7'b1111000);
+  assign err = |syndrome;
+  assign flip = err ? (7'b1 << (syndrome - 3'd1)) : 7'b0;
+  assign fixed = code ^ flip;
+  assign d = {fixed[6], fixed[5], fixed[4], fixed[2]};
+endmodule
+"""

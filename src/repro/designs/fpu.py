@@ -1,0 +1,128 @@
+"""Floating-point design family: the paper's FPA (floating-point adder).
+
+A half-precision-like format is used: 1 sign, 5 exponent, 10 mantissa bits.
+The adder implements align / add-sub / normalize, the classic FPA pipeline,
+entirely combinationally.
+"""
+
+from repro.designs.base import DesignFamily, register
+
+
+@register
+class FloatingPointAdder(DesignFamily):
+    """16-bit floating-point adder (sign / 5-bit exp / 10-bit mantissa)."""
+
+    name = "fpa"
+    top = "fpa"
+    description = "floating point adder"
+
+    def styles(self):
+        return {"monolithic": self._monolithic, "staged": self._staged}
+
+    @staticmethod
+    def _monolithic(rng):
+        return """
+module fpa (input [15:0] x, input [15:0] y, output reg [15:0] z);
+  reg sign_x, sign_y, sign_z;
+  reg [4:0] exp_x, exp_y, exp_z;
+  reg [10:0] man_x, man_y;
+  reg [11:0] man_sum;
+  reg [4:0] diff;
+  integer k;
+  always @(*) begin
+    sign_x = x[15];
+    sign_y = y[15];
+    exp_x = x[14:10];
+    exp_y = y[14:10];
+    man_x = {1'b1, x[9:0]};
+    man_y = {1'b1, y[9:0]};
+    if (exp_x < exp_y) begin
+      diff = exp_y - exp_x;
+      man_x = man_x >> diff;
+      exp_x = exp_y;
+    end else begin
+      diff = exp_x - exp_y;
+      man_y = man_y >> diff;
+    end
+    exp_z = exp_x;
+    if (sign_x == sign_y) begin
+      man_sum = man_x + man_y;
+      sign_z = sign_x;
+      if (man_sum[11]) begin
+        man_sum = man_sum >> 1;
+        exp_z = exp_z + 5'd1;
+      end
+    end else begin
+      if (man_x >= man_y) begin
+        man_sum = man_x - man_y;
+        sign_z = sign_x;
+      end else begin
+        man_sum = man_y - man_x;
+        sign_z = sign_y;
+      end
+      for (k = 0; k < 11; k = k + 1) begin
+        if (!man_sum[10] && exp_z != 5'd0) begin
+          man_sum = man_sum << 1;
+          exp_z = exp_z - 5'd1;
+        end
+      end
+    end
+    if (man_sum == 12'd0)
+      z = 16'd0;
+    else
+      z = {sign_z, exp_z, man_sum[9:0]};
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _staged(rng):
+        return """
+module fpa (input [15:0] x, input [15:0] y, output [15:0] z);
+  wire swap;
+  wire [15:0] big;
+  wire [15:0] small;
+  wire [4:0] diff;
+  wire [10:0] man_big;
+  wire [10:0] man_small;
+  wire [10:0] man_aligned;
+  wire same_sign;
+  wire [11:0] sum_mag;
+  wire [11:0] diff_mag;
+  wire [11:0] magnitude;
+  wire carry;
+  reg [4:0] exp_out;
+  reg [11:0] man_out;
+  integer k;
+  assign swap = y[14:0] > x[14:0];
+  assign big = swap ? y : x;
+  assign small = swap ? x : y;
+  assign diff = big[14:10] - small[14:10];
+  assign man_big = {1'b1, big[9:0]};
+  assign man_small = {1'b1, small[9:0]};
+  assign man_aligned = man_small >> diff;
+  assign same_sign = big[15] == small[15];
+  assign sum_mag = man_big + man_aligned;
+  assign diff_mag = man_big - man_aligned;
+  assign magnitude = same_sign ? sum_mag : diff_mag;
+  assign carry = same_sign & magnitude[11];
+  always @(*) begin
+    exp_out = big[14:10];
+    man_out = magnitude;
+    if (carry) begin
+      man_out = magnitude >> 1;
+      exp_out = exp_out + 5'd1;
+    end else begin
+      for (k = 0; k < 11; k = k + 1) begin
+        if (!man_out[10] && exp_out != 5'd0)
+          begin
+            man_out = man_out << 1;
+            exp_out = exp_out - 5'd1;
+          end
+      end
+    end
+  end
+  assign z = (magnitude == 12'd0) ? 16'd0
+           : {big[15], exp_out, man_out[9:0]};
+endmodule
+"""

@@ -1,0 +1,378 @@
+"""Finite-state-machine design families: traffic light, detectors, UART."""
+
+from repro.designs.base import DesignFamily, register
+
+
+@register
+class TrafficLight(DesignFamily):
+    """Three-phase traffic light controller with a timer."""
+
+    name = "traffic"
+    top = "traffic"
+    description = "traffic light FSM"
+
+    def styles(self):
+        return {"two_process": self._two_process, "one_process": self._one_process}
+
+    @staticmethod
+    def _two_process(rng):
+        return """
+module traffic (input clk, input rst, output [2:0] lights);
+  reg [1:0] state;
+  reg [1:0] nxt;
+  reg [3:0] timer;
+  always @(*) begin
+    case (state)
+      2'd0: nxt = (timer == 4'd9) ? 2'd1 : 2'd0;
+      2'd1: nxt = (timer == 4'd2) ? 2'd2 : 2'd1;
+      2'd2: nxt = (timer == 4'd6) ? 2'd0 : 2'd2;
+      default: nxt = 2'd0;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      timer <= 4'd0;
+    end else if (state != nxt) begin
+      state <= nxt;
+      timer <= 4'd0;
+    end else begin
+      timer <= timer + 4'd1;
+    end
+  end
+  assign lights = (state == 2'd0) ? 3'b100 :
+                  (state == 2'd1) ? 3'b010 : 3'b001;
+endmodule
+"""
+
+    @staticmethod
+    def _one_process(rng):
+        return """
+module traffic (input clk, input rst, output reg [2:0] lights);
+  reg [1:0] phase;
+  reg [3:0] timer;
+  always @(posedge clk) begin
+    if (rst) begin
+      phase <= 2'd0;
+      timer <= 4'd0;
+      lights <= 3'b100;
+    end else begin
+      timer <= timer + 4'd1;
+      if (phase == 2'd0 && timer == 4'd9) begin
+        phase <= 2'd1;
+        timer <= 4'd0;
+        lights <= 3'b010;
+      end else if (phase == 2'd1 && timer == 4'd2) begin
+        phase <= 2'd2;
+        timer <= 4'd0;
+        lights <= 3'b001;
+      end else if (phase == 2'd2 && timer == 4'd6) begin
+        phase <= 2'd0;
+        timer <= 4'd0;
+        lights <= 3'b100;
+      end
+    end
+  end
+endmodule
+"""
+
+
+@register
+class SeqDetector(DesignFamily):
+    """Overlapping "1011" sequence detector."""
+
+    name = "seqdet"
+    top = "seqdet"
+    description = "1011 sequence detector"
+
+    def styles(self):
+        return {"mealy": self._mealy, "shift_match": self._shift_match}
+
+    @staticmethod
+    def _mealy(rng):
+        return """
+module seqdet (input clk, input rst, input bit_in, output reg hit);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      hit <= 1'b0;
+    end else begin
+      hit <= 1'b0;
+      case (state)
+        2'd0: state <= bit_in ? 2'd1 : 2'd0;
+        2'd1: state <= bit_in ? 2'd1 : 2'd2;
+        2'd2: state <= bit_in ? 2'd3 : 2'd0;
+        default: begin
+          if (bit_in) begin
+            hit <= 1'b1;
+            state <= 2'd1;
+          end else begin
+            state <= 2'd2;
+          end
+        end
+      endcase
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _shift_match(rng):
+        return """
+module seqdet (input clk, input rst, input bit_in, output reg hit);
+  reg [3:0] window;
+  wire [3:0] nxt;
+  assign nxt = {window[2:0], bit_in};
+  always @(posedge clk) begin
+    if (rst) begin
+      window <= 4'd0;
+      hit <= 1'b0;
+    end else begin
+      window <= nxt;
+      hit <= (nxt == 4'b1011);
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Vending(DesignFamily):
+    """Vending machine: accepts 5/10 cent coins, vends at 20."""
+
+    name = "vending"
+    top = "vending"
+    description = "vending machine FSM"
+
+    def styles(self):
+        return {"state_enum": self._state_enum, "accumulator": self._accumulator}
+
+    @staticmethod
+    def _state_enum(rng):
+        return """
+module vending (input clk, input rst, input nickel, input dime,
+                output reg vend);
+  reg [1:0] credit;
+  always @(posedge clk) begin
+    if (rst) begin
+      credit <= 2'd0;
+      vend <= 1'b0;
+    end else begin
+      vend <= 1'b0;
+      case (credit)
+        2'd0: begin
+          if (dime) credit <= 2'd2;
+          else if (nickel) credit <= 2'd1;
+        end
+        2'd1: begin
+          if (dime) credit <= 2'd3;
+          else if (nickel) credit <= 2'd2;
+        end
+        2'd2: begin
+          if (dime) begin
+            vend <= 1'b1;
+            credit <= 2'd0;
+          end else if (nickel) credit <= 2'd3;
+        end
+        default: begin
+          if (nickel || dime) begin
+            vend <= 1'b1;
+            credit <= 2'd0;
+          end
+        end
+      endcase
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _accumulator(rng):
+        return """
+module vending (input clk, input rst, input nickel, input dime,
+                output reg vend);
+  reg [4:0] cents;
+  wire [4:0] add;
+  wire [4:0] total;
+  assign add = dime ? 5'd10 : (nickel ? 5'd5 : 5'd0);
+  assign total = cents + add;
+  always @(posedge clk) begin
+    if (rst) begin
+      cents <= 5'd0;
+      vend <= 1'b0;
+    end else if (total >= 5'd20) begin
+      cents <= 5'd0;
+      vend <= 1'b1;
+    end else begin
+      cents <= total;
+      vend <= 1'b0;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Rs232Tx(DesignFamily):
+    """RS232 / UART transmitter (8N1) — the paper's RS232 design."""
+
+    name = "rs232"
+    top = "uart_tx"
+    description = "UART transmitter (RS232)"
+
+    def styles(self):
+        return {"counter_fsm": self._counter_fsm, "shift_fsm": self._shift_fsm}
+
+    @staticmethod
+    def _counter_fsm(rng):
+        return """
+module uart_tx (input clk, input rst, input start, input [7:0] data,
+                output reg txd, output busy);
+  reg [1:0] state;
+  reg [2:0] bitpos;
+  reg [7:0] held;
+  assign busy = state != 2'd0;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      bitpos <= 3'd0;
+      txd <= 1'b1;
+      held <= 8'd0;
+    end else begin
+      case (state)
+        2'd0: begin
+          txd <= 1'b1;
+          if (start) begin
+            held <= data;
+            state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          txd <= 1'b0;
+          bitpos <= 3'd0;
+          state <= 2'd2;
+        end
+        2'd2: begin
+          txd <= held[bitpos];
+          if (bitpos == 3'd7)
+            state <= 2'd3;
+          else
+            bitpos <= bitpos + 3'd1;
+        end
+        default: begin
+          txd <= 1'b1;
+          state <= 2'd0;
+        end
+      endcase
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _shift_fsm(rng):
+        return """
+module uart_tx (input clk, input rst, input start, input [7:0] data,
+                output txd, output busy);
+  reg [9:0] shifter;
+  reg [3:0] remaining;
+  assign busy = remaining != 4'd0;
+  assign txd = busy ? shifter[0] : 1'b1;
+  always @(posedge clk) begin
+    if (rst) begin
+      shifter <= 10'h3FF;
+      remaining <= 4'd0;
+    end else if (!busy && start) begin
+      shifter <= {1'b1, data, 1'b0};
+      remaining <= 4'd10;
+    end else if (busy) begin
+      shifter <= {1'b1, shifter[9:1]};
+      remaining <= remaining - 4'd1;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Rs232Rx(DesignFamily):
+    """UART receiver (8N1), majority-free single-sample variant."""
+
+    name = "uart_rx"
+    top = "uart_rx"
+    description = "UART receiver"
+
+    def styles(self):
+        return {"fsm": self._fsm, "counter": self._counter}
+
+    @staticmethod
+    def _fsm(rng):
+        return """
+module uart_rx (input clk, input rst, input rxd,
+                output reg [7:0] data, output reg ready);
+  reg [1:0] state;
+  reg [2:0] bitpos;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      bitpos <= 3'd0;
+      data <= 8'd0;
+      ready <= 1'b0;
+    end else begin
+      ready <= 1'b0;
+      case (state)
+        2'd0: if (!rxd) state <= 2'd1;
+        2'd1: begin
+          bitpos <= 3'd0;
+          state <= 2'd2;
+        end
+        2'd2: begin
+          data[bitpos] <= rxd;
+          if (bitpos == 3'd7)
+            state <= 2'd3;
+          else
+            bitpos <= bitpos + 3'd1;
+        end
+        default: begin
+          if (rxd)
+            ready <= 1'b1;
+          state <= 2'd0;
+        end
+      endcase
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _counter(rng):
+        return """
+module uart_rx (input clk, input rst, input rxd,
+                output reg [7:0] data, output reg ready);
+  reg receiving;
+  reg [3:0] count;
+  always @(posedge clk) begin
+    if (rst) begin
+      receiving <= 1'b0;
+      count <= 4'd0;
+      data <= 8'd0;
+      ready <= 1'b0;
+    end else if (!receiving) begin
+      ready <= 1'b0;
+      if (!rxd) begin
+        receiving <= 1'b1;
+        count <= 4'd0;
+      end
+    end else begin
+      count <= count + 4'd1;
+      if (count < 4'd8)
+        data <= {rxd, data[7:1]};
+      else begin
+        receiving <= 1'b0;
+        ready <= rxd;
+      end
+    end
+  end
+endmodule
+"""

@@ -1,0 +1,284 @@
+"""ISCAS'85-style benchmark netlists (paper §IV-E, Table III).
+
+The original ISCAS'85 nets are not bundled here; these generators build
+functional equivalents of the six benchmarks the paper uses, with the same
+documented functions:
+
+=========  ===================================  =========================
+Benchmark  Function (per the ISCAS'85 catalog)  Our implementation
+=========  ===================================  =========================
+c432       27-channel interrupt controller      3x9 prioritised channels
+c499       32-bit single-error-correcting       Hamming SEC over 32 bits
+c880       8-bit ALU                            add/sub/logic/shift ALU
+c1355      32-bit SEC (c499 with XOR->NAND)     c499 + XOR->NAND expansion
+c1908      16-bit SEC/DED                       Hamming SEC + DED flag
+c6288      16x16 multiplier                     array multiplier
+=========  ===================================  =========================
+
+Obfuscated instances (the TrustHub substitution) are produced by
+:func:`repro.obfuscate.obfuscate`, which the tests verify to be
+behaviour-preserving.
+"""
+
+from repro.errors import DatasetError
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist, NetlistBuilder
+
+
+def _parity_tree(builder, bits):
+    """XOR-reduce a list of nets."""
+    result = bits[0]
+    for bit in bits[1:]:
+        result = builder.xor_(result, bit)
+    return result
+
+
+def _encode9(builder, requests):
+    """Priority encode 9 request lines -> (4-bit index, any)."""
+    any_req = requests[0]
+    for request in requests[1:]:
+        any_req = builder.or_(any_req, request)
+    # grant[i] = req[i] & ~req[i+1..8]  (higher index wins)
+    grants = []
+    blocked = None
+    for i in range(8, -1, -1):
+        if blocked is None:
+            grants.append((i, requests[i]))
+            blocked = requests[i]
+        else:
+            grants.append((i, builder.and_(requests[i],
+                                           builder.not_(blocked))))
+            blocked = builder.or_(blocked, requests[i])
+    index_bits = []
+    for bit in range(4):
+        sources = [g for i, g in grants if (i >> bit) & 1]
+        if not sources:
+            index_bits.append(CONST0)
+        elif len(sources) == 1:
+            index_bits.append(builder.buf_(sources[0]))
+        else:
+            acc = sources[0]
+            for source in sources[1:]:
+                acc = builder.or_(acc, source)
+            index_bits.append(acc)
+    return index_bits, any_req
+
+
+def c432():
+    """27-channel interrupt controller: 3 priority groups of 9 channels."""
+    builder = NetlistBuilder("c432")
+    group_a = builder.input_bus("reqa", 9)
+    group_b = builder.input_bus("reqb", 9)
+    group_c = builder.input_bus("reqc", 9)
+    enables = builder.input_bus("en", 9)
+
+    masked_a = [builder.and_(r, e) for r, e in zip(group_a, enables)]
+    masked_b = [builder.and_(r, e) for r, e in zip(group_b, enables)]
+    masked_c = [builder.and_(r, e) for r, e in zip(group_c, enables)]
+
+    idx_a, any_a = _encode9(builder, masked_a)
+    idx_b, any_b = _encode9(builder, masked_b)
+    idx_c, any_c = _encode9(builder, masked_c)
+
+    # Group priority: A over B over C.
+    sel_b = builder.and_(any_b, builder.not_(any_a))
+    sel_c = builder.and_(any_c, builder.nor_(any_a, any_b))
+    chan = []
+    for bit in range(4):
+        picked_ab = builder.mux_(idx_a[bit], idx_b[bit], sel_b)
+        chan.append(builder.mux_(picked_ab, idx_c[bit], sel_c))
+
+    outputs = builder.output_bus("chan", 4)
+    for net, bit in zip(outputs, chan):
+        builder.buf_(bit, out=net)
+    builder.outputs("grant_a", "grant_b", "grant_c")
+    builder.buf_(any_a, out="grant_a")
+    builder.buf_(sel_b, out="grant_b")
+    builder.buf_(sel_c, out="grant_c")
+    return builder.build()
+
+
+def _sec_signature(position, bits):
+    """Nonzero, distinct syndrome signature per data position."""
+    return (position + 1) & ((1 << bits) - 1)
+
+
+def _sec_circuit(name, data_width, check_bits, with_ded=False):
+    """Hamming-style single-error corrector over ``data_width`` bits."""
+    builder = NetlistBuilder(name)
+    data = builder.input_bus("d", data_width)
+    checks = builder.input_bus("chk", check_bits)
+    # Computed parity per check bit: XOR of data positions whose signature
+    # has that bit set.
+    syndrome = []
+    for check in range(check_bits):
+        members = [data[i] for i in range(data_width)
+                   if (_sec_signature(i, check_bits) >> check) & 1]
+        parity = _parity_tree(builder, members) if members else CONST0
+        syndrome.append(builder.xor_(parity, checks[check]))
+    # Flip data bit i when syndrome equals its signature.
+    corrected = builder.output_bus("q", data_width)
+    for i in range(data_width):
+        signature = _sec_signature(i, check_bits)
+        literals = []
+        for check in range(check_bits):
+            bit = syndrome[check]
+            if (signature >> check) & 1:
+                literals.append(bit)
+            else:
+                literals.append(builder.not_(bit))
+        match = literals[0]
+        for literal in literals[1:]:
+            match = builder.and_(match, literal)
+        builder.xor_(data[i], match, out=corrected[i])
+    builder.outputs("err")
+    any_syndrome = syndrome[0]
+    for bit in syndrome[1:]:
+        any_syndrome = builder.or_(any_syndrome, bit)
+    builder.buf_(any_syndrome, out="err")
+    if with_ded:
+        builder.outputs("ded")
+        overall_in = builder.netlist.add_input("p_all")
+        overall = _parity_tree(builder, data + [overall_in])
+        # Double error: syndrome nonzero but overall parity matches.
+        builder.and_(any_syndrome, builder.not_(overall), out="ded")
+    return builder.build()
+
+
+def c499():
+    """32-bit single-error-correcting circuit."""
+    return _sec_circuit("c499", data_width=32, check_bits=6)
+
+
+def c1355():
+    """c499 with every XOR/XNOR expanded into a 4-NAND network.
+
+    This mirrors the real relationship between c1355 and c499.
+    """
+    source = c499()
+    out = Netlist("c1355", list(source.inputs), list(source.outputs),
+                  clocks=list(source.clocks))
+    used = source.nets() | {CONST0}
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        name = f"nx{counter[0]}"
+        while name in used:
+            counter[0] += 1
+            name = f"nx{counter[0]}"
+        used.add(name)
+        return name
+
+    def emit(cell, output, inputs):
+        out.gates.append(Gate(cell, f"n{len(out.gates)}", output,
+                              list(inputs)))
+
+    for gate in source.gates:
+        if gate.cell in ("xor", "xnor") and len(gate.inputs) == 2 \
+                and gate.inputs[0] != gate.inputs[1]:
+            a, b = gate.inputs
+            mid = fresh()
+            left = fresh()
+            right = fresh()
+            emit("nand", mid, [a, b])
+            emit("nand", left, [a, mid])
+            emit("nand", right, [b, mid])
+            if gate.cell == "xor":
+                emit("nand", gate.output, [left, right])
+            else:
+                tmp = fresh()
+                emit("nand", tmp, [left, right])
+                emit("not", gate.output, [tmp])
+        else:
+            out.gates.append(Gate(gate.cell, gate.name, gate.output,
+                                  list(gate.inputs)))
+    out.validate()
+    return out
+
+
+def c880():
+    """8-bit ALU: add, subtract, and, or, xor, pass, with zero flag."""
+    builder = NetlistBuilder("c880")
+    a = builder.input_bus("a", 8)
+    b = builder.input_bus("b", 8)
+    control = builder.input_bus("ctl", 3)
+
+    not_b = [builder.not_(bit) for bit in b]
+    sums, carry = builder.ripple_adder(a, b)
+    diffs, borrow = builder.ripple_adder(a, not_b, carry_in=CONST1)
+    ands = [builder.and_(x, y) for x, y in zip(a, b)]
+    ors = [builder.or_(x, y) for x, y in zip(a, b)]
+    xors = [builder.xor_(x, y) for x, y in zip(a, b)]
+
+    result = builder.output_bus("y", 8)
+    for i in range(8):
+        pick_01 = builder.mux_(sums[i], diffs[i], control[0])
+        pick_23 = builder.mux_(ands[i], ors[i], control[0])
+        pick_45 = builder.mux_(xors[i], a[i], control[0])
+        low = builder.mux_(pick_01, pick_23, control[1])
+        high = builder.mux_(pick_45, b[i], control[1])
+        builder.mux_(low, high, control[2], out=result[i])
+    builder.outputs("carry", "zero")
+    builder.mux_(carry, borrow, control[0], out="carry")
+    any_bit = result[0]
+    zero_terms = [builder.not_(bit) for bit in result]
+    del any_bit
+    zero = zero_terms[0]
+    for term in zero_terms[1:]:
+        zero = builder.and_(zero, term)
+    builder.buf_(zero, out="zero")
+    return builder.build()
+
+
+def c1908():
+    """16-bit single-error-correcting, double-error-detecting circuit."""
+    return _sec_circuit("c1908", data_width=16, check_bits=5, with_ded=True)
+
+
+def c6288(width=16):
+    """16x16 array multiplier."""
+    builder = NetlistBuilder("c6288")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    partials = []
+    for j in range(width):
+        row = [builder.and_(a[i], b[j]) for i in range(width)]
+        partials.append([CONST0] * j + row)
+    total = partials[0]
+    for row in partials[1:]:
+        width_now = max(len(total), len(row))
+        padded_a = total + [CONST0] * (width_now - len(total))
+        padded_b = row + [CONST0] * (width_now - len(row))
+        sums, carry = builder.ripple_adder(padded_a, padded_b)
+        total = sums + [carry]
+    total = total[:2 * width]
+    outputs = builder.output_bus("p", 2 * width)
+    for net, bit in zip(outputs, total):
+        builder.buf_(bit, out=net)
+    return builder.build()
+
+
+#: Benchmark registry: name -> (generator, function description,
+#: number of obfuscated instances used in Table III).
+ISCAS_BENCHMARKS = {
+    "c432": (c432, "27-channel interrupt controller", 24),
+    "c499": (c499, "32-bit single error correcting", 23),
+    "c880": (c880, "8-bit ALU", 30),
+    "c1355": (c1355, "32-bit single error correcting", 19),
+    "c1908": (c1908, "16-bit single/double error detecting", 22),
+    "c6288": (c6288, "16 x 16 multiplier", 25),
+}
+
+
+def iscas_netlist(name):
+    """Build one ISCAS benchmark netlist by name."""
+    try:
+        generator = ISCAS_BENCHMARKS[name][0]
+    except KeyError:
+        raise DatasetError(f"unknown ISCAS benchmark {name!r}") from None
+    return generator()
+
+
+def iscas_names():
+    """The six benchmark names in catalog order."""
+    return list(ISCAS_BENCHMARKS)

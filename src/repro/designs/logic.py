@@ -1,0 +1,434 @@
+"""Combinational logic design families: encoders, muxes, shifters, codes."""
+
+from repro.designs.base import DesignFamily, register
+
+
+@register
+class PriorityEncoder8(DesignFamily):
+    """8-to-3 priority encoder with a valid flag."""
+
+    name = "prienc8"
+    top = "prienc8"
+    description = "8-to-3 priority encoder"
+
+    def styles(self):
+        return {"casez": self._casez, "if_chain": self._if_chain}
+
+    @staticmethod
+    def _casez(rng):
+        return """
+module prienc8 (input [7:0] req, output reg [2:0] idx, output valid);
+  assign valid = |req;
+  always @(*) begin
+    casez (req)
+      8'b1???????: idx = 3'd7;
+      8'b01??????: idx = 3'd6;
+      8'b001?????: idx = 3'd5;
+      8'b0001????: idx = 3'd4;
+      8'b00001???: idx = 3'd3;
+      8'b000001??: idx = 3'd2;
+      8'b0000001?: idx = 3'd1;
+      default: idx = 3'd0;
+    endcase
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _if_chain(rng):
+        return """
+module prienc8 (input [7:0] req, output reg [2:0] idx, output valid);
+  assign valid = req != 8'd0;
+  always @(*) begin
+    idx = 3'd0;
+    if (req[1]) idx = 3'd1;
+    if (req[2]) idx = 3'd2;
+    if (req[3]) idx = 3'd3;
+    if (req[4]) idx = 3'd4;
+    if (req[5]) idx = 3'd5;
+    if (req[6]) idx = 3'd6;
+    if (req[7]) idx = 3'd7;
+  end
+endmodule
+"""
+
+
+@register
+class Decoder3to8(DesignFamily):
+    """3-to-8 decoder with enable."""
+
+    name = "dec3to8"
+    top = "dec3to8"
+    description = "3-to-8 line decoder"
+
+    def styles(self):
+        return {"shift": self._shift, "case": self._case}
+
+    @staticmethod
+    def _shift(rng):
+        return """
+module dec3to8 (input [2:0] sel, input en, output [7:0] y);
+  assign y = en ? (8'b1 << sel) : 8'b0;
+endmodule
+"""
+
+    @staticmethod
+    def _case(rng):
+        return """
+module dec3to8 (input [2:0] sel, input en, output reg [7:0] y);
+  always @(*) begin
+    if (!en)
+      y = 8'b0;
+    else begin
+      case (sel)
+        3'd0: y = 8'b00000001;
+        3'd1: y = 8'b00000010;
+        3'd2: y = 8'b00000100;
+        3'd3: y = 8'b00001000;
+        3'd4: y = 8'b00010000;
+        3'd5: y = 8'b00100000;
+        3'd6: y = 8'b01000000;
+        default: y = 8'b10000000;
+      endcase
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Mux8(DesignFamily):
+    """8-to-1 single-bit multiplexer."""
+
+    name = "mux8"
+    top = "mux8"
+    description = "8-to-1 multiplexer"
+
+    def styles(self):
+        return {"index": self._index, "case": self._case,
+                "tree": self._tree}
+
+    @staticmethod
+    def _index(rng):
+        return """
+module mux8 (input [7:0] d, input [2:0] sel, output y);
+  assign y = d[sel];
+endmodule
+"""
+
+    @staticmethod
+    def _case(rng):
+        return """
+module mux8 (input [7:0] d, input [2:0] sel, output reg y);
+  always @(*) begin
+    case (sel)
+      3'd0: y = d[0];
+      3'd1: y = d[1];
+      3'd2: y = d[2];
+      3'd3: y = d[3];
+      3'd4: y = d[4];
+      3'd5: y = d[5];
+      3'd6: y = d[6];
+      default: y = d[7];
+    endcase
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _tree(rng):
+        return """
+module mux8 (input [7:0] d, input [2:0] sel, output y);
+  wire [3:0] level0;
+  wire [1:0] level1;
+  assign level0[0] = sel[0] ? d[1] : d[0];
+  assign level0[1] = sel[0] ? d[3] : d[2];
+  assign level0[2] = sel[0] ? d[5] : d[4];
+  assign level0[3] = sel[0] ? d[7] : d[6];
+  assign level1[0] = sel[1] ? level0[1] : level0[0];
+  assign level1[1] = sel[1] ? level0[3] : level0[2];
+  assign y = sel[2] ? level1[1] : level1[0];
+endmodule
+"""
+
+
+@register
+class ParityGen16(DesignFamily):
+    """16-bit even/odd parity generator."""
+
+    name = "parity16"
+    top = "parity16"
+    description = "16-bit parity generator"
+
+    def styles(self):
+        return {"reduce": self._reduce, "loop": self._loop,
+                "tree": self._tree}
+
+    @staticmethod
+    def _reduce(rng):
+        return """
+module parity16 (input [15:0] d, output even, output odd);
+  assign odd = ^d;
+  assign even = ~^d;
+endmodule
+"""
+
+    @staticmethod
+    def _loop(rng):
+        return """
+module parity16 (input [15:0] d, output even, output odd);
+  reg p;
+  integer i;
+  always @(*) begin
+    p = 1'b0;
+    for (i = 0; i < 16; i = i + 1)
+      p = p ^ d[i];
+  end
+  assign odd = p;
+  assign even = ~p;
+endmodule
+"""
+
+    @staticmethod
+    def _tree(rng):
+        return """
+module parity16 (input [15:0] d, output even, output odd);
+  wire [7:0] l0;
+  wire [3:0] l1;
+  wire [1:0] l2;
+  assign l0 = d[15:8] ^ d[7:0];
+  assign l1 = l0[7:4] ^ l0[3:0];
+  assign l2 = l1[3:2] ^ l1[1:0];
+  assign odd = l2[1] ^ l2[0];
+  assign even = ~odd;
+endmodule
+"""
+
+
+@register
+class Popcount8(DesignFamily):
+    """8-bit population count."""
+
+    name = "popcount8"
+    top = "popcount8"
+    description = "8-bit ones counter"
+
+    def styles(self):
+        return {"loop": self._loop, "adder_tree": self._adder_tree}
+
+    @staticmethod
+    def _loop(rng):
+        return """
+module popcount8 (input [7:0] d, output reg [3:0] count);
+  integer i;
+  always @(*) begin
+    count = 4'd0;
+    for (i = 0; i < 8; i = i + 1)
+      count = count + d[i];
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _adder_tree(rng):
+        return """
+module popcount8 (input [7:0] d, output [3:0] count);
+  wire [1:0] s0;
+  wire [1:0] s1;
+  wire [1:0] s2;
+  wire [1:0] s3;
+  wire [2:0] t0;
+  wire [2:0] t1;
+  assign s0 = d[0] + d[1];
+  assign s1 = d[2] + d[3];
+  assign s2 = d[4] + d[5];
+  assign s3 = d[6] + d[7];
+  assign t0 = s0 + s1;
+  assign t1 = s2 + s3;
+  assign count = t0 + t1;
+endmodule
+"""
+
+
+@register
+class Bin2Gray8(DesignFamily):
+    """8-bit binary to Gray converter."""
+
+    name = "bin2gray8"
+    top = "bin2gray8"
+    description = "binary-to-Gray converter"
+
+    def styles(self):
+        return {"shift": self._shift, "bitwise": self._bitwise}
+
+    @staticmethod
+    def _shift(rng):
+        return """
+module bin2gray8 (input [7:0] bin, output [7:0] gray);
+  assign gray = bin ^ (bin >> 1);
+endmodule
+"""
+
+    @staticmethod
+    def _bitwise(rng):
+        return """
+module bin2gray8 (input [7:0] bin, output [7:0] gray);
+  assign gray[7] = bin[7];
+  assign gray[6] = bin[7] ^ bin[6];
+  assign gray[5] = bin[6] ^ bin[5];
+  assign gray[4] = bin[5] ^ bin[4];
+  assign gray[3] = bin[4] ^ bin[3];
+  assign gray[2] = bin[3] ^ bin[2];
+  assign gray[1] = bin[2] ^ bin[1];
+  assign gray[0] = bin[1] ^ bin[0];
+endmodule
+"""
+
+
+@register
+class Gray2Bin8(DesignFamily):
+    """8-bit Gray to binary converter (distinct design from bin2gray)."""
+
+    name = "gray2bin8"
+    top = "gray2bin8"
+    description = "Gray-to-binary converter"
+
+    def styles(self):
+        return {"prefix": self._prefix, "loop": self._loop}
+
+    @staticmethod
+    def _prefix(rng):
+        return """
+module gray2bin8 (input [7:0] gray, output [7:0] bin);
+  assign bin[7] = gray[7];
+  assign bin[6] = bin[7] ^ gray[6];
+  assign bin[5] = bin[6] ^ gray[5];
+  assign bin[4] = bin[5] ^ gray[4];
+  assign bin[3] = bin[4] ^ gray[3];
+  assign bin[2] = bin[3] ^ gray[2];
+  assign bin[1] = bin[2] ^ gray[1];
+  assign bin[0] = bin[1] ^ gray[0];
+endmodule
+"""
+
+    @staticmethod
+    def _loop(rng):
+        return """
+module gray2bin8 (input [7:0] gray, output reg [7:0] bin);
+  reg acc;
+  integer i;
+  always @(*) begin
+    acc = 1'b0;
+    for (i = 7; i >= 0; i = i - 1) begin
+      acc = acc ^ gray[i];
+      bin[i] = acc;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class BarrelShifter8(DesignFamily):
+    """8-bit logical barrel shifter (left/right)."""
+
+    name = "barrel8"
+    top = "barrel8"
+    description = "8-bit barrel shifter"
+
+    def styles(self):
+        return {"operators": self._operators, "staged": self._staged}
+
+    @staticmethod
+    def _operators(rng):
+        return """
+module barrel8 (input [7:0] d, input [2:0] amount, input dir,
+                output [7:0] y);
+  assign y = dir ? (d >> amount) : (d << amount);
+endmodule
+"""
+
+    @staticmethod
+    def _staged(rng):
+        return """
+module barrel8 (input [7:0] d, input [2:0] amount, input dir,
+                output [7:0] y);
+  wire [7:0] s0;
+  wire [7:0] s1;
+  wire [7:0] s2;
+  wire [7:0] r0;
+  wire [7:0] r1;
+  wire [7:0] r2;
+  assign s0 = amount[0] ? {d[6:0], 1'b0} : d;
+  assign s1 = amount[1] ? {s0[5:0], 2'b0} : s0;
+  assign s2 = amount[2] ? {s1[3:0], 4'b0} : s1;
+  assign r0 = amount[0] ? {1'b0, d[7:1]} : d;
+  assign r1 = amount[1] ? {2'b0, r0[7:2]} : r0;
+  assign r2 = amount[2] ? {4'b0, r1[7:4]} : r1;
+  assign y = dir ? r2 : s2;
+endmodule
+"""
+
+
+@register
+class SevenSeg(DesignFamily):
+    """Hex digit to 7-segment decoder."""
+
+    name = "sevenseg"
+    top = "sevenseg"
+    description = "hex to seven-segment decoder"
+
+    def styles(self):
+        return {"case": self._case, "equations": self._equations}
+
+    @staticmethod
+    def _case(rng):
+        return """
+module sevenseg (input [3:0] digit, output reg [6:0] seg);
+  always @(*) begin
+    case (digit)
+      4'h0: seg = 7'b0111111;
+      4'h1: seg = 7'b0000110;
+      4'h2: seg = 7'b1011011;
+      4'h3: seg = 7'b1001111;
+      4'h4: seg = 7'b1100110;
+      4'h5: seg = 7'b1101101;
+      4'h6: seg = 7'b1111101;
+      4'h7: seg = 7'b0000111;
+      4'h8: seg = 7'b1111111;
+      4'h9: seg = 7'b1101111;
+      4'hA: seg = 7'b1110111;
+      4'hB: seg = 7'b1111100;
+      4'hC: seg = 7'b0111001;
+      4'hD: seg = 7'b1011110;
+      4'hE: seg = 7'b1111001;
+      default: seg = 7'b1110001;
+    endcase
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _equations(rng):
+        return """
+module sevenseg (input [3:0] digit, output [6:0] seg);
+  wire a, b, c, d;
+  wire [6:0] off;
+  assign a = digit[3];
+  assign b = digit[2];
+  assign c = digit[1];
+  assign d = digit[0];
+  assign off[0] = (~a & ~b & ~c & d) | (~a & b & ~c & ~d)
+                | (a & b & ~c & d) | (a & ~b & c & d);
+  assign off[1] = (~a & b & ~c & d) | (b & c & ~d)
+                | (a & c & d) | (a & b & ~d);
+  assign off[2] = (~a & ~b & c & ~d) | (a & b & ~d) | (a & b & c);
+  assign off[3] = (~a & ~b & ~c & d) | (~a & b & ~c & ~d)
+                | (b & c & d) | (a & ~b & c & ~d);
+  assign off[4] = (~a & d) | (~a & b & ~c) | (~b & ~c & d);
+  assign off[5] = (~a & ~b & d) | (~a & ~b & c) | (~a & c & d)
+                | (a & b & ~c & d);
+  assign off[6] = (~a & ~b & ~c) | (~a & b & c & d) | (a & b & ~c & ~d);
+  assign seg = ~off;
+endmodule
+"""

@@ -1,0 +1,403 @@
+"""MIPS-style processor families: ALU, single-cycle, pipeline, multi-cycle.
+
+These reproduce the paper's processor designs: "P.MIPS" (pipeline),
+"S.MIPS" (single-cycle), "M.MIPS" (multi-cycle), and the standalone "ALU"
+block that is *contained* in every MIPS (Table II case 3 measures the
+design-vs-subset similarity between a pipeline MIPS and its ALU).
+
+The ISA is a 16-bit teaching subset: 4-bit opcode, four 8-bit registers
+held in explicit flops (no memories, which keeps every front-end stage of
+the pipeline exercised).  All processor families instantiate the *same*
+``mips_alu`` module emitted by :class:`MipsAlu`.
+"""
+
+from repro.designs.base import DesignFamily, register
+
+#: Opcodes: 0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 SLT, 6 SLL, 7 SRL,
+#: 8 LI (imm8), 9 J (target4), 10 BEQZ (rs, target4).
+_NUM_OPS = 8
+
+
+def _alu_module(style):
+    """The shared 8-bit ALU (two coding styles)."""
+    if style == "case":
+        return """
+module mips_alu (input [7:0] a, input [7:0] b, input [2:0] op,
+                 output reg [7:0] y, output zero);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = (a < b) ? 8'd1 : 8'd0;
+      3'd6: y = a << b[2:0];
+      default: y = a >> b[2:0];
+    endcase
+  end
+  assign zero = (y == 8'd0);
+endmodule
+"""
+    return """
+module mips_alu (input [7:0] a, input [7:0] b, input [2:0] op,
+                 output [7:0] y, output zero);
+  wire [7:0] added;
+  wire [7:0] subbed;
+  wire [7:0] anded;
+  wire [7:0] ored;
+  wire [7:0] xored;
+  wire [7:0] slt;
+  wire [7:0] shl;
+  wire [7:0] shr;
+  wire [7:0] low;
+  wire [7:0] high;
+  assign added = a + b;
+  assign subbed = a - b;
+  assign anded = a & b;
+  assign ored = a | b;
+  assign xored = a ^ b;
+  assign slt = {7'b0, a < b};
+  assign shl = a << b[2:0];
+  assign shr = a >> b[2:0];
+  assign low = op[1] ? (op[0] ? ored : anded) : (op[0] ? subbed : added);
+  assign high = op[1] ? (op[0] ? shr : shl) : (op[0] ? slt : xored);
+  assign y = op[2] ? high : low;
+  assign zero = ~(|y);
+endmodule
+"""
+
+
+def _program_rom(rng, name="rom16"):
+    """A 16-entry instruction ROM with a random (valid) program."""
+    lines = [f"module {name} (input [3:0] addr, output reg [15:0] instr);",
+             "  always @(*) begin",
+             "    case (addr)"]
+    for address in range(15):
+        opcode = int(rng.integers(0, 11))
+        rd = int(rng.integers(0, 4))
+        rs = int(rng.integers(0, 4))
+        rt = int(rng.integers(0, 4))
+        if opcode == 8:
+            word = (8 << 12) | (rd << 10) | int(rng.integers(0, 256))
+        elif opcode == 9:
+            word = (9 << 12) | int(rng.integers(0, 16))
+        elif opcode == 10:
+            word = (10 << 12) | (rs << 8) | int(rng.integers(0, 16))
+        else:
+            word = (opcode << 12) | (rd << 10) | (rs << 8) | (rt << 6)
+        lines.append(f"      4'd{address}: instr = 16'h{word:04X};")
+    lines.append("      default: instr = 16'h9000;")  # jump to 0
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+_REGFILE = """
+module regfile (input clk, input we, input [1:0] waddr, input [7:0] wdata,
+                input [1:0] raddr_a, input [1:0] raddr_b,
+                output [7:0] rdata_a, output [7:0] rdata_b);
+  reg [7:0] r0;
+  reg [7:0] r1;
+  reg [7:0] r2;
+  reg [7:0] r3;
+  assign rdata_a = (raddr_a == 2'd0) ? r0 : (raddr_a == 2'd1) ? r1
+                 : (raddr_a == 2'd2) ? r2 : r3;
+  assign rdata_b = (raddr_b == 2'd0) ? r0 : (raddr_b == 2'd1) ? r1
+                 : (raddr_b == 2'd2) ? r2 : r3;
+  always @(posedge clk) begin
+    if (we) begin
+      if (waddr == 2'd0) r0 <= wdata;
+      if (waddr == 2'd1) r1 <= wdata;
+      if (waddr == 2'd2) r2 <= wdata;
+      if (waddr == 2'd3) r3 <= wdata;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class MipsAlu(DesignFamily):
+    """Standalone MIPS ALU — the subset design used in Table II case 3."""
+
+    name = "alu"
+    top = "mips_alu"
+    description = "8-bit MIPS ALU block"
+
+    def styles(self):
+        return {"case": lambda rng: _alu_module("case"),
+                "mux_tree": lambda rng: _alu_module("mux")}
+
+
+@register
+class MipsSingleCycle(DesignFamily):
+    """Single-cycle MIPS (the paper's S.MIPS)."""
+
+    name = "mips_single"
+    top = "mips_single"
+    description = "single-cycle MIPS processor"
+
+    def styles(self):
+        return {"alu_case": lambda rng: self._cpu(rng, "case"),
+                "alu_mux": lambda rng: self._cpu(rng, "mux")}
+
+    @staticmethod
+    def _cpu(rng, alu_style):
+        core = """
+module mips_single (input clk, input rst, output [7:0] result,
+                    output [3:0] pc_out);
+  reg [3:0] pc;
+  wire [15:0] instr;
+  wire [3:0] opcode;
+  wire [1:0] rd;
+  wire [1:0] rs;
+  wire [1:0] rt;
+  wire [7:0] imm;
+  wire [3:0] target;
+  wire [7:0] reg_a;
+  wire [7:0] reg_b;
+  wire [7:0] alu_y;
+  wire alu_zero;
+  wire is_li;
+  wire is_jump;
+  wire is_branch;
+  wire reg_we;
+  wire [7:0] wb_data;
+  wire [3:0] pc_next;
+
+  rom16 prog (.addr(pc), .instr(instr));
+  assign opcode = instr[15:12];
+  assign rd = instr[11:10];
+  assign rs = instr[9:8];
+  assign rt = instr[7:6];
+  assign imm = instr[7:0];
+  assign target = instr[3:0];
+  assign is_li = (opcode == 4'd8);
+  assign is_jump = (opcode == 4'd9);
+  assign is_branch = (opcode == 4'd10);
+
+  regfile regs (.clk(clk), .we(reg_we), .waddr(rd), .wdata(wb_data),
+                .raddr_a(is_branch ? instr[9:8] : rs), .raddr_b(rt),
+                .rdata_a(reg_a), .rdata_b(reg_b));
+  mips_alu alu (.a(reg_a), .b(reg_b), .op(opcode[2:0]),
+                .y(alu_y), .zero(alu_zero));
+
+  assign reg_we = ~is_jump & ~is_branch;
+  assign wb_data = is_li ? imm : alu_y;
+  assign pc_next = is_jump ? target
+                 : (is_branch & (reg_a == 8'd0)) ? target
+                 : (pc + 4'd1);
+  always @(posedge clk) begin
+    if (rst)
+      pc <= 4'd0;
+    else
+      pc <= pc_next;
+  end
+  assign result = wb_data;
+  assign pc_out = pc;
+endmodule
+"""
+        return (core + _REGFILE + "\n" + _alu_module(alu_style) + "\n"
+                + _program_rom(rng))
+
+
+@register
+class MipsPipeline(DesignFamily):
+    """Three-stage pipelined MIPS (the paper's P.MIPS)."""
+
+    name = "mips_pipeline"
+    top = "mips_pipeline"
+    description = "pipelined MIPS processor"
+
+    def styles(self):
+        return {"alu_case": lambda rng: self._cpu(rng, "case"),
+                "alu_mux": lambda rng: self._cpu(rng, "mux")}
+
+    @staticmethod
+    def _cpu(rng, alu_style):
+        core = """
+module mips_pipeline (input clk, input rst, output [7:0] result,
+                      output [3:0] pc_out);
+  // IF stage
+  reg [3:0] pc;
+  wire [15:0] instr;
+  // IF/ID pipeline register
+  reg [15:0] if_id_instr;
+  reg [3:0] if_id_pc;
+  // ID/EX pipeline register
+  reg [3:0] id_ex_opcode;
+  reg [1:0] id_ex_rd;
+  reg [7:0] id_ex_a;
+  reg [7:0] id_ex_b;
+  reg [7:0] id_ex_imm;
+  reg [3:0] id_ex_target;
+  // EX/WB pipeline register
+  reg [7:0] ex_wb_data;
+  reg [1:0] ex_wb_rd;
+  reg ex_wb_we;
+
+  wire [3:0] opcode;
+  wire [1:0] rd;
+  wire [1:0] rs;
+  wire [1:0] rt;
+  wire [7:0] reg_a;
+  wire [7:0] reg_b;
+  wire [7:0] alu_y;
+  wire alu_zero;
+  wire ex_is_li;
+  wire ex_is_jump;
+  wire ex_is_branch;
+  wire take_branch;
+  wire [7:0] ex_data;
+  wire [3:0] pc_next;
+
+  rom16 prog (.addr(pc), .instr(instr));
+  assign opcode = if_id_instr[15:12];
+  assign rd = if_id_instr[11:10];
+  assign rs = if_id_instr[9:8];
+  assign rt = if_id_instr[7:6];
+
+  regfile regs (.clk(clk), .we(ex_wb_we), .waddr(ex_wb_rd),
+                .wdata(ex_wb_data),
+                .raddr_a(rs), .raddr_b(rt),
+                .rdata_a(reg_a), .rdata_b(reg_b));
+  mips_alu alu (.a(id_ex_a), .b(id_ex_b), .op(id_ex_opcode[2:0]),
+                .y(alu_y), .zero(alu_zero));
+
+  assign ex_is_li = (id_ex_opcode == 4'd8);
+  assign ex_is_jump = (id_ex_opcode == 4'd9);
+  assign ex_is_branch = (id_ex_opcode == 4'd10);
+  assign take_branch = ex_is_branch & (id_ex_a == 8'd0);
+  assign ex_data = ex_is_li ? id_ex_imm : alu_y;
+  assign pc_next = ex_is_jump ? id_ex_target
+                 : take_branch ? id_ex_target
+                 : (pc + 4'd1);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 4'd0;
+      if_id_instr <= 16'h9000;
+      if_id_pc <= 4'd0;
+      id_ex_opcode <= 4'd9;
+      id_ex_rd <= 2'd0;
+      id_ex_a <= 8'd0;
+      id_ex_b <= 8'd0;
+      id_ex_imm <= 8'd0;
+      id_ex_target <= 4'd0;
+      ex_wb_data <= 8'd0;
+      ex_wb_rd <= 2'd0;
+      ex_wb_we <= 1'b0;
+    end else begin
+      pc <= pc_next;
+      if_id_instr <= instr;
+      if_id_pc <= pc;
+      id_ex_opcode <= opcode;
+      id_ex_rd <= rd;
+      id_ex_a <= reg_a;
+      id_ex_b <= reg_b;
+      id_ex_imm <= if_id_instr[7:0];
+      id_ex_target <= if_id_instr[3:0];
+      ex_wb_data <= ex_data;
+      ex_wb_rd <= id_ex_rd;
+      ex_wb_we <= ~ex_is_jump & ~ex_is_branch;
+    end
+  end
+  assign result = ex_wb_data;
+  assign pc_out = pc;
+endmodule
+"""
+        return (core + _REGFILE + "\n" + _alu_module(alu_style) + "\n"
+                + _program_rom(rng))
+
+
+@register
+class MipsMultiCycle(DesignFamily):
+    """Multi-cycle MIPS with a fetch/decode/execute/writeback FSM."""
+
+    name = "mips_multi"
+    top = "mips_multi"
+    description = "multi-cycle MIPS processor"
+
+    def styles(self):
+        return {"alu_case": lambda rng: self._cpu(rng, "case"),
+                "alu_mux": lambda rng: self._cpu(rng, "mux")}
+
+    @staticmethod
+    def _cpu(rng, alu_style):
+        core = """
+module mips_multi (input clk, input rst, output [7:0] result,
+                   output [3:0] pc_out);
+  reg [1:0] state;  // 0 fetch, 1 decode, 2 execute, 3 writeback
+  reg [3:0] pc;
+  reg [15:0] ir;
+  reg [7:0] op_a;
+  reg [7:0] op_b;
+  reg [7:0] alu_out;
+  wire [15:0] instr;
+  wire [3:0] opcode;
+  wire [7:0] reg_a;
+  wire [7:0] reg_b;
+  wire [7:0] alu_y;
+  wire alu_zero;
+  wire is_li;
+  wire is_jump;
+  wire is_branch;
+  wire reg_we;
+
+  rom16 prog (.addr(pc), .instr(instr));
+  assign opcode = ir[15:12];
+  assign is_li = (opcode == 4'd8);
+  assign is_jump = (opcode == 4'd9);
+  assign is_branch = (opcode == 4'd10);
+  assign reg_we = (state == 2'd3) & ~is_jump & ~is_branch;
+
+  regfile regs (.clk(clk), .we(reg_we), .waddr(ir[11:10]),
+                .wdata(is_li ? ir[7:0] : alu_out),
+                .raddr_a(ir[9:8]), .raddr_b(ir[7:6]),
+                .rdata_a(reg_a), .rdata_b(reg_b));
+  mips_alu alu (.a(op_a), .b(op_b), .op(opcode[2:0]),
+                .y(alu_y), .zero(alu_zero));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0;
+      pc <= 4'd0;
+      ir <= 16'h9000;
+      op_a <= 8'd0;
+      op_b <= 8'd0;
+      alu_out <= 8'd0;
+    end else begin
+      case (state)
+        2'd0: begin
+          ir <= instr;
+          state <= 2'd1;
+        end
+        2'd1: begin
+          op_a <= reg_a;
+          op_b <= reg_b;
+          state <= 2'd2;
+        end
+        2'd2: begin
+          alu_out <= alu_y;
+          state <= 2'd3;
+        end
+        default: begin
+          if (is_jump)
+            pc <= ir[3:0];
+          else if (is_branch && (op_a == 8'd0))
+            pc <= ir[3:0];
+          else
+            pc <= pc + 4'd1;
+          state <= 2'd0;
+        end
+      endcase
+    end
+  end
+  assign result = alu_out;
+  assign pc_out = pc;
+endmodule
+"""
+        return (core + _REGFILE + "\n" + _alu_module(alu_style) + "\n"
+                + _program_rom(rng))

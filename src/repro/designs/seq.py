@@ -1,0 +1,405 @@
+"""Sequential design families: counters, LFSRs, shift registers, FIFOs."""
+
+from repro.designs.base import DesignFamily, register
+
+
+@register
+class Counter8(DesignFamily):
+    """8-bit up counter with enable and synchronous reset."""
+
+    name = "counter8"
+    top = "counter8"
+    description = "8-bit up counter"
+
+    def styles(self):
+        return {"single": self._single, "next_wire": self._next_wire}
+
+    @staticmethod
+    def _single(rng):
+        return """
+module counter8 (input clk, input rst, input en, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 8'd0;
+    else if (en)
+      q <= q + 8'd1;
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _next_wire(rng):
+        return """
+module counter8 (input clk, input rst, input en, output reg [7:0] q);
+  wire [7:0] incremented;
+  wire [7:0] nxt;
+  assign incremented = q + 8'd1;
+  assign nxt = rst ? 8'd0 : (en ? incremented : q);
+  always @(posedge clk)
+    q <= nxt;
+endmodule
+"""
+
+
+@register
+class UpDownCounter4(DesignFamily):
+    """4-bit up/down counter (a different design from counter8)."""
+
+    name = "updown4"
+    top = "updown4"
+    description = "4-bit up/down counter"
+
+    def styles(self):
+        return {"if_else": self._if_else, "ternary": self._ternary}
+
+    @staticmethod
+    def _if_else(rng):
+        return """
+module updown4 (input clk, input rst, input up, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 4'd0;
+    else if (up)
+      q <= q + 4'd1;
+    else
+      q <= q - 4'd1;
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _ternary(rng):
+        return """
+module updown4 (input clk, input rst, input up, output reg [3:0] q);
+  wire [3:0] delta;
+  assign delta = up ? 4'd1 : 4'hF;
+  always @(posedge clk)
+    q <= rst ? 4'd0 : (q + delta);
+endmodule
+"""
+
+
+@register
+class Lfsr8(DesignFamily):
+    """8-bit maximal LFSR (x^8 + x^6 + x^5 + x^4 + 1)."""
+
+    name = "lfsr8"
+    top = "lfsr8"
+    description = "8-bit Fibonacci LFSR"
+
+    def styles(self):
+        return {"fibonacci": self._fibonacci, "concat": self._concat}
+
+    @staticmethod
+    def _fibonacci(rng):
+        return """
+module lfsr8 (input clk, input rst, output reg [7:0] state);
+  wire feedback;
+  assign feedback = state[7] ^ state[5] ^ state[4] ^ state[3];
+  always @(posedge clk) begin
+    if (rst)
+      state <= 8'd1;
+    else begin
+      state <= {state[6:0], feedback};
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _concat(rng):
+        return """
+module lfsr8 (input clk, input rst, output reg [7:0] state);
+  wire fb;
+  wire [7:0] nxt;
+  assign fb = ^(state & 8'b10111000);
+  assign nxt = {state[6:0], fb};
+  always @(posedge clk)
+    state <= rst ? 8'd1 : nxt;
+endmodule
+"""
+
+
+@register
+class ShiftReg8(DesignFamily):
+    """8-bit serial-in parallel-out shift register with load."""
+
+    name = "shiftreg8"
+    top = "shiftreg8"
+    description = "SIPO shift register"
+
+    def styles(self):
+        return {"concat": self._concat, "loadable": self._loadable}
+
+    @staticmethod
+    def _concat(rng):
+        return """
+module shiftreg8 (input clk, input rst, input sin, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 8'd0;
+    else
+      q <= {q[6:0], sin};
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _loadable(rng):
+        return """
+module shiftreg8 (input clk, input rst, input sin, output reg [7:0] q);
+  wire [7:0] shifted;
+  assign shifted = (q << 1) | {7'b0, sin};
+  always @(posedge clk) begin
+    if (rst)
+      q <= 8'd0;
+    else
+      q <= shifted;
+  end
+endmodule
+"""
+
+
+@register
+class Pwm8(DesignFamily):
+    """8-bit PWM generator."""
+
+    name = "pwm8"
+    top = "pwm8"
+    description = "8-bit pulse width modulator"
+
+    def styles(self):
+        return {"compare": self._compare, "register_out": self._register_out}
+
+    @staticmethod
+    def _compare(rng):
+        return """
+module pwm8 (input clk, input rst, input [7:0] duty, output pulse);
+  reg [7:0] count;
+  always @(posedge clk) begin
+    if (rst)
+      count <= 8'd0;
+    else
+      count <= count + 8'd1;
+  end
+  assign pulse = count < duty;
+endmodule
+"""
+
+    @staticmethod
+    def _register_out(rng):
+        return """
+module pwm8 (input clk, input rst, input [7:0] duty, output reg pulse);
+  reg [7:0] count;
+  wire [7:0] nxt;
+  assign nxt = count + 8'd1;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 8'd0;
+      pulse <= 1'b0;
+    end else begin
+      count <= nxt;
+      pulse <= nxt < duty;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class ClkDiv(DesignFamily):
+    """Clock divider with a programmable threshold."""
+
+    name = "clkdiv"
+    top = "clkdiv"
+    description = "programmable clock divider"
+
+    def styles(self):
+        return {"wrap": self._wrap, "toggle": self._toggle}
+
+    @staticmethod
+    def _wrap(rng):
+        return """
+module clkdiv (input clk, input rst, input [3:0] limit, output reg tick);
+  reg [3:0] count;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 4'd0;
+      tick <= 1'b0;
+    end else if (count == limit) begin
+      count <= 4'd0;
+      tick <= ~tick;
+    end else begin
+      count <= count + 4'd1;
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _toggle(rng):
+        return """
+module clkdiv (input clk, input rst, input [3:0] limit, output reg tick);
+  reg [3:0] count;
+  wire wrap;
+  assign wrap = count >= limit;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 4'd0;
+      tick <= 1'b0;
+    end else begin
+      count <= wrap ? 4'd0 : (count + 4'd1);
+      tick <= wrap ? (~tick) : tick;
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Fifo4x8(DesignFamily):
+    """4-deep, 8-bit synchronous FIFO built from explicit registers."""
+
+    name = "fifo4x8"
+    top = "fifo4x8"
+    description = "4-entry synchronous FIFO"
+
+    def styles(self):
+        return {"mux_read": self._mux_read, "shift_style": self._shift_style}
+
+    @staticmethod
+    def _mux_read(rng):
+        return """
+module fifo4x8 (input clk, input rst, input push, input pop,
+                input [7:0] din, output [7:0] dout,
+                output empty, output full);
+  reg [7:0] slot0;
+  reg [7:0] slot1;
+  reg [7:0] slot2;
+  reg [7:0] slot3;
+  reg [1:0] rptr;
+  reg [1:0] wptr;
+  reg [2:0] count;
+  wire do_push;
+  wire do_pop;
+  assign empty = count == 3'd0;
+  assign full = count == 3'd4;
+  assign do_push = push & ~full;
+  assign do_pop = pop & ~empty;
+  assign dout = (rptr == 2'd0) ? slot0 :
+                (rptr == 2'd1) ? slot1 :
+                (rptr == 2'd2) ? slot2 : slot3;
+  always @(posedge clk) begin
+    if (rst) begin
+      rptr <= 2'd0;
+      wptr <= 2'd0;
+      count <= 3'd0;
+    end else begin
+      if (do_push) begin
+        if (wptr == 2'd0) slot0 <= din;
+        if (wptr == 2'd1) slot1 <= din;
+        if (wptr == 2'd2) slot2 <= din;
+        if (wptr == 2'd3) slot3 <= din;
+        wptr <= wptr + 2'd1;
+      end
+      if (do_pop)
+        rptr <= rptr + 2'd1;
+      count <= count + {2'b0, do_push} - {2'b0, do_pop};
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _shift_style(rng):
+        return """
+module fifo4x8 (input clk, input rst, input push, input pop,
+                input [7:0] din, output [7:0] dout,
+                output empty, output full);
+  reg [7:0] slot0;
+  reg [7:0] slot1;
+  reg [7:0] slot2;
+  reg [7:0] slot3;
+  reg [2:0] count;
+  wire do_push;
+  wire do_pop;
+  assign empty = (count == 3'd0);
+  assign full = (count == 3'd4);
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  assign dout = slot0;
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 3'd0;
+    end else begin
+      if (do_pop) begin
+        slot0 <= slot1;
+        slot1 <= slot2;
+        slot2 <= slot3;
+      end
+      if (do_push) begin
+        if ((count == 3'd0) || (do_pop && count == 3'd1)) slot0 <= din;
+        else if ((count == 3'd1) || (do_pop && count == 3'd2)) slot1 <= din;
+        else if ((count == 3'd2) || (do_pop && count == 3'd3)) slot2 <= din;
+        else slot3 <= din;
+      end
+      count <= count + {2'b0, do_push} - {2'b0, do_pop};
+    end
+  end
+endmodule
+"""
+
+
+@register
+class Debounce(DesignFamily):
+    """Push-button debouncer with a 4-bit saturation counter."""
+
+    name = "debounce"
+    top = "debounce"
+    description = "input debouncer"
+
+    def styles(self):
+        return {"saturate": self._saturate, "history": self._history}
+
+    @staticmethod
+    def _saturate(rng):
+        return """
+module debounce (input clk, input rst, input noisy, output reg clean);
+  reg [3:0] strength;
+  always @(posedge clk) begin
+    if (rst) begin
+      strength <= 4'd0;
+      clean <= 1'b0;
+    end else begin
+      if (noisy && strength != 4'hF)
+        strength <= strength + 4'd1;
+      else if (!noisy && strength != 4'h0)
+        strength <= strength - 4'd1;
+      if (strength == 4'hF)
+        clean <= 1'b1;
+      else if (strength == 4'h0)
+        clean <= 1'b0;
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _history(rng):
+        return """
+module debounce (input clk, input rst, input noisy, output reg clean);
+  reg [3:0] history;
+  always @(posedge clk) begin
+    if (rst) begin
+      history <= 4'd0;
+      clean <= 1'b0;
+    end else begin
+      history <= {history[2:0], noisy};
+      if (history == 4'b1111)
+        clean <= 1'b1;
+      else if (history == 4'b0000)
+        clean <= 1'b0;
+    end
+  end
+endmodule
+"""

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the GNN4IP reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class VerilogError(ReproError):
+    """Base class for errors in the Verilog front-end."""
+
+
+class LexerError(VerilogError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(VerilogError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message, line=None):
+        location = f" at line {line}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class PreprocessorError(VerilogError):
+    """Raised for malformed compiler directives (`define, `include...)."""
+
+
+class ElaborationError(ReproError):
+    """Raised when design hierarchy cannot be flattened."""
+
+
+class DataflowError(ReproError):
+    """Raised when dataflow analysis cannot handle a construct."""
+
+
+class SynthesisError(ReproError):
+    """Raised when RTL cannot be lowered to a gate-level netlist."""
+
+
+class SimulationError(ReproError):
+    """Raised when a netlist or RTL module cannot be simulated."""
+
+
+class NetlistError(ReproError):
+    """Raised for structurally invalid netlists."""
+
+
+class DatasetError(ReproError):
+    """Raised when a corpus or pair dataset cannot be constructed."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid model configuration or usage."""

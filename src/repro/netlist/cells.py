@@ -1,0 +1,76 @@
+"""Gate cell library for gate-level netlists.
+
+Each cell has a name, a fixed number of inputs (``None`` = variadic, at
+least two), and a boolean evaluation function used by the logic simulator.
+``DFF`` is the single sequential cell (D flip-flop, posedge).
+"""
+
+from functools import reduce
+
+from repro.errors import NetlistError
+
+
+def _reduce_and(values):
+    return reduce(lambda a, b: a & b, values)
+
+
+def _reduce_or(values):
+    return reduce(lambda a, b: a | b, values)
+
+
+def _reduce_xor(values):
+    return reduce(lambda a, b: a ^ b, values)
+
+
+class Cell:
+    """A combinational cell type.
+
+    Attributes:
+        name: Verilog primitive name (``and``, ``nor``...).
+        arity: required input count, or ``None`` for 2+ inputs.
+        evaluate: function list[int] -> int over {0, 1}.
+    """
+
+    __slots__ = ("name", "arity", "evaluate")
+
+    def __init__(self, name, arity, evaluate):
+        self.name = name
+        self.arity = arity
+        self.evaluate = evaluate
+
+    def check_arity(self, num_inputs):
+        if self.arity is None:
+            if num_inputs < 1:
+                raise NetlistError(f"{self.name} gate needs inputs")
+        elif num_inputs != self.arity:
+            raise NetlistError(
+                f"{self.name} gate needs {self.arity} inputs, got {num_inputs}")
+
+
+CELLS = {
+    "and": Cell("and", None, _reduce_and),
+    "or": Cell("or", None, _reduce_or),
+    "xor": Cell("xor", None, _reduce_xor),
+    "xnor": Cell("xnor", None, lambda v: 1 ^ _reduce_xor(v)),
+    "nand": Cell("nand", None, lambda v: 1 ^ _reduce_and(v)),
+    "nor": Cell("nor", None, lambda v: 1 ^ _reduce_or(v)),
+    "not": Cell("not", 1, lambda v: 1 ^ v[0]),
+    "buf": Cell("buf", 1, lambda v: v[0]),
+    # mux select semantics: inputs (d0, d1, sel) -> d1 when sel else d0.
+    "mux": Cell("mux", 3, lambda v: v[1] if v[2] else v[0]),
+}
+
+#: Name of the sequential cell; handled specially by netlist and simulator.
+DFF = "dff"
+
+#: Gates that are also Verilog primitives (writable as plain gate insts).
+PRIMITIVE_GATES = frozenset(
+    {"and", "or", "xor", "xnor", "nand", "nor", "not", "buf"})
+
+
+def cell(name):
+    """Look up a combinational cell by name."""
+    try:
+        return CELLS[name]
+    except KeyError:
+        raise NetlistError(f"unknown cell type {name!r}") from None

@@ -1,0 +1,135 @@
+"""Structural-Verilog writer/reader for gate-level netlists.
+
+The writer emits one flat module using gate primitives; ``mux`` and ``dff``
+cells become instances of library modules (``MUX2``, ``DFF_POS``) whose
+definitions are appended, so the emitted file is self-contained and flows
+straight through the DFG pipeline.
+"""
+
+from repro.errors import NetlistError
+from repro.netlist.cells import DFF, PRIMITIVE_GATES
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+from repro.verilog import ast_nodes as ast
+from repro.verilog.parser import parse
+
+_MUX_MODULE = """module MUX2(input d0, input d1, input sel, output y);
+  wire nsel, t0, t1;
+  not (nsel, sel);
+  and (t0, d0, nsel);
+  and (t1, d1, sel);
+  or (y, t0, t1);
+endmodule"""
+
+_DFF_MODULE = """module DFF_POS(input d, input clk, output reg q);
+  always @(posedge clk)
+    q <= d;
+endmodule"""
+
+
+def _net_text(net):
+    if net == CONST0:
+        return "1'b0"
+    if net == CONST1:
+        return "1'b1"
+    return net
+
+
+def write_netlist(netlist):
+    """Render a :class:`Netlist` as self-contained structural Verilog."""
+    ports = [f"input {name}" for name in netlist.inputs]
+    ports += [f"output {name}" for name in netlist.outputs]
+    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    io_nets = set(netlist.inputs) | set(netlist.outputs)
+    internal = sorted(netlist.nets() - io_nets)
+    for net in internal:
+        lines.append(f"  wire {net};")
+    uses_mux = False
+    uses_dff = False
+    for gate in netlist.gates:
+        if gate.cell in PRIMITIVE_GATES:
+            args = ", ".join([_net_text(gate.output)]
+                             + [_net_text(n) for n in gate.inputs])
+            lines.append(f"  {gate.cell} {gate.name} ({args});")
+        elif gate.cell == "mux":
+            uses_mux = True
+            d0, d1, sel = (_net_text(n) for n in gate.inputs)
+            lines.append(
+                f"  MUX2 {gate.name} (.d0({d0}), .d1({d1}), .sel({sel}), "
+                f".y({_net_text(gate.output)}));")
+        elif gate.cell == DFF:
+            uses_dff = True
+            d, clk = (_net_text(n) for n in gate.inputs)
+            lines.append(
+                f"  DFF_POS {gate.name} (.d({d}), .clk({clk}), "
+                f".q({_net_text(gate.output)}));")
+        else:
+            raise NetlistError(f"cannot write cell {gate.cell!r}")
+    lines.append("endmodule")
+    text = "\n".join(lines)
+    if uses_mux:
+        text += "\n\n" + _MUX_MODULE
+    if uses_dff:
+        text += "\n\n" + _DFF_MODULE
+    return text + "\n"
+
+
+def _expr_net(expr):
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.BasedConst):
+        return CONST1 if expr.value else CONST0
+    if isinstance(expr, ast.IntConst):
+        return CONST1 if expr.value else CONST0
+    raise NetlistError(f"netlist reader expects plain nets, got {expr}")
+
+
+def read_netlist(text, name=None):
+    """Parse structural Verilog (as written by :func:`write_netlist`).
+
+    Only single-bit nets, gate primitives, and the MUX2/DFF_POS library
+    modules are accepted.
+    """
+    source = parse(text)
+    modules = {m.name: m for m in source.modules}
+    candidates = [m for m in source.modules
+                  if m.name not in ("MUX2", "DFF_POS")]
+    if name is not None:
+        if name not in modules:
+            raise NetlistError(f"module {name!r} not found")
+        module = modules[name]
+    elif len(candidates) == 1:
+        module = candidates[0]
+    else:
+        raise NetlistError("expected exactly one netlist module")
+
+    netlist = Netlist(module.name)
+    for port in module.ports:
+        if port.width is not None:
+            raise NetlistError(f"port {port.name!r} is a bus; flatten first")
+        if port.direction == "input":
+            netlist.add_input(port.name)
+        else:
+            netlist.add_output(port.name)
+    for item in module.items:
+        if isinstance(item, ast.NetDecl):
+            continue
+        if isinstance(item, ast.GateInstance):
+            output = _expr_net(item.args[0])
+            inputs = [_expr_net(a) for a in item.args[1:]]
+            netlist.add_gate(item.gate, output, inputs, name=item.name)
+        elif isinstance(item, ast.ModuleInstance):
+            conns = {c.port: _expr_net(c.expr) for c in item.connections}
+            if item.module == "MUX2":
+                netlist.add_gate("mux", conns["y"],
+                                 [conns["d0"], conns["d1"], conns["sel"]],
+                                 name=item.name)
+            elif item.module == "DFF_POS":
+                netlist.add_gate(DFF, conns["q"], [conns["d"], conns["clk"]],
+                                 name=item.name)
+            else:
+                raise NetlistError(f"unknown library module {item.module!r}")
+        else:
+            raise NetlistError(
+                f"unexpected item {type(item).__name__} in netlist module")
+    netlist.validate()
+    return netlist

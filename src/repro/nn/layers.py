@@ -1,0 +1,175 @@
+"""Neural-network modules: Linear, GCN convolution, dropout.
+
+The GCN layer implements Eq. 5 of the paper:
+
+    X' = sigma( D^-1/2 (A + I) D^-1/2 X W )
+
+The normalized adjacency is precomputed per graph (it is constant) with
+:func:`normalize_adjacency`; the layer then only does sparse @ dense @ W.
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.nn.tensor import Tensor, spmm
+
+
+class Module:
+    """Base class: parameter registration and train/eval mode."""
+
+    def __init__(self):
+        self._parameters = {}
+        self._modules = {}
+        self.training = True
+
+    def register_parameter(self, name, tensor):
+        tensor.requires_grad = True
+        self._parameters[name] = tensor
+        return tensor
+
+    def register_module(self, name, module):
+        self._modules[name] = module
+        return module
+
+    def parameters(self):
+        """All trainable tensors, depth-first."""
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix=""):
+        """(name, tensor) pairs, depth-first."""
+        items = [(prefix + name, tensor)
+                 for name, tensor in self._parameters.items()]
+        for mod_name, module in self._modules.items():
+            items.extend(module.named_parameters(f"{prefix}{mod_name}."))
+        return items
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self):
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self):
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self):
+        """Copy of all parameter arrays, keyed by dotted name."""
+        return {name: tensor.data.copy()
+                for name, tensor in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        named = dict(self.named_parameters())
+        missing = set(named) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, tensor in named.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {tensor.data.shape}")
+            tensor.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def glorot(shape, rng):
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(glorot((in_features, out_features), rng)))
+        self.bias = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Tensor(np.zeros(out_features)))
+
+    def forward(self, x):
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+def normalize_adjacency(adjacency, add_self_loops=True):
+    """Symmetric GCN normalization ``D^-1/2 (A + I) D^-1/2`` (CSR).
+
+    Args:
+        adjacency: scipy sparse adjacency matrix (N x N).
+        add_self_loops: add the identity (the paper's ``A + I``).
+    """
+    matrix = adjacency.tocsr().astype(np.float64)
+    if add_self_loops:
+        matrix = matrix + sparse.identity(matrix.shape[0], format="csr")
+    degree = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
+    scaling = sparse.diags(inv_sqrt)
+    return (scaling @ matrix @ scaling).tocsr()
+
+
+class GCNConv(Module):
+    """Graph convolution (Kipf & Welling), Eq. 5 of the paper.
+
+    ``forward(x, a_norm)`` expects the *pre-normalized* adjacency so that the
+    normalization cost is paid once per graph, not once per layer call.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(glorot((in_features, out_features), rng)))
+        self.bias = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Tensor(np.zeros(out_features)))
+
+    def forward(self, x, a_norm):
+        out = spmm(a_norm, x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate=0.1, rng=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x):
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = self._rng.random(x.shape) < keep
+        return x * Tensor(mask.astype(np.float64) / keep)

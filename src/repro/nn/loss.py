@@ -1,0 +1,55 @@
+"""Loss functions.
+
+The paper trains with the cosine-embedding loss (Eq. 7):
+
+    H(y_hat, y) = 1 - y_hat              if y = +1  (similar pair)
+                  max(0, y_hat - margin) if y = -1  (dissimilar pair)
+
+with margin fixed to 0.5.
+"""
+
+from repro.nn.tensor import Tensor, cosine_similarity
+
+
+def cosine_embedding_loss(h1, h2, label, margin=0.5):
+    """Eq. 7 loss on a single pair of embeddings.
+
+    Args:
+        h1, h2: 1-D embedding tensors.
+        label: +1 for a similar (piracy) pair, -1 for dissimilar.
+        margin: the paper fixes this to 0.5.
+
+    Returns:
+        (loss, similarity) — both scalar Tensors.
+    """
+    if label not in (1, -1):
+        raise ValueError(f"label must be +1 or -1, got {label}")
+    similarity = cosine_similarity(h1, h2)
+    if label == 1:
+        loss = 1.0 - similarity
+    else:
+        loss = (similarity - margin).relu()
+    return loss, similarity
+
+
+def pairwise_cosine_loss(embeddings, pairs, margin=0.5):
+    """Mean Eq. 7 loss over many pairs of precomputed embeddings.
+
+    Args:
+        embeddings: list of 1-D embedding Tensors (shared graph tapes).
+        pairs: iterable of (i, j, label) with label in {+1, -1}.
+
+    Returns:
+        (mean_loss Tensor, list of float similarities)
+    """
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("no pairs given")
+    total = Tensor(0.0)
+    similarities = []
+    for i, j, label in pairs:
+        loss, similarity = cosine_embedding_loss(
+            embeddings[i], embeddings[j], label, margin)
+        total = total + loss
+        similarities.append(similarity.item())
+    return total * (1.0 / len(pairs)), similarities

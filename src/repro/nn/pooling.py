@@ -1,0 +1,78 @@
+"""Graph pooling: self-attention top-k pooling (SAGPool) and readout.
+
+SAGPool (Lee et al. [28], as used by the paper's Graph_Pool layer): a GCN
+scoring layer predicts one attention value per node, the top ``ceil(ratio*N)``
+nodes are kept, and the surviving node features are gated by ``tanh`` of
+their scores.  Readout (Eq. 3) reduces node embeddings to one graph vector
+by max / mean / sum.
+"""
+
+import numpy as np
+
+from repro.nn.layers import GCNConv, Module, normalize_adjacency
+from repro.nn.tensor import Tensor
+
+
+class SAGPool(Module):
+    """Self-attention graph pooling with top-k node filtering.
+
+    Args:
+        channels: node embedding width entering the pool.
+        ratio: fraction of nodes kept (the paper uses 0.5).
+    """
+
+    def __init__(self, channels, ratio=0.5, rng=None):
+        super().__init__()
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"pooling ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.score_layer = self.register_module(
+            "score", GCNConv(channels, 1, rng=rng))
+
+    def forward(self, x, a_norm, adjacency):
+        """Pool the graph.
+
+        Args:
+            x: (N, C) node embeddings.
+            a_norm: normalized adjacency used by the scoring GCN.
+            adjacency: raw (binary) adjacency, used to build the pooled
+                graph's adjacency.
+
+        Returns:
+            (x_pool, a_norm_pool, adj_pool, kept_indices)
+        """
+        num_nodes = x.shape[0]
+        keep = max(1, int(np.ceil(self.ratio * num_nodes)))
+        scores = self.score_layer(x, a_norm).reshape(num_nodes)
+        order = np.argsort(-scores.data, kind="stable")
+        kept = np.sort(order[:keep])
+        gate = scores.index_select(kept).tanh().reshape(len(kept), 1)
+        x_pool = x.index_select(kept) * gate
+        adj_pool = adjacency[kept][:, kept]
+        a_norm_pool = normalize_adjacency(adj_pool)
+        return x_pool, a_norm_pool, adj_pool, kept
+
+
+_READOUTS = ("max", "mean", "sum")
+
+
+class Readout(Module):
+    """Graph readout (Eq. 3): aggregate node embeddings to a graph vector."""
+
+    def __init__(self, mode="max"):
+        super().__init__()
+        if mode not in _READOUTS:
+            raise ValueError(f"readout mode must be one of {_READOUTS}")
+        self.mode = mode
+
+    def forward(self, x):
+        if self.mode == "max":
+            return x.max(axis=0)
+        if self.mode == "mean":
+            return x.mean(axis=0)
+        return x.sum(axis=0)
+
+
+def readout(x, mode="max"):
+    """Functional form of :class:`Readout`."""
+    return Readout(mode)(Tensor.ensure(x))

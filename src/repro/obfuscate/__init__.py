@@ -1,0 +1,26 @@
+"""Behaviour-preserving obfuscation at netlist and RTL level."""
+
+from repro.obfuscate.rtl_variants import (
+    make_rtl_variant,
+    rename_module_signals,
+    shuffle_module_items,
+    swap_commutative_operands,
+)
+from repro.obfuscate.transforms import (
+    TRANSFORMS,
+    decompose_gates,
+    demorgan_rewrite,
+    duplicate_logic,
+    insert_buffer_chains,
+    insert_inverter_pairs,
+    obfuscate,
+    rename_wires,
+)
+
+__all__ = [
+    "TRANSFORMS", "obfuscate", "rename_wires", "insert_inverter_pairs",
+    "insert_buffer_chains", "decompose_gates", "demorgan_rewrite",
+    "duplicate_logic",
+    "make_rtl_variant", "rename_module_signals", "shuffle_module_items",
+    "swap_commutative_operands",
+]

@@ -1,0 +1,175 @@
+"""RTL-level variant generation: same design, different-looking code.
+
+These rewrites model what a pirate (or just a second engineer) does to RTL
+source: rename internal signals, shuffle declaration and assignment order,
+and swap operands of commutative operators.  All are semantics-preserving.
+"""
+
+import numpy as np
+
+from repro.dataflow.elaborate import rewrite_expr, _rewrite_statement
+from repro.verilog import ast_nodes as ast
+from repro.verilog.parser import parse
+from repro.verilog.writer import write_source
+
+_COMMUTATIVE = frozenset({"+", "*", "&", "|", "^", "~^", "^~", "&&", "||",
+                          "==", "!="})
+
+
+def _swap_commutative(expr, rng, probability):
+    """Recursively swap operands of commutative binary operators."""
+    if isinstance(expr, ast.BinaryOp):
+        left = _swap_commutative(expr.left, rng, probability)
+        right = _swap_commutative(expr.right, rng, probability)
+        if expr.op in _COMMUTATIVE and rng.random() < probability:
+            left, right = right, left
+        return ast.BinaryOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op,
+                           _swap_commutative(expr.operand, rng, probability))
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(_swap_commutative(expr.cond, rng, probability),
+                           _swap_commutative(expr.true_value, rng, probability),
+                           _swap_commutative(expr.false_value, rng, probability))
+    if isinstance(expr, ast.Concat):
+        return ast.Concat([_swap_commutative(p, rng, probability)
+                           for p in expr.parts])
+    return expr
+
+
+def _local_names(module):
+    names = set()
+    port_names = set(module.port_names())
+    for item in module.items:
+        if isinstance(item, ast.NetDecl):
+            names.update(n for n in item.names if n not in port_names)
+    return sorted(names)
+
+
+def rename_module_signals(module, rng, prefix=None):
+    """Rename every non-port signal; returns a rewritten copy."""
+    locals_ = _local_names(module)
+    order = list(rng.permutation(len(locals_)))
+    prefix = prefix if prefix is not None else f"sig{int(rng.integers(10, 99))}"
+    mapping = {old: ast.Identifier(f"{prefix}_{order[i]}")
+               for i, old in enumerate(locals_)}
+    name_map = {old: f"{prefix}_{order[i]}" for i, old in enumerate(locals_)}
+
+    items = []
+    for item in module.items:
+        if isinstance(item, ast.NetDecl):
+            items.append(ast.NetDecl(item.kind,
+                                     [name_map.get(n, n) for n in item.names],
+                                     item.width, item.signed, item.line))
+        elif isinstance(item, ast.Assign):
+            items.append(ast.Assign(rewrite_expr(item.lhs, mapping),
+                                    rewrite_expr(item.rhs, mapping),
+                                    item.line))
+        elif isinstance(item, ast.GateInstance):
+            items.append(ast.GateInstance(
+                item.gate, item.name,
+                [rewrite_expr(a, mapping) for a in item.args], item.line))
+        elif isinstance(item, ast.Always):
+            sens = [ast.SensItem(s.edge, rewrite_expr(s.signal, mapping))
+                    for s in item.sens_list]
+            items.append(ast.Always(sens,
+                                    _rewrite_statement(item.statement, mapping),
+                                    item.line))
+        elif isinstance(item, ast.ModuleInstance):
+            connections = [ast.PortConnection(c.port,
+                                              rewrite_expr(c.expr, mapping)
+                                              if c.expr is not None else None)
+                           for c in item.connections]
+            items.append(ast.ModuleInstance(item.module, item.name,
+                                            connections,
+                                            list(item.param_overrides),
+                                            item.line))
+        else:
+            items.append(item)
+    return ast.Module(module.name, list(module.ports), items,
+                      list(module.params), module.line)
+
+
+def shuffle_module_items(module, rng):
+    """Shuffle declarations and concurrent items (order is irrelevant)."""
+    decls = [i for i in module.items if isinstance(i, ast.NetDecl)]
+    params = [i for i in module.items if isinstance(i, ast.ParamDecl)]
+    concurrent = [i for i in module.items
+                  if not isinstance(i, (ast.NetDecl, ast.ParamDecl))]
+    rng.shuffle(decls)
+    rng.shuffle(concurrent)
+    return ast.Module(module.name, list(module.ports),
+                      params + decls + concurrent,
+                      list(module.params), module.line)
+
+
+def swap_commutative_operands(module, rng, probability=0.5):
+    """Swap operands of commutative operators throughout the module."""
+    items = []
+    for item in module.items:
+        if isinstance(item, ast.Assign):
+            items.append(ast.Assign(item.lhs,
+                                    _swap_commutative(item.rhs, rng,
+                                                      probability),
+                                    item.line))
+        elif isinstance(item, ast.Always):
+            items.append(ast.Always(list(item.sens_list),
+                                    _swap_statement(item.statement, rng,
+                                                    probability),
+                                    item.line))
+        else:
+            items.append(item)
+    return ast.Module(module.name, list(module.ports), items,
+                      list(module.params), module.line)
+
+
+def _swap_statement(stmt, rng, probability):
+    if isinstance(stmt, ast.Block):
+        return ast.Block([_swap_statement(s, rng, probability)
+                          for s in stmt.statements], stmt.name)
+    if isinstance(stmt, ast.BlockingAssign):
+        return ast.BlockingAssign(stmt.lhs,
+                                  _swap_commutative(stmt.rhs, rng, probability),
+                                  stmt.line)
+    if isinstance(stmt, ast.NonblockingAssign):
+        return ast.NonblockingAssign(stmt.lhs,
+                                     _swap_commutative(stmt.rhs, rng,
+                                                       probability),
+                                     stmt.line)
+    if isinstance(stmt, ast.If):
+        else_stmt = (_swap_statement(stmt.else_stmt, rng, probability)
+                     if stmt.else_stmt is not None else None)
+        return ast.If(stmt.cond,
+                      _swap_statement(stmt.then_stmt, rng, probability),
+                      else_stmt)
+    if isinstance(stmt, ast.Case):
+        items = [ast.CaseItem(list(i.patterns),
+                              _swap_statement(i.statement, rng, probability))
+                 for i in stmt.items]
+        return ast.Case(stmt.expr, items, stmt.kind)
+    if isinstance(stmt, ast.For):
+        return ast.For(stmt.init, stmt.cond, stmt.step,
+                       _swap_statement(stmt.body, rng, probability))
+    return stmt
+
+
+def make_rtl_variant(verilog_text, seed=0, rename=True, shuffle=True,
+                     swap_operands=True):
+    """Produce a stylistic variant of ``verilog_text`` (all modules).
+
+    Returns:
+        Verilog text implementing the identical design.
+    """
+    rng = np.random.default_rng(seed)
+    source = parse(verilog_text)
+    modules = []
+    for module in source.modules:
+        current = module
+        if rename:
+            current = rename_module_signals(current, rng)
+        if swap_operands:
+            current = swap_commutative_operands(current, rng)
+        if shuffle:
+            current = shuffle_module_items(current, rng)
+        modules.append(current)
+    return write_source(ast.SourceFile(modules))

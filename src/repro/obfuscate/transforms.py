@@ -1,0 +1,256 @@
+"""Behaviour-preserving netlist obfuscation transforms (paper §IV-E).
+
+Each transform takes a :class:`~repro.netlist.Netlist` and an RNG and
+returns a *new* netlist computing the same function with a different
+structure — the situation GNN4IP must see through when an adversary
+"complicates the original IP to deceive the IP owner".  The test suite
+verifies every transform with random-vector equivalence checking.
+"""
+
+import numpy as np
+
+from repro.netlist.cells import DFF
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+_PROTECTED = frozenset({CONST0, CONST1})
+
+
+def _fresh(netlist, base, used):
+    index = 0
+    while f"{base}{index}" in used:
+        index += 1
+    name = f"{base}{index}"
+    used.add(name)
+    return name
+
+
+def rename_wires(netlist, rng):
+    """Randomly rename every internal net and gate instance."""
+    io_nets = set(netlist.inputs) | set(netlist.outputs) | set(netlist.clocks)
+    internal = sorted(netlist.nets() - io_nets)
+    order = list(rng.permutation(len(internal)))
+    mapping = {old: f"w{order[i]}" for i, old in enumerate(internal)}
+
+    def rename(net):
+        return mapping.get(net, net)
+
+    out = Netlist(netlist.name, list(netlist.inputs), list(netlist.outputs),
+                  clocks=list(netlist.clocks))
+    gate_order = list(rng.permutation(len(netlist.gates)))
+    for new_index, gate in enumerate(netlist.gates):
+        out.gates.append(Gate(gate.cell, f"u{gate_order[new_index]}",
+                              rename(gate.output),
+                              [rename(n) for n in gate.inputs]))
+    return out
+
+
+def insert_inverter_pairs(netlist, rng, fraction=0.3):
+    """Route random gate inputs through double inverters."""
+    out = netlist.copy()
+    used = out.nets() | _PROTECTED
+    candidates = [(gi, pi)
+                  for gi, gate in enumerate(out.gates)
+                  for pi, net in enumerate(gate.inputs)
+                  if net not in _PROTECTED]
+    if not candidates:
+        return out
+    count = max(1, int(len(candidates) * fraction))
+    chosen = rng.choice(len(candidates), size=min(count, len(candidates)),
+                        replace=False)
+    new_gates = []
+    for index in chosen:
+        gate_index, input_index = candidates[int(index)]
+        gate = out.gates[gate_index]
+        source = gate.inputs[input_index]
+        mid = _fresh(out, "inv_a", used)
+        end = _fresh(out, "inv_b", used)
+        new_gates.append(Gate("not", _fresh(out, "gi", used), mid, [source]))
+        new_gates.append(Gate("not", _fresh(out, "gj", used), end, [mid]))
+        gate.inputs[input_index] = end
+    out.gates.extend(new_gates)
+    return out
+
+
+def insert_buffer_chains(netlist, rng, fraction=0.2, max_length=3):
+    """Insert buffer chains on random gate input connections."""
+    out = netlist.copy()
+    used = out.nets() | _PROTECTED
+    candidates = [(gi, pi)
+                  for gi, gate in enumerate(out.gates)
+                  for pi, net in enumerate(gate.inputs)
+                  if net not in _PROTECTED]
+    if not candidates:
+        return out
+    count = max(1, int(len(candidates) * fraction))
+    chosen = rng.choice(len(candidates), size=min(count, len(candidates)),
+                        replace=False)
+    new_gates = []
+    for index in chosen:
+        gate_index, input_index = candidates[int(index)]
+        gate = out.gates[gate_index]
+        current = gate.inputs[input_index]
+        for _ in range(int(rng.integers(1, max_length + 1))):
+            nxt = _fresh(out, "bufn", used)
+            new_gates.append(Gate("buf", _fresh(out, "gb", used), nxt,
+                                  [current]))
+            current = nxt
+        gate.inputs[input_index] = current
+    out.gates.extend(new_gates)
+    return out
+
+
+def decompose_gates(netlist, rng, fraction=0.5):
+    """Rewrite random gates into equivalent lower-level implementations.
+
+    XOR -> (a AND ~b) OR (~a AND b); XNOR -> NOT(XOR...); AND -> NOT(NAND);
+    OR -> NOT(NOR); MUX -> AND/OR/NOT network.
+    """
+    out = Netlist(netlist.name, list(netlist.inputs), list(netlist.outputs),
+                  clocks=list(netlist.clocks))
+    used = netlist.nets() | _PROTECTED
+
+    def emit(cell, output, inputs):
+        out.gates.append(Gate(cell, f"d{len(out.gates)}", output,
+                              list(inputs)))
+
+    for gate in netlist.gates:
+        expand = (gate.cell in ("xor", "xnor", "and", "or", "mux")
+                  and len(gate.inputs) == len(set(gate.inputs))
+                  and rng.random() < fraction)
+        if not expand:
+            out.gates.append(Gate(gate.cell, gate.name, gate.output,
+                                  list(gate.inputs)))
+            continue
+        if gate.cell in ("xor", "xnor") and len(gate.inputs) == 2:
+            a, b = gate.inputs
+            na = _fresh(out, "dx", used)
+            nb = _fresh(out, "dx", used)
+            t0 = _fresh(out, "dx", used)
+            t1 = _fresh(out, "dx", used)
+            emit("not", na, [a])
+            emit("not", nb, [b])
+            emit("and", t0, [a, nb])
+            emit("and", t1, [na, b])
+            if gate.cell == "xor":
+                emit("or", gate.output, [t0, t1])
+            else:
+                t2 = _fresh(out, "dx", used)
+                emit("or", t2, [t0, t1])
+                emit("not", gate.output, [t2])
+        elif gate.cell == "and":
+            mid = _fresh(out, "dn", used)
+            emit("nand", mid, gate.inputs)
+            emit("not", gate.output, [mid])
+        elif gate.cell == "or":
+            mid = _fresh(out, "dn", used)
+            emit("nor", mid, gate.inputs)
+            emit("not", gate.output, [mid])
+        elif gate.cell == "mux":
+            d0, d1, sel = gate.inputs
+            nsel = _fresh(out, "dm", used)
+            t0 = _fresh(out, "dm", used)
+            t1 = _fresh(out, "dm", used)
+            emit("not", nsel, [sel])
+            emit("and", t0, [d0, nsel])
+            emit("and", t1, [d1, sel])
+            emit("or", gate.output, [t0, t1])
+        else:
+            out.gates.append(Gate(gate.cell, gate.name, gate.output,
+                                  list(gate.inputs)))
+    return out
+
+
+def demorgan_rewrite(netlist, rng, fraction=0.4):
+    """Apply De Morgan: AND -> NOT(OR(NOT a, NOT b)) and dually for OR."""
+    out = Netlist(netlist.name, list(netlist.inputs), list(netlist.outputs),
+                  clocks=list(netlist.clocks))
+    used = netlist.nets() | _PROTECTED
+
+    def emit(cell, output, inputs):
+        out.gates.append(Gate(cell, f"m{len(out.gates)}", output,
+                              list(inputs)))
+
+    for gate in netlist.gates:
+        if gate.cell in ("and", "or") and rng.random() < fraction:
+            inverted = []
+            for net in gate.inputs:
+                inv = _fresh(out, "dm", used)
+                emit("not", inv, [net])
+                inverted.append(inv)
+            mid = _fresh(out, "dm", used)
+            emit("or" if gate.cell == "and" else "and", mid, inverted)
+            emit("not", gate.output, [mid])
+        else:
+            out.gates.append(Gate(gate.cell, gate.name, gate.output,
+                                  list(gate.inputs)))
+    return out
+
+
+def duplicate_logic(netlist, rng, fraction=0.15):
+    """Duplicate random combinational gates and split their fanout."""
+    out = netlist.copy()
+    used = out.nets() | _PROTECTED
+    driver_indices = {g.output: i for i, g in enumerate(out.gates)}
+    combinational = [i for i, g in enumerate(out.gates) if g.cell != DFF]
+    if not combinational:
+        return out
+    count = max(1, int(len(combinational) * fraction))
+    chosen = rng.choice(len(combinational),
+                        size=min(count, len(combinational)), replace=False)
+    new_gates = []
+    for index in chosen:
+        gate = out.gates[combinational[int(index)]]
+        readers = [(gi, pi) for gi, other in enumerate(out.gates)
+                   for pi, net in enumerate(other.inputs)
+                   if net == gate.output]
+        if len(readers) < 2:
+            continue
+        twin_out = _fresh(out, "dup", used)
+        new_gates.append(Gate(gate.cell, _fresh(out, "gd", used), twin_out,
+                              list(gate.inputs)))
+        # Route roughly half of the fanout through the twin.
+        for gi, pi in readers[::2]:
+            out.gates[gi].inputs[pi] = twin_out
+    out.gates.extend(new_gates)
+    del driver_indices
+    return out
+
+
+#: Transform registry used by :func:`obfuscate`.
+TRANSFORMS = {
+    "rename": rename_wires,
+    "inverter_pairs": insert_inverter_pairs,
+    "buffers": insert_buffer_chains,
+    "decompose": decompose_gates,
+    "demorgan": demorgan_rewrite,
+    "duplicate": duplicate_logic,
+}
+
+
+def obfuscate(netlist, seed=0, strength=2, transforms=None, name=None):
+    """Apply a random pipeline of transforms; returns the obfuscated copy.
+
+    Args:
+        netlist: source netlist (left untouched).
+        seed: RNG seed — different seeds give different obfuscated instances.
+        strength: number of structural transforms applied before the final
+            rename pass.
+        transforms: optional explicit list of transform names.
+
+    Returns:
+        A new, validated netlist.
+    """
+    rng = np.random.default_rng(seed)
+    if transforms is None:
+        pool = [n for n in TRANSFORMS if n != "rename"]
+        picks = rng.choice(len(pool), size=min(strength, len(pool)),
+                           replace=False)
+        transforms = [pool[int(i)] for i in picks]
+    current = netlist
+    for transform_name in transforms:
+        current = TRANSFORMS[transform_name](current, rng)
+    current = rename_wires(current, rng)
+    if name is not None:
+        current.name = name
+    current.validate()
+    return current

@@ -1,0 +1,17 @@
+"""Logic simulation: netlist simulator, RTL interpreter, equivalence checks."""
+
+from repro.sim.equivalence import (
+    EquivalenceReport,
+    check_netlists_equivalent,
+    check_rtl_netlist_equivalent,
+)
+from repro.sim.netlistsim import NetlistSimulator
+from repro.sim.rtlsim import RTLSimulator
+
+__all__ = [
+    "EquivalenceReport",
+    "check_netlists_equivalent",
+    "check_rtl_netlist_equivalent",
+    "NetlistSimulator",
+    "RTLSimulator",
+]

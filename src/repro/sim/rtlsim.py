@@ -1,0 +1,512 @@
+"""Reference RTL interpreter for flattened modules.
+
+Evaluates synthesizable combinational and single-clock sequential designs:
+``assign`` statements, combinational ``always`` blocks, gate primitives, and
+posedge-clocked ``always`` blocks.  Values are unsigned integers masked to
+each signal's declared width.  Used as the golden model when verifying the
+synthesizer and the obfuscation transforms.
+"""
+
+from repro.errors import SimulationError
+from repro.dataflow.consteval import try_evaluate_const
+from repro.verilog import ast_nodes as ast
+
+_MAX_SETTLE_ITERATIONS = 64
+
+
+def _mask(value, width):
+    return value & ((1 << width) - 1)
+
+
+class RTLSimulator:
+    """Interprets one flattened :class:`Module`.
+
+    Args:
+        module: a flattened module (run :func:`repro.dataflow.elaborate`
+            first if the design has hierarchy).
+        clock: name of the clock signal for sequential designs; inferred
+            from the first posedge sensitivity when omitted.
+    """
+
+    def __init__(self, module, clock=None):
+        self._module = module
+        self._widths = {}
+        self._inputs = []
+        self._outputs = []
+        self._collect_signals()
+        self._comb_items = []
+        self._seq_always = []
+        self._split_items()
+        self._clock = clock or self._infer_clock()
+        self._values = {}
+        self.reset()
+
+    # -- setup -----------------------------------------------------------
+    def _collect_signals(self):
+        for port in self._module.ports:
+            width = 1
+            if port.width is not None:
+                msb = try_evaluate_const(port.width.msb)
+                lsb = try_evaluate_const(port.width.lsb)
+                if msb is None or lsb is None:
+                    raise SimulationError(
+                        f"port {port.name!r} has a non-constant width")
+                width = abs(msb - lsb) + 1
+            self._widths[port.name] = width
+            if port.direction == "input":
+                self._inputs.append(port.name)
+            else:
+                self._outputs.append(port.name)
+        for item in self._module.items:
+            if isinstance(item, ast.NetDecl) and item.kind != "integer":
+                width = 1
+                if item.width is not None:
+                    msb = try_evaluate_const(item.width.msb)
+                    lsb = try_evaluate_const(item.width.lsb)
+                    if msb is None or lsb is None:
+                        raise SimulationError(
+                            f"net {item.names} has a non-constant width")
+                    width = abs(msb - lsb) + 1
+                for name in item.names:
+                    self._widths.setdefault(name, width)
+
+    def _split_items(self):
+        for item in self._module.items:
+            if isinstance(item, (ast.Assign, ast.GateInstance)):
+                self._comb_items.append(item)
+            elif isinstance(item, ast.Always):
+                if item.is_clocked:
+                    self._seq_always.append(item)
+                else:
+                    self._comb_items.append(item)
+            elif isinstance(item, (ast.NetDecl, ast.Initial)):
+                continue
+            elif isinstance(item, ast.ModuleInstance):
+                raise SimulationError("elaborate the design before simulating")
+
+    def _infer_clock(self):
+        for always in self._seq_always:
+            for sens in always.sens_list:
+                if sens.edge == "posedge" and isinstance(sens.signal,
+                                                         ast.Identifier):
+                    return sens.signal.name
+        return None
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def inputs(self):
+        return list(self._inputs)
+
+    @property
+    def outputs(self):
+        return list(self._outputs)
+
+    def width(self, name):
+        return self._widths.get(name, 1)
+
+    def reset(self):
+        """Zero every signal and settle combinational logic."""
+        self._values = {name: 0 for name in self._widths}
+        self._settle()
+
+    def set_inputs(self, assignments):
+        """Drive input signals from {name: int} and settle."""
+        for name, value in assignments.items():
+            if name not in self._inputs:
+                raise SimulationError(f"{name!r} is not an input")
+            self._values[name] = _mask(int(value), self._widths[name])
+        self._settle()
+
+    def clock(self):
+        """One posedge on the clock: run sequential blocks, then settle."""
+        if not self._seq_always:
+            raise SimulationError("design has no clocked always blocks")
+        updates = {}
+        for always in self._seq_always:
+            env = {}
+            nba_env = {}
+            self._exec_statement(always.statement, env, nba_env)
+            # Blocking writes commit first, then non-blocking ones — both
+            # evaluated against pre-edge values (reads never see nba_env).
+            updates.update(env)
+            updates.update(nba_env)
+        for name, value in updates.items():
+            self._values[name] = _mask(value, self._widths.get(name, 1))
+        self._settle()
+
+    def value(self, name):
+        try:
+            return self._values[name]
+        except KeyError:
+            raise SimulationError(f"unknown signal {name!r}") from None
+
+    def output_values(self):
+        return {name: self._values[name] for name in self._outputs}
+
+    def evaluate(self, assignments):
+        """Combinational one-shot: set inputs, return outputs."""
+        self.set_inputs(assignments)
+        return self.output_values()
+
+    # -- combinational settling ------------------------------------------
+    def _settle(self):
+        for _ in range(_MAX_SETTLE_ITERATIONS):
+            changed = False
+            for item in self._comb_items:
+                changed |= self._eval_comb_item(item)
+            if not changed:
+                return
+        raise SimulationError("combinational logic did not settle "
+                              "(cycle without a register?)")
+
+    def _eval_comb_item(self, item):
+        if isinstance(item, ast.Assign):
+            value = self._eval(item.rhs)
+            return self._commit_lhs(item.lhs, value)
+        if isinstance(item, ast.GateInstance):
+            inputs = [self._eval(arg) & 1 for arg in item.args[1:]]
+            value = _GATE_EVAL[item.gate](inputs)
+            return self._commit_lhs(item.args[0], value)
+        if isinstance(item, ast.Always):
+            env = {}
+            self._exec_statement(item.statement, env, env)
+            changed = False
+            for name, value in env.items():
+                changed |= self._commit_name(name, value)
+            return changed
+        return False
+
+    def _commit_lhs(self, lhs, value):
+        if isinstance(lhs, ast.Identifier):
+            return self._commit_name(lhs.name, value)
+        if isinstance(lhs, ast.BitSelect):
+            name = lhs.base.name
+            index = self._eval(lhs.index)
+            old = self._values.get(name, 0)
+            new = (old & ~(1 << index)) | ((value & 1) << index)
+            return self._commit_name(name, new, mask_to_width=False)
+        if isinstance(lhs, ast.PartSelect):
+            name = lhs.base.name
+            msb = self._eval(lhs.left)
+            lsb = self._eval(lhs.right)
+            if lhs.mode == "+:":
+                lsb, msb = msb, msb + lsb - 1
+            width = msb - lsb + 1
+            old = self._values.get(name, 0)
+            field_mask = ((1 << width) - 1) << lsb
+            new = (old & ~field_mask) | ((value & ((1 << width) - 1)) << lsb)
+            return self._commit_name(name, new, mask_to_width=False)
+        if isinstance(lhs, ast.Concat):
+            changed = False
+            widths = [self._lhs_width(p) for p in lhs.parts]
+            offset = sum(widths)
+            for part, width in zip(lhs.parts, widths):
+                offset -= width
+                piece = (value >> offset) & ((1 << width) - 1)
+                changed |= self._commit_lhs(part, piece)
+            return changed
+        raise SimulationError(f"invalid lvalue {type(lhs).__name__}")
+
+    def _lhs_width(self, lhs):
+        if isinstance(lhs, ast.Identifier):
+            return self._widths.get(lhs.name, 1)
+        if isinstance(lhs, ast.BitSelect):
+            return 1
+        if isinstance(lhs, ast.PartSelect):
+            msb = self._eval(lhs.left)
+            lsb = self._eval(lhs.right)
+            if lhs.mode == "+:":
+                return lsb
+            return abs(msb - lsb) + 1
+        raise SimulationError("unsupported lvalue in concat")
+
+    def _commit_name(self, name, value, mask_to_width=True):
+        width = self._widths.get(name, 1)
+        if mask_to_width:
+            value = _mask(int(value), width)
+        else:
+            value = _mask(int(value), width)
+        old = self._values.get(name)
+        self._values[name] = value
+        return old != value
+
+    # -- statements ---------------------------------------------------------
+    def _exec_statement(self, stmt, env, nba_env=None):
+        """Execute one statement.
+
+        ``env`` holds blocking updates (reads see it); ``nba_env`` collects
+        non-blocking updates (reads never see it).  Combinational callers
+        pass the same dict for both.
+        """
+        if nba_env is None:
+            nba_env = env
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._exec_statement(inner, env, nba_env)
+        elif isinstance(stmt, ast.BlockingAssign):
+            value = self._eval(stmt.rhs, env)
+            self._assign_env(stmt.lhs, value, env)
+        elif isinstance(stmt, ast.NonblockingAssign):
+            value = self._eval(stmt.rhs, env)
+            self._assign_env(stmt.lhs, value, nba_env)
+        elif isinstance(stmt, ast.If):
+            if self._eval(stmt.cond, env):
+                self._exec_statement(stmt.then_stmt, env, nba_env)
+            elif stmt.else_stmt is not None:
+                self._exec_statement(stmt.else_stmt, env, nba_env)
+        elif isinstance(stmt, ast.Case):
+            self._exec_case(stmt, env, nba_env)
+        elif isinstance(stmt, ast.For):
+            self._exec_statement(stmt.init, env, nba_env)
+            guard = 0
+            while self._eval(stmt.cond, env):
+                self._exec_statement(stmt.body, env, nba_env)
+                self._exec_statement(stmt.step, env, nba_env)
+                guard += 1
+                if guard > 65536:
+                    raise SimulationError("runaway for loop")
+        else:
+            raise SimulationError(
+                f"unsupported statement {type(stmt).__name__}")
+
+    def _exec_case(self, stmt, env, nba_env):
+        subject = self._eval(stmt.expr, env)
+        default = None
+        for item in stmt.items:
+            if not item.patterns:
+                default = item.statement
+                continue
+            for pattern in item.patterns:
+                if self._case_match(subject, pattern, stmt.kind, env):
+                    self._exec_statement(item.statement, env, nba_env)
+                    return
+        if default is not None:
+            self._exec_statement(default, env, nba_env)
+
+    def _case_match(self, subject, pattern, kind, env):
+        if kind in ("casez", "casex") and isinstance(pattern, ast.BasedConst):
+            digits = pattern.digits.replace("_", "")
+            if pattern.base == "b" and any(c in "zZ?xX" for c in digits):
+                mask = 0
+                value = 0
+                for char in digits:
+                    mask <<= 1
+                    value <<= 1
+                    if char in "zZ?xX":
+                        continue
+                    mask |= 1
+                    value |= int(char)
+                return (subject & mask) == (value & mask)
+        return subject == self._eval(pattern, env)
+
+    def _assign_env(self, lhs, value, env):
+        if isinstance(lhs, ast.Identifier):
+            env[lhs.name] = _mask(value, self._widths.get(lhs.name, 32))
+            return
+        if isinstance(lhs, ast.BitSelect):
+            name = lhs.base.name
+            index = self._eval(lhs.index, env)
+            old = env.get(name, self._values.get(name, 0))
+            env[name] = (old & ~(1 << index)) | ((value & 1) << index)
+            return
+        if isinstance(lhs, ast.PartSelect):
+            name = lhs.base.name
+            msb = self._eval(lhs.left, env)
+            lsb = self._eval(lhs.right, env)
+            if lhs.mode == "+:":
+                lsb, msb = msb, msb + lsb - 1
+            width = msb - lsb + 1
+            old = env.get(name, self._values.get(name, 0))
+            field_mask = ((1 << width) - 1) << lsb
+            env[name] = ((old & ~field_mask)
+                         | ((value & ((1 << width) - 1)) << lsb))
+            return
+        if isinstance(lhs, ast.Concat):
+            widths = [self._lhs_width(p) for p in lhs.parts]
+            offset = sum(widths)
+            for part, width in zip(lhs.parts, widths):
+                offset -= width
+                piece = (value >> offset) & ((1 << width) - 1)
+                self._assign_env(part, piece, env)
+            return
+        raise SimulationError(f"invalid lvalue {type(lhs).__name__}")
+
+    # -- expressions ----------------------------------------------------------
+    def _read(self, name, env):
+        if env is not None and name in env:
+            return env[name]
+        if name in self._values:
+            return self._values[name]
+        raise SimulationError(f"read of unknown signal {name!r}")
+
+    def _expr_width(self, expr, env=None):
+        if isinstance(expr, ast.Identifier):
+            return self._widths.get(expr.name, 32)
+        if isinstance(expr, ast.BasedConst):
+            return expr.width if expr.width is not None else 32
+        if isinstance(expr, ast.IntConst):
+            return 32
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
+                return 1
+            return self._expr_width(expr.operand, env)
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||",
+                           "===", "!=="):
+                return 1
+            return max(self._expr_width(expr.left, env),
+                       self._expr_width(expr.right, env))
+        if isinstance(expr, ast.Ternary):
+            return max(self._expr_width(expr.true_value, env),
+                       self._expr_width(expr.false_value, env))
+        if isinstance(expr, ast.Concat):
+            return sum(self._expr_width(p, env) for p in expr.parts)
+        if isinstance(expr, ast.Repeat):
+            count = self._eval(expr.count, env)
+            return count * self._expr_width(expr.value, env)
+        if isinstance(expr, ast.BitSelect):
+            return 1
+        if isinstance(expr, ast.PartSelect):
+            msb = self._eval(expr.left, env)
+            lsb = self._eval(expr.right, env)
+            if expr.mode in ("+:", "-:"):
+                return lsb
+            return abs(msb - lsb) + 1
+        return 32
+
+    def _eval(self, expr, env=None):
+        if isinstance(expr, ast.Identifier):
+            return self._read(expr.name, env)
+        if isinstance(expr, ast.IntConst):
+            return expr.value
+        if isinstance(expr, ast.BasedConst):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.Ternary):
+            if self._eval(expr.cond, env):
+                return self._eval(expr.true_value, env)
+            return self._eval(expr.false_value, env)
+        if isinstance(expr, ast.Concat):
+            value = 0
+            for part in expr.parts:
+                width = self._expr_width(part, env)
+                value = (value << width) | _mask(self._eval(part, env), width)
+            return value
+        if isinstance(expr, ast.Repeat):
+            count = self._eval(expr.count, env)
+            width = self._expr_width(expr.value, env)
+            piece = _mask(self._eval(expr.value, env), width)
+            value = 0
+            for _ in range(count):
+                value = (value << width) | piece
+            return value
+        if isinstance(expr, ast.BitSelect):
+            base = self._eval(expr.base, env)
+            index = self._eval(expr.index, env)
+            return (base >> index) & 1
+        if isinstance(expr, ast.PartSelect):
+            base = self._eval(expr.base, env)
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            if expr.mode == "+:":
+                lsb, width = left, right
+            elif expr.mode == "-:":
+                lsb, width = left - right + 1, right
+            else:
+                lsb, width = right, left - right + 1
+            return (base >> lsb) & ((1 << width) - 1)
+        if isinstance(expr, ast.FunctionCall):
+            if expr.name in ("$signed", "$unsigned"):
+                return self._eval(expr.args[0], env)
+            raise SimulationError(f"cannot evaluate call {expr.name!r}")
+        raise SimulationError(
+            f"cannot evaluate expression {type(expr).__name__}")
+
+    def _eval_unary(self, expr, env):
+        value = self._eval(expr.operand, env)
+        width = self._expr_width(expr.operand, env)
+        op = expr.op
+        if op == "+":
+            return value
+        if op == "-":
+            return _mask(-value, max(width, 32))
+        if op == "~":
+            return _mask(~value, width)
+        if op == "!":
+            return int(value == 0)
+        if op == "&":
+            return int(value == (1 << width) - 1)
+        if op == "~&":
+            return int(value != (1 << width) - 1)
+        if op == "|":
+            return int(value != 0)
+        if op == "~|":
+            return int(value == 0)
+        if op == "^":
+            return bin(value).count("1") & 1
+        if op == "~^":
+            return 1 ^ (bin(value).count("1") & 1)
+        raise SimulationError(f"unknown unary operator {op!r}")
+
+    def _eval_binary(self, expr, env):
+        op = expr.op
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        width = max(self._expr_width(expr.left, env),
+                    self._expr_width(expr.right, env))
+        if op == "+":
+            return left + right
+        if op == "-":
+            return _mask(left - right, max(width, 32))
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left // right if right else 0
+        if op == "%":
+            return left % right if right else 0
+        if op == "**":
+            return left ** right
+        if op == "<<" or op == "<<<":
+            return left << right
+        if op == ">>" or op == ">>>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op in ("~^", "^~"):
+            return _mask(~(left ^ right), width)
+        if op in ("==", "==="):
+            return int(left == right)
+        if op in ("!=", "!=="):
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == ">":
+            return int(left > right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "&&":
+            return int(bool(left) and bool(right))
+        if op == "||":
+            return int(bool(left) or bool(right))
+        raise SimulationError(f"unknown binary operator {op!r}")
+
+
+_GATE_EVAL = {
+    "and": lambda v: all(v) and 1 or 0,
+    "or": lambda v: any(v) and 1 or 0,
+    "nand": lambda v: 0 if all(v) else 1,
+    "nor": lambda v: 0 if any(v) else 1,
+    "xor": lambda v: sum(v) & 1,
+    "xnor": lambda v: 1 ^ (sum(v) & 1),
+    "not": lambda v: 1 ^ v[0],
+    "buf": lambda v: v[0],
+}

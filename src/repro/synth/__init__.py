@@ -1,0 +1,9 @@
+"""RTL-to-gates synthesis: bit blasting and DFF inference."""
+
+from repro.synth.bitblast import BitLowering, const_bits, fit
+from repro.synth.synthesize import Synthesizer, synthesize, synthesize_verilog
+
+__all__ = [
+    "BitLowering", "const_bits", "fit",
+    "Synthesizer", "synthesize", "synthesize_verilog",
+]

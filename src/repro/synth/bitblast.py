@@ -1,0 +1,222 @@
+"""Bit-level expression lowering used by the synthesizer.
+
+A *bit vector* here is a Python list of net names, LSB first; constant bits
+are the reserved nets ``CONST0``/``CONST1``.  :class:`BitLowering` provides
+word-level operations (add, mul, compare, shift, mux) implemented with the
+:class:`~repro.netlist.NetlistBuilder` gate helpers.
+"""
+
+from repro.errors import SynthesisError
+from repro.netlist.netlist import CONST0, CONST1
+
+
+def const_bits(value, width):
+    """Bit vector for an integer constant."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def fit(bits, width):
+    """Zero-extend or truncate a bit vector to ``width``."""
+    if len(bits) >= width:
+        return bits[:width]
+    return bits + [CONST0] * (width - len(bits))
+
+
+class BitLowering:
+    """Word-level operators over bit vectors, emitting gates into a builder."""
+
+    def __init__(self, builder):
+        self.builder = builder
+
+    # -- single-bit helpers ------------------------------------------------
+    def bit_not(self, a):
+        if a == CONST0:
+            return CONST1
+        if a == CONST1:
+            return CONST0
+        return self.builder.not_(a)
+
+    def bit_and(self, a, b):
+        if CONST0 in (a, b):
+            return CONST0
+        if a == CONST1:
+            return b
+        if b == CONST1:
+            return a
+        return self.builder.and_(a, b)
+
+    def bit_or(self, a, b):
+        if CONST1 in (a, b):
+            return CONST1
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        return self.builder.or_(a, b)
+
+    def bit_xor(self, a, b):
+        if a == CONST0:
+            return b
+        if b == CONST0:
+            return a
+        if a == CONST1:
+            return self.bit_not(b)
+        if b == CONST1:
+            return self.bit_not(a)
+        return self.builder.xor_(a, b)
+
+    def bit_mux(self, d0, d1, sel):
+        if sel == CONST0:
+            return d0
+        if sel == CONST1:
+            return d1
+        if d0 == d1:
+            return d0
+        return self.builder.mux_(d0, d1, sel)
+
+    # -- bitwise word ops ------------------------------------------------
+    def word_not(self, a):
+        return [self.bit_not(bit) for bit in a]
+
+    def word_and(self, a, b):
+        return [self.bit_and(x, y) for x, y in zip(*self._align(a, b))]
+
+    def word_or(self, a, b):
+        return [self.bit_or(x, y) for x, y in zip(*self._align(a, b))]
+
+    def word_xor(self, a, b):
+        return [self.bit_xor(x, y) for x, y in zip(*self._align(a, b))]
+
+    def _align(self, a, b):
+        width = max(len(a), len(b))
+        return fit(a, width), fit(b, width)
+
+    # -- reductions -----------------------------------------------------------
+    def reduce_and(self, a):
+        result = a[0]
+        for bit in a[1:]:
+            result = self.bit_and(result, bit)
+        return result
+
+    def reduce_or(self, a):
+        result = a[0]
+        for bit in a[1:]:
+            result = self.bit_or(result, bit)
+        return result
+
+    def reduce_xor(self, a):
+        result = a[0]
+        for bit in a[1:]:
+            result = self.bit_xor(result, bit)
+        return result
+
+    # -- arithmetic -----------------------------------------------------------
+    def add(self, a, b, carry_in=CONST0, width=None):
+        """Unsigned addition; result has ``width`` bits (default max+1)."""
+        if width is None:
+            width = max(len(a), len(b)) + 1
+        a = fit(a, width)
+        b = fit(b, width)
+        carry = carry_in
+        sums = []
+        for x, y in zip(a, b):
+            axb = self.bit_xor(x, y)
+            sums.append(self.bit_xor(axb, carry))
+            carry = self.bit_or(self.bit_and(x, y), self.bit_and(axb, carry))
+        return sums
+
+    def sub(self, a, b, width=None):
+        """a - b (two's complement), ``width`` bits."""
+        if width is None:
+            width = max(len(a), len(b))
+        a = fit(a, width)
+        b = fit(b, width)
+        return self.add(a, self.word_not(b), carry_in=CONST1, width=width)
+
+    def neg(self, a, width=None):
+        width = width or len(a)
+        return self.sub(const_bits(0, width), a, width=width)
+
+    def mul(self, a, b, width=None):
+        """Array multiplier; result truncated to ``width`` (default len sum)."""
+        if width is None:
+            width = len(a) + len(b)
+        accum = const_bits(0, width)
+        for shift, bit in enumerate(b):
+            if shift >= width or bit == CONST0:
+                continue
+            partial = [self.bit_and(x, bit) for x in a]
+            shifted = const_bits(0, shift) + partial
+            accum = self.add(accum, fit(shifted, width), width=width)
+        return accum
+
+    # -- comparisons (unsigned) ------------------------------------------
+    def eq(self, a, b):
+        a, b = self._align(a, b)
+        bits = [self.bit_not(self.bit_xor(x, y)) for x, y in zip(a, b)]
+        return self.reduce_and(bits)
+
+    def neq(self, a, b):
+        return self.bit_not(self.eq(a, b))
+
+    def lt(self, a, b):
+        """a < b via MSB-first borrow chain."""
+        a, b = self._align(a, b)
+        result = CONST0
+        equal_so_far = CONST1
+        for x, y in zip(reversed(a), reversed(b)):
+            x_lt_y = self.bit_and(self.bit_not(x), y)
+            result = self.bit_or(result, self.bit_and(equal_so_far, x_lt_y))
+            equal_so_far = self.bit_and(
+                equal_so_far, self.bit_not(self.bit_xor(x, y)))
+        return result
+
+    def le(self, a, b):
+        return self.bit_or(self.lt(a, b), self.eq(a, b))
+
+    # -- shifts ---------------------------------------------------------------
+    def shift_const(self, a, amount, left, width):
+        if left:
+            bits = const_bits(0, min(amount, width)) + a
+        else:
+            bits = a[amount:] if amount < len(a) else []
+        return fit(bits, width)
+
+    def shift_var(self, a, amount_bits, left, width):
+        """Barrel shifter: log2 stages of muxes."""
+        current = fit(a, width)
+        for stage, sel in enumerate(amount_bits):
+            step = 1 << stage
+            if step >= width:
+                # Any higher set bit shifts everything out.
+                zeroed = const_bits(0, width)
+                current = [self.bit_mux(cur, z, sel)
+                           for cur, z in zip(current, zeroed)]
+                continue
+            shifted = self.shift_const(current, step, left, width)
+            current = [self.bit_mux(cur, sh, sel)
+                       for cur, sh in zip(current, shifted)]
+        return current
+
+    # -- selection ------------------------------------------------------------
+    def mux_word(self, d0, d1, sel):
+        d0, d1 = self._align(d0, d1)
+        return [self.bit_mux(x, y, sel) for x, y in zip(d0, d1)]
+
+    def select_var_bit(self, a, index_bits):
+        """a[index] with a non-constant index: mux tree over all bits."""
+        current = list(a)
+        for stage, sel in enumerate(index_bits):
+            step = 1 << stage
+            nxt = []
+            for i in range(len(current)):
+                high = current[i + step] if i + step < len(current) else CONST0
+                nxt.append(self.bit_mux(current[i], high, sel))
+            current = nxt
+        if not current:
+            raise SynthesisError("bit select on empty vector")
+        return current[0]
+
+    def logic_value(self, a):
+        """Verilog truthiness: OR-reduce to one bit."""
+        return self.reduce_or(a)

@@ -1,0 +1,406 @@
+"""Abstract syntax tree nodes for the synthesizable Verilog subset.
+
+Nodes are plain dataclasses.  Width expressions are kept symbolic (they may
+refer to parameters); :mod:`repro.dataflow.elaborate` evaluates them once
+parameter bindings are known.
+"""
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for every AST node (useful for isinstance checks)."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Identifier(Expression):
+    """A reference to a named signal, parameter, or genvar."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class IntConst(Expression):
+    """A plain decimal integer literal such as ``42``."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass
+class BasedConst(Expression):
+    """A sized/based literal such as ``8'hFF``.
+
+    Attributes:
+        width: declared bit width, or ``None`` for unsized literals.
+        base: one of ``b``, ``o``, ``d``, ``h``.
+        digits: the digit text (may include ``x``/``z``/``?``/``_``).
+    """
+
+    width: int
+    base: str
+    digits: str
+
+    def __str__(self):
+        size = str(self.width) if self.width is not None else ""
+        return f"{size}'{self.base}{self.digits}"
+
+    @property
+    def value(self):
+        """Integer value; x/z/? digits are read as 0."""
+        cleaned = self.digits.replace("_", "")
+        for unknown in "xXzZ?":
+            cleaned = cleaned.replace(unknown, "0")
+        radix = {"b": 2, "o": 8, "d": 10, "h": 16}[self.base.lower()]
+        return int(cleaned, radix) if cleaned else 0
+
+
+@dataclass
+class StringConst(Expression):
+    """A string literal (only used in rare parameter contexts)."""
+
+    value: str
+
+    def __str__(self):
+        return f'"{self.value}"'
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary operator: ``~ ! + - & | ^ ~& ~| ~^``."""
+
+    op: str
+    operand: Expression
+
+    def __str__(self):
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary operator such as ``+``, ``&&``, ``<<``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class Ternary(Expression):
+    """Conditional expression ``cond ? true_value : false_value``."""
+
+    cond: Expression
+    true_value: Expression
+    false_value: Expression
+
+    def __str__(self):
+        return f"({self.cond} ? {self.true_value} : {self.false_value})"
+
+
+@dataclass
+class Concat(Expression):
+    """Concatenation ``{a, b, c}``."""
+
+    parts: list
+
+    def __str__(self):
+        return "{" + ", ".join(str(p) for p in self.parts) + "}"
+
+
+@dataclass
+class Repeat(Expression):
+    """Replication ``{n{expr}}``."""
+
+    count: Expression
+    value: Expression
+
+    def __str__(self):
+        return "{" + f"{self.count}{{{self.value}}}" + "}"
+
+
+@dataclass
+class BitSelect(Expression):
+    """Single-bit select ``sig[index]``."""
+
+    base: Expression
+    index: Expression
+
+    def __str__(self):
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass
+class PartSelect(Expression):
+    """Part select ``sig[msb:lsb]`` or indexed ``sig[base +: width]``.
+
+    ``mode`` is ``":"`` for constant ranges, ``"+:"`` / ``"-:"`` for indexed
+    part selects.
+    """
+
+    base: Expression
+    left: Expression
+    right: Expression
+    mode: str = ":"
+
+    def __str__(self):
+        return f"{self.base}[{self.left} {self.mode} {self.right}]"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Call of a user function or system function (``$signed`` etc.)."""
+
+    name: str
+    args: list
+
+    def __str__(self):
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+# --------------------------------------------------------------------------
+# Declarations and module items
+# --------------------------------------------------------------------------
+@dataclass
+class Width(Node):
+    """A vector range ``[msb:lsb]`` with symbolic bounds."""
+
+    msb: Expression
+    lsb: Expression
+
+    def __str__(self):
+        return f"[{self.msb}:{self.lsb}]"
+
+
+@dataclass
+class Port(Node):
+    """A module port.
+
+    Attributes:
+        name: port identifier.
+        direction: ``input`` / ``output`` / ``inout`` (or ``None`` when the
+            header only lists names, non-ANSI style).
+        width: optional :class:`Width`.
+        is_reg: whether the port was declared ``output reg``.
+        signed: whether declared signed.
+    """
+
+    name: str
+    direction: str = None
+    width: Width = None
+    is_reg: bool = False
+    signed: bool = False
+
+
+@dataclass
+class NetDecl(Node):
+    """A net/variable declaration: ``wire [3:0] a, b;`` etc.
+
+    ``kind`` is ``wire``, ``reg``, ``integer``, ``supply0`` or ``supply1``.
+    """
+
+    kind: str
+    names: list
+    width: Width = None
+    signed: bool = False
+    line: int = 0
+
+
+@dataclass
+class ParamDecl(Node):
+    """``parameter`` / ``localparam`` declaration (single name)."""
+
+    name: str
+    value: Expression
+    local: bool = False
+    width: Width = None
+
+
+@dataclass
+class Assign(Node):
+    """Continuous assignment ``assign lhs = rhs;``."""
+
+    lhs: Expression
+    rhs: Expression
+    line: int = 0
+
+
+@dataclass
+class GateInstance(Node):
+    """Primitive gate instantiation, e.g. ``and g1 (out, a, b);``.
+
+    ``args`` lists the connections, output(s) first per the LRM.
+    """
+
+    gate: str
+    name: str
+    args: list
+    line: int = 0
+
+
+@dataclass
+class PortConnection(Node):
+    """One connection in a module instantiation.
+
+    ``port`` is ``None`` for positional connections.
+    """
+
+    port: str
+    expr: Expression
+
+
+@dataclass
+class ModuleInstance(Node):
+    """Instantiation of a user module."""
+
+    module: str
+    name: str
+    connections: list
+    param_overrides: list = field(default_factory=list)
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Statements (inside always/initial)
+# --------------------------------------------------------------------------
+class Statement(Node):
+    """Base class for procedural statements."""
+
+
+@dataclass
+class Block(Statement):
+    """``begin ... end`` sequential block."""
+
+    statements: list
+    name: str = None
+
+
+@dataclass
+class BlockingAssign(Statement):
+    """Procedural blocking assignment ``lhs = rhs;``."""
+
+    lhs: Expression
+    rhs: Expression
+    line: int = 0
+
+
+@dataclass
+class NonblockingAssign(Statement):
+    """Procedural non-blocking assignment ``lhs <= rhs;``."""
+
+    lhs: Expression
+    rhs: Expression
+    line: int = 0
+
+
+@dataclass
+class If(Statement):
+    """``if (cond) then_stmt else else_stmt``; ``else_stmt`` may be None."""
+
+    cond: Expression
+    then_stmt: Statement
+    else_stmt: Statement = None
+
+
+@dataclass
+class CaseItem(Node):
+    """One arm of a case statement; ``patterns`` empty means ``default``."""
+
+    patterns: list
+    statement: Statement
+
+
+@dataclass
+class Case(Statement):
+    """``case``/``casez``/``casex`` statement."""
+
+    expr: Expression
+    items: list
+    kind: str = "case"
+
+
+@dataclass
+class For(Statement):
+    """``for (init; cond; step) body`` — used only with genvar-style loops."""
+
+    init: Statement
+    cond: Expression
+    step: Statement
+    body: Statement
+
+
+@dataclass
+class SensItem(Node):
+    """One sensitivity-list entry: ``edge`` is ``posedge``/``negedge``/``level``."""
+
+    edge: str
+    signal: Expression
+
+
+@dataclass
+class Always(Node):
+    """An ``always @(...)`` block.  ``sens_list`` empty means ``@*``."""
+
+    sens_list: list
+    statement: Statement
+    line: int = 0
+
+    @property
+    def is_clocked(self):
+        """True when any sensitivity item is edge-triggered."""
+        return any(item.edge in ("posedge", "negedge") for item in self.sens_list)
+
+
+@dataclass
+class Initial(Node):
+    """An ``initial`` block (parsed, ignored by dataflow analysis)."""
+
+    statement: Statement
+
+
+@dataclass
+class Module(Node):
+    """A Verilog module definition."""
+
+    name: str
+    ports: list
+    items: list
+    params: list = field(default_factory=list)
+    line: int = 0
+
+    def port_names(self):
+        """Names of ports in declaration order."""
+        return [port.name for port in self.ports]
+
+    def find_port(self, name):
+        """Return the :class:`Port` with ``name`` or ``None``."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+
+@dataclass
+class SourceFile(Node):
+    """A parsed source file: an ordered list of module definitions."""
+
+    modules: list
+
+    def module_map(self):
+        """Mapping from module name to :class:`Module`."""
+        return {module.name: module for module in self.modules}

@@ -1,0 +1,207 @@
+"""Hand-written lexer for the synthesizable Verilog subset.
+
+The lexer is a straightforward single-pass scanner.  It assumes comments and
+compiler directives have already been handled by
+:mod:`repro.verilog.preprocess`; stray block comments are still tolerated so
+the lexer can also be used standalone on clean snippets.
+"""
+
+from repro.errors import LexerError
+from repro.verilog.tokens import (
+    BASED_NUMBER,
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    NUMBER,
+    PUNCT,
+    SINGLE_CHAR_OPERATORS,
+    STRING,
+    Token,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_BASE_CHARS = frozenset("bBoOdDhH")
+_BASED_DIGITS = frozenset("0123456789abcdefABCDEFxXzZ?_")
+
+
+class Lexer:
+    """Tokenizes Verilog source text.
+
+    Usage::
+
+        tokens = Lexer(source).tokenize()
+    """
+
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._line_start = 0
+
+    def tokenize(self):
+        """Return the full token list, terminated by a single EOF token."""
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    def _column(self):
+        return self._pos - self._line_start + 1
+
+    def _error(self, message):
+        raise LexerError(message, line=self._line, column=self._column())
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance_line(self):
+        self._line += 1
+        self._line_start = self._pos
+
+    def _skip_whitespace_and_comments(self):
+        text = self._text
+        while self._pos < len(text):
+            char = text[self._pos]
+            if char == "\n":
+                self._pos += 1
+                self._advance_line()
+            elif char in " \t\r\f":
+                self._pos += 1
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < len(text) and text[self._pos] != "\n":
+                    self._pos += 1
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self):
+        text = self._text
+        self._pos += 2
+        while self._pos < len(text):
+            if text[self._pos] == "\n":
+                self._pos += 1
+                self._advance_line()
+            elif text[self._pos] == "*" and self._peek(1) == "/":
+                self._pos += 2
+                return
+            else:
+                self._pos += 1
+        self._error("unterminated block comment")
+
+    # ------------------------------------------------------------------
+    def _next_token(self):
+        self._skip_whitespace_and_comments()
+        if self._pos >= len(self._text):
+            return Token(EOF, "", self._line, self._column())
+
+        char = self._text[self._pos]
+        if char in _IDENT_START or char == "$":
+            return self._lex_identifier()
+        if char in _DIGITS:
+            return self._lex_number()
+        if char == "'":
+            return self._lex_based_number(size_text="")
+        if char == '"':
+            return self._lex_string()
+        if char == "\\":
+            return self._lex_escaped_identifier()
+        if char == "`":
+            self._error("stray compiler directive (run the preprocessor first)")
+        return self._lex_operator()
+
+    def _lex_identifier(self):
+        line, column = self._line, self._column()
+        start = self._pos
+        text = self._text
+        while self._pos < len(text) and text[self._pos] in _IDENT_CONT:
+            self._pos += 1
+        word = text[start:self._pos]
+        kind = KEYWORD if word in KEYWORDS else IDENT
+        return Token(kind, word, line, column)
+
+    def _lex_escaped_identifier(self):
+        line, column = self._line, self._column()
+        self._pos += 1
+        start = self._pos
+        text = self._text
+        while self._pos < len(text) and not text[self._pos].isspace():
+            self._pos += 1
+        word = text[start:self._pos]
+        if not word:
+            self._error("empty escaped identifier")
+        return Token(IDENT, word, line, column)
+
+    def _lex_number(self):
+        line, column = self._line, self._column()
+        start = self._pos
+        text = self._text
+        while self._pos < len(text) and text[self._pos] in _DIGITS | {"_"}:
+            self._pos += 1
+        size_text = text[start:self._pos]
+        if self._peek() == "'":
+            return self._lex_based_number(size_text, line, column)
+        return Token(NUMBER, size_text.replace("_", ""), line, column)
+
+    def _lex_based_number(self, size_text, line=None, column=None):
+        if line is None:
+            line, column = self._line, self._column()
+        text = self._text
+        start = self._pos
+        self._pos += 1  # consume the apostrophe
+        if self._peek() in "sS":
+            self._pos += 1
+        if self._peek() not in _BASE_CHARS:
+            self._error(f"invalid base character {self._peek()!r} in literal")
+        self._pos += 1
+        digit_start = self._pos
+        while self._pos < len(text) and text[self._pos] in _BASED_DIGITS:
+            self._pos += 1
+        if self._pos == digit_start:
+            self._error("based literal has no digits")
+        value = size_text + text[start:self._pos]
+        return Token(BASED_NUMBER, value, line, column)
+
+    def _lex_string(self):
+        line, column = self._line, self._column()
+        text = self._text
+        self._pos += 1
+        start = self._pos
+        while self._pos < len(text) and text[self._pos] != '"':
+            if text[self._pos] == "\n":
+                self._error("unterminated string literal")
+            self._pos += 1
+        if self._pos >= len(text):
+            self._error("unterminated string literal")
+        value = text[start:self._pos]
+        self._pos += 1
+        return Token(STRING, value, line, column)
+
+    def _lex_operator(self):
+        line, column = self._line, self._column()
+        for op in MULTI_CHAR_OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._pos += len(op)
+                return Token(PUNCT, op, line, column)
+        char = self._text[self._pos]
+        if char in SINGLE_CHAR_OPERATORS:
+            self._pos += 1
+            return Token(PUNCT, char, line, column)
+        self._error(f"unexpected character {char!r}")
+
+
+def tokenize(text):
+    """Convenience wrapper: lex ``text`` and return the token list."""
+    return Lexer(text).tokenize()

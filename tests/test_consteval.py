@@ -1,0 +1,133 @@
+"""Tests for constant-expression evaluation, incl. a hypothesis oracle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataflowError
+from repro.dataflow.consteval import (
+    evaluate_const,
+    try_evaluate_const,
+    width_bits,
+)
+from repro.verilog import ast_nodes as ast
+from repro.verilog.parser import parse_module
+
+
+def const_expr(text, env=None):
+    module = parse_module(
+        f"module m(); localparam X = {text}; endmodule")
+    return evaluate_const(module.items[0].value, env)
+
+
+class TestBasics:
+    def test_int_const(self):
+        assert const_expr("42") == 42
+
+    def test_based_const(self):
+        assert const_expr("8'hFF") == 255
+        assert const_expr("4'b1010") == 10
+        assert const_expr("3'o7") == 7
+
+    def test_based_const_with_x_reads_zero(self):
+        assert const_expr("4'b1x0z") == 0b1000
+
+    def test_arithmetic(self):
+        assert const_expr("2 + 3 * 4") == 14
+        assert const_expr("(2 + 3) * 4") == 20
+        assert const_expr("7 / 2") == 3
+        assert const_expr("7 % 2") == 1
+        assert const_expr("2 ** 10") == 1024
+
+    def test_division_by_zero_is_zero(self):
+        assert const_expr("5 / 0") == 0
+        assert const_expr("5 % 0") == 0
+
+    def test_shifts(self):
+        assert const_expr("1 << 4") == 16
+        assert const_expr("256 >> 4") == 16
+
+    def test_comparisons(self):
+        assert const_expr("3 < 4") == 1
+        assert const_expr("4 <= 4") == 1
+        assert const_expr("5 == 5") == 1
+        assert const_expr("5 != 5") == 0
+
+    def test_logical_ops(self):
+        assert const_expr("1 && 0") == 0
+        assert const_expr("1 || 0") == 1
+        assert const_expr("!3") == 0
+
+    def test_ternary(self):
+        assert const_expr("1 ? 10 : 20") == 10
+        assert const_expr("0 ? 10 : 20") == 20
+
+    def test_identifier_from_env(self):
+        assert const_expr("W * 2", {"W": 8}) == 16
+
+    def test_unknown_identifier_raises(self):
+        with pytest.raises(DataflowError):
+            const_expr("W + 1")
+
+    def test_try_evaluate_returns_none(self):
+        assert try_evaluate_const(ast.Identifier("nope")) is None
+
+    def test_clog2(self):
+        assert const_expr("$clog2(8)") == 3
+        assert const_expr("$clog2(9)") == 4
+        assert const_expr("$clog2(1)") == 0
+
+
+class TestWidthBits:
+    def test_none_width_is_one(self):
+        assert width_bits(None) == 1
+
+    def test_simple_range(self):
+        width = ast.Width(ast.IntConst(7), ast.IntConst(0))
+        assert width_bits(width) == 8
+
+    def test_parameterized_range(self):
+        width = ast.Width(
+            ast.BinaryOp("-", ast.Identifier("W"), ast.IntConst(1)),
+            ast.IntConst(0))
+        assert width_bits(width, {"W": 16}) == 16
+
+    def test_reversed_range(self):
+        width = ast.Width(ast.IntConst(0), ast.IntConst(7))
+        assert width_bits(width) == 8
+
+
+@st.composite
+def _int_exprs(draw, depth=0):
+    """Random (expression AST, python value) pairs over safe operators."""
+    if depth > 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=0, max_value=255))
+        return ast.IntConst(value), value
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    left_expr, left_val = draw(_int_exprs(depth=depth + 1))
+    right_expr, right_val = draw(_int_exprs(depth=depth + 1))
+    table = {
+        "+": left_val + right_val,
+        "-": left_val - right_val,
+        "*": left_val * right_val,
+        "&": left_val & right_val,
+        "|": left_val | right_val,
+        "^": left_val ^ right_val,
+    }
+    return ast.BinaryOp(op, left_expr, right_expr), table[op]
+
+
+class TestPropertyBased:
+    @given(_int_exprs())
+    def test_matches_python_semantics(self, pair):
+        expr, expected = pair
+        assert evaluate_const(expr) == expected
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_clog2_definition(self, value):
+        if value < 1:
+            return
+        result = evaluate_const(
+            ast.FunctionCall("$clog2", [ast.IntConst(value)]))
+        assert 2 ** result >= value
+        if result > 0:
+            assert 2 ** (result - 1) < value

@@ -1,0 +1,111 @@
+"""Tests for corpus assembly (RTL, netlist, ISCAS, MIPS visualization)."""
+
+import pytest
+
+from repro.designs import (
+    SYNTHESIZABLE_FAMILIES,
+    corpus_statistics,
+    default_rtl_families,
+    family_names,
+    iscas_records,
+    mips_visualization_records,
+    netlist_records,
+    rtl_records,
+)
+from repro.errors import DatasetError
+
+
+class TestRtlRecords:
+    def test_basic_generation(self):
+        records = rtl_records(families=["adder8", "mux8"],
+                              instances_per_design=3, seed=0)
+        assert len(records) == 6
+        assert all(record.kind == "rtl" for record in records)
+        assert {record.design for record in records} == {"adder8", "mux8"}
+
+    def test_instances_unique(self):
+        records = rtl_records(families=["adder8"], instances_per_design=4)
+        names = [record.instance for record in records]
+        assert len(set(names)) == len(names)
+
+    def test_graphs_nonempty(self):
+        records = rtl_records(families=["alu"], instances_per_design=2)
+        assert all(len(record.graph) > 10 for record in records)
+
+    def test_same_seed_reproducible(self):
+        first = rtl_records(families=["lfsr8"], instances_per_design=2,
+                            seed=3)
+        second = rtl_records(families=["lfsr8"], instances_per_design=2,
+                             seed=3)
+        assert [len(r.graph) for r in first] == [len(r.graph) for r in second]
+
+
+class TestNetlistRecords:
+    def test_generation_and_obfuscation(self):
+        records = netlist_records(families=["adder8", "cmp8"],
+                                  instances_per_design=3, seed=0)
+        assert len(records) == 6
+        assert all(record.kind == "netlist" for record in records)
+        by_design = {}
+        for record in records:
+            by_design.setdefault(record.design, []).append(record)
+        for instances in by_design.values():
+            sizes = [len(record.graph) for record in instances]
+            # Obfuscated instances have more nodes than the plain synth.
+            assert max(sizes[1:]) > sizes[0]
+
+    def test_default_family_list_is_synthesizable(self):
+        assert set(SYNTHESIZABLE_FAMILIES) <= set(family_names())
+
+    def test_netlist_graphs_bigger_than_rtl(self):
+        rtl = rtl_records(families=["adder8"], instances_per_design=1)
+        net = netlist_records(families=["adder8"], instances_per_design=1)
+        assert len(net[0].graph) > len(rtl[0].graph)
+
+
+class TestIscasRecords:
+    def test_counts(self):
+        records = iscas_records(names=["c432"], obfuscated_per_benchmark=3)
+        assert len(records) == 4  # original + 3 obfuscations
+        assert records[0].instance == "c432_orig"
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            iscas_records(names=["c404"])
+
+    def test_all_same_design_label(self):
+        records = iscas_records(names=["c880"], obfuscated_per_benchmark=2)
+        assert {record.design for record in records} == {"c880"}
+
+
+class TestVisualizationRecords:
+    def test_two_processor_families(self):
+        records = mips_visualization_records(instances_per_design=3)
+        designs = {record.design for record in records}
+        assert designs == {"mips_pipeline", "mips_single"}
+        assert len(records) == 6
+
+
+class TestHelpers:
+    def test_default_rtl_families_subset(self):
+        names = default_rtl_families(small=True)
+        assert 10 < len(names) <= len(family_names())
+        assert set(names) <= set(family_names())
+        # The designs needed by Table II must be present ("alu" is
+        # deliberately excluded: see default_rtl_families).
+        for required in ("aes", "fpa", "rs232", "mips_single",
+                         "mips_pipeline"):
+            assert required in names
+        assert "alu" not in names
+
+    def test_full_family_list(self):
+        assert default_rtl_families(small=False) == family_names()
+
+    def test_corpus_statistics(self):
+        records = rtl_records(families=["adder8", "mux8"],
+                              instances_per_design=2)
+        stats = corpus_statistics(records)
+        assert stats["designs"] == 2
+        assert stats["graphs"] == 4
+        assert stats["mean_nodes"] > 0
+        assert stats["per_design"] == {"adder8": 2, "mux8": 2}

@@ -1,0 +1,206 @@
+"""Functional tests for the ISCAS'85-equivalent benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.designs.iscas import (
+    ISCAS_BENCHMARKS,
+    c432,
+    c499,
+    c880,
+    c1355,
+    c1908,
+    c6288,
+    iscas_names,
+    iscas_netlist,
+)
+from repro.errors import DatasetError
+from repro.obfuscate import obfuscate
+from repro.sim import NetlistSimulator, check_netlists_equivalent
+
+
+class TestRegistry:
+    def test_six_benchmarks(self):
+        assert iscas_names() == ["c432", "c499", "c880", "c1355", "c1908",
+                                 "c6288"]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(DatasetError):
+            iscas_netlist("c17000")
+
+    @pytest.mark.parametrize("name", iscas_names())
+    def test_netlists_validate(self, name):
+        netlist = iscas_netlist(name)
+        netlist.validate()
+        assert netlist.is_combinational()
+        assert netlist.num_gates > 100
+
+    def test_paper_instance_counts(self):
+        counts = [ISCAS_BENCHMARKS[n][2] for n in iscas_names()]
+        assert counts == [24, 23, 30, 19, 22, 25]
+
+
+class TestC432InterruptController:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return NetlistSimulator(c432())
+
+    def drive(self, sim, reqs_a=0, reqs_b=0, reqs_c=0, enables=0x1FF):
+        stim = {}
+        stim.update(sim.drive_bus("reqa", 9, reqs_a))
+        stim.update(sim.drive_bus("reqb", 9, reqs_b))
+        stim.update(sim.drive_bus("reqc", 9, reqs_c))
+        stim.update(sim.drive_bus("en", 9, enables))
+        sim.set_inputs(stim)
+
+    def test_idle_no_grants(self, sim):
+        self.drive(sim)
+        assert sim.value("grant_a") == 0
+        assert sim.value("grant_b") == 0
+        assert sim.value("grant_c") == 0
+
+    def test_group_a_highest_priority(self, sim):
+        self.drive(sim, reqs_a=1 << 2, reqs_b=1 << 5, reqs_c=1 << 8)
+        assert sim.value("grant_a") == 1
+        assert sim.value("grant_b") == 0
+        assert sim.read_bus("chan", 4) == 2
+
+    def test_group_b_when_a_idle(self, sim):
+        self.drive(sim, reqs_b=1 << 5, reqs_c=1 << 1)
+        assert sim.value("grant_b") == 1
+        assert sim.read_bus("chan", 4) == 5
+
+    def test_group_c_lowest(self, sim):
+        self.drive(sim, reqs_c=1 << 7)
+        assert sim.value("grant_c") == 1
+        assert sim.read_bus("chan", 4) == 7
+
+    def test_highest_channel_wins_within_group(self, sim):
+        self.drive(sim, reqs_a=(1 << 3) | (1 << 6))
+        assert sim.read_bus("chan", 4) == 6
+
+    def test_enable_masks_requests(self, sim):
+        self.drive(sim, reqs_a=1 << 4, enables=0)
+        assert sim.value("grant_a") == 0
+
+
+class TestSecBenchmarks:
+    def encode(self, netlist, data_width, check_bits, data):
+        """Compute matching check bits for clean data (syndrome = 0)."""
+        from repro.designs.iscas import _sec_signature
+        checks = 0
+        for check in range(check_bits):
+            parity = 0
+            for i in range(data_width):
+                if (_sec_signature(i, check_bits) >> check) & 1:
+                    parity ^= (data >> i) & 1
+            checks |= parity << check
+        return checks
+
+    @pytest.mark.parametrize("name,data_width,check_bits",
+                             [("c499", 32, 6), ("c1908", 16, 5)])
+    def test_clean_word_passes_through(self, name, data_width, check_bits):
+        netlist = iscas_netlist(name)
+        sim = NetlistSimulator(netlist)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            data = int(rng.integers(0, 1 << data_width))
+            checks = self.encode(netlist, data_width, check_bits, data)
+            stim = sim.drive_bus("d", data_width, data)
+            stim.update(sim.drive_bus("chk", check_bits, checks))
+            if "p_all" in netlist.inputs:
+                overall = bin(data).count("1") & 1
+                stim["p_all"] = overall
+            sim.set_inputs(stim)
+            assert sim.read_bus("q", data_width) == data
+            assert sim.value("err") == 0
+
+    @pytest.mark.parametrize("name,data_width,check_bits",
+                             [("c499", 32, 6), ("c1908", 16, 5)])
+    def test_single_error_corrected(self, name, data_width, check_bits):
+        netlist = iscas_netlist(name)
+        sim = NetlistSimulator(netlist)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            data = int(rng.integers(0, 1 << data_width))
+            checks = self.encode(netlist, data_width, check_bits, data)
+            flip = int(rng.integers(0, data_width))
+            corrupted = data ^ (1 << flip)
+            stim = sim.drive_bus("d", data_width, corrupted)
+            stim.update(sim.drive_bus("chk", check_bits, checks))
+            if "p_all" in netlist.inputs:
+                stim["p_all"] = bin(data).count("1") & 1
+            sim.set_inputs(stim)
+            assert sim.read_bus("q", data_width) == data
+            assert sim.value("err") == 1
+
+    def test_c1355_equivalent_to_c499(self):
+        report = check_netlists_equivalent(c499(), c1355(), vectors=64,
+                                           seed=4)
+        assert report.equivalent
+
+    def test_c1355_has_no_xor(self):
+        cells = c1355().stats()["cells"]
+        assert "xor" not in cells
+        assert cells["nand"] > 100
+
+
+class TestC880Alu:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return NetlistSimulator(c880())
+
+    @pytest.mark.parametrize("ctl,fn", [
+        (0, lambda a, b: (a + b) & 0xFF),   # add
+        (1, lambda a, b: (a - b) & 0xFF),   # subtract
+        (2, lambda a, b: a & b),            # and
+        (3, lambda a, b: a | b),            # or
+        (4, lambda a, b: a ^ b),            # xor
+        (5, lambda a, b: a),                # pass-through A
+        (6, lambda a, b: b),                # pass-through B
+        (7, lambda a, b: b),                # pass-through B
+    ])
+    def test_operations(self, sim, ctl, fn):
+        rng = np.random.default_rng(ctl)
+        for _ in range(6):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 256))
+            stim = sim.drive_bus("a", 8, a)
+            stim.update(sim.drive_bus("b", 8, b))
+            stim.update(sim.drive_bus("ctl", 3, ctl))
+            sim.set_inputs(stim)
+            assert sim.read_bus("y", 8) == fn(a, b), (ctl, a, b)
+
+    def test_zero_flag(self, sim):
+        stim = sim.drive_bus("a", 8, 0)
+        stim.update(sim.drive_bus("b", 8, 0))
+        stim.update(sim.drive_bus("ctl", 3, 0))
+        sim.set_inputs(stim)
+        assert sim.value("zero") == 1
+
+
+class TestC6288Multiplier:
+    def test_multiplies(self):
+        sim = NetlistSimulator(c6288())
+        rng = np.random.default_rng(3)
+        cases = [(0, 0), (1, 1), (65535, 65535), (12345, 333)]
+        cases += [(int(rng.integers(0, 1 << 16)), int(rng.integers(0, 1 << 16)))
+                  for _ in range(4)]
+        for a, b in cases:
+            stim = sim.drive_bus("a", 16, a)
+            stim.update(sim.drive_bus("b", 16, b))
+            sim.set_inputs(stim)
+            assert sim.read_bus("p", 32) == a * b, (a, b)
+
+
+class TestObfuscatedInstances:
+    """Table III setting: obfuscation must preserve each benchmark."""
+
+    @pytest.mark.parametrize("name", ["c432", "c499", "c880", "c1908"])
+    def test_obfuscated_equivalent(self, name):
+        base = iscas_netlist(name)
+        for seed in (0, 1):
+            transformed = obfuscate(base, seed=seed, strength=2)
+            report = check_netlists_equivalent(base, transformed,
+                                               vectors=24, seed=seed)
+            assert report.equivalent, name

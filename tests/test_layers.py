@@ -1,0 +1,188 @@
+"""Tests for nn layers: Module, Linear, GCNConv, Dropout, normalization."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.nn.layers import (
+    Dropout,
+    GCNConv,
+    Linear,
+    Module,
+    glorot,
+    normalize_adjacency,
+)
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+def chain_adjacency(n):
+    rows = list(range(n - 1))
+    cols = list(range(1, n))
+    data = np.ones(n - 1)
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return matrix.maximum(matrix.T)
+
+
+class TestModuleInfrastructure:
+    def test_parameters_collected_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer_a = self.register_module("a", Linear(2, 3))
+                self.layer_b = self.register_module("b", Linear(3, 1))
+
+        net = Net()
+        assert len(net.parameters()) == 4  # two weights, two biases
+
+    def test_named_parameters_have_prefixes(self):
+        conv = GCNConv(4, 2)
+        names = [name for name, _ in conv.named_parameters()]
+        assert "weight" in names
+        assert "bias" in names
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, rng=RNG)
+        state = layer.state_dict()
+        clone = Linear(3, 2, rng=np.random.default_rng(99))
+        clone.load_state_dict(state)
+        np.testing.assert_array_equal(layer.weight.data, clone.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(3, 2)
+        bad = {name: np.zeros((1, 1)) for name, _ in layer.named_parameters()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_train_eval_propagates(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = self.register_module("d", Dropout(0.5))
+
+        net = Net()
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=RNG)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_glorot_bounds(self):
+        weights = glorot((100, 50), RNG)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(weights) <= limit)
+
+
+class TestNormalizeAdjacency:
+    def test_self_loops_added(self):
+        adjacency = chain_adjacency(3)
+        normalized = normalize_adjacency(adjacency)
+        assert np.all(normalized.diagonal() > 0)
+
+    def test_rows_of_isolated_node(self):
+        matrix = sparse.csr_matrix((3, 3))
+        normalized = normalize_adjacency(matrix)
+        # With self loops each isolated node normalizes to exactly 1.
+        np.testing.assert_allclose(normalized.diagonal(), 1.0)
+
+    def test_symmetric_output(self):
+        normalized = normalize_adjacency(chain_adjacency(5))
+        dense = normalized.toarray()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_matches_formula(self):
+        adjacency = chain_adjacency(4)
+        a_hat = adjacency.toarray() + np.eye(4)
+        degree = a_hat.sum(axis=1)
+        expected = a_hat / np.sqrt(np.outer(degree, degree))
+        np.testing.assert_allclose(
+            normalize_adjacency(adjacency).toarray(), expected)
+
+    def test_no_self_loops_option(self):
+        normalized = normalize_adjacency(chain_adjacency(3),
+                                         add_self_loops=False)
+        assert normalized.diagonal().sum() == 0
+
+
+class TestGCNConv:
+    def test_forward_shape(self):
+        conv = GCNConv(6, 4, rng=RNG)
+        a_norm = normalize_adjacency(chain_adjacency(5))
+        out = conv(Tensor(np.ones((5, 6))), a_norm)
+        assert out.shape == (5, 4)
+
+    def test_propagation_mixes_neighbors(self):
+        """A node's output must depend on its neighbor's features."""
+        conv = GCNConv(2, 2, bias=False, rng=RNG)
+        a_norm = normalize_adjacency(chain_adjacency(2))
+        x0 = np.array([[1.0, 0.0], [0.0, 0.0]])
+        x1 = np.array([[1.0, 0.0], [5.0, 0.0]])
+        out0 = conv(Tensor(x0), a_norm).data
+        out1 = conv(Tensor(x1), a_norm).data
+        assert not np.allclose(out0[0], out1[0])
+
+    def test_isolated_graph_is_dense_linear(self):
+        """With no edges, GCN reduces to a plain linear layer."""
+        conv = GCNConv(3, 2, bias=False, rng=RNG)
+        a_norm = normalize_adjacency(sparse.csr_matrix((4, 4)))
+        x = RNG.normal(size=(4, 3))
+        out = conv(Tensor(x), a_norm).data
+        np.testing.assert_allclose(out, x @ conv.weight.data)
+
+    def test_gradient_reaches_weight(self):
+        conv = GCNConv(3, 2, rng=RNG)
+        a_norm = normalize_adjacency(chain_adjacency(4))
+        conv(Tensor(RNG.normal(size=(4, 3))), a_norm).pow(2.0).sum().backward()
+        assert conv.weight.grad is not None
+        assert np.linalg.norm(conv.weight.grad) > 0
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_train_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100)))).data
+        values = set(np.unique(np.round(out, 6)))
+        assert values <= {0.0, 2.0}
+        # roughly half survive
+        assert 0.35 < (out > 0).mean() < 0.65
+
+    def test_zero_rate_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(RNG.normal(size=(5, 5)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

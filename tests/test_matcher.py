@@ -1,0 +1,87 @@
+"""Tests for the IP library matcher."""
+
+import pytest
+
+from repro.core import GNN4IP, GraphRecord
+from repro.core.matcher import IPMatcher, Match
+from repro.dataflow import dfg_from_verilog
+from repro.errors import ModelError
+
+XOR = "module a(input x, input y, output z); assign z = x ^ y; endmodule"
+ADD = ("module b(input [3:0] x, input [3:0] y, output [4:0] z); "
+       "assign z = x + y; endmodule")
+FSM = """
+module c(input clk, input rst, output reg [1:0] s);
+  always @(posedge clk) begin
+    if (rst) s <= 2'd0;
+    else s <= s + 2'd1;
+  end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def library_matcher():
+    model = GNN4IP(seed=0, delta=0.95)
+    matcher = IPMatcher(model)
+    matcher.add_records([
+        GraphRecord("xor_ip", "xor_0", dfg_from_verilog(XOR)),
+        GraphRecord("adder_ip", "add_0", dfg_from_verilog(ADD)),
+        GraphRecord("fsm_ip", "fsm_0", dfg_from_verilog(FSM)),
+    ])
+    return model, matcher
+
+
+class TestIPMatcher:
+    def test_len(self, library_matcher):
+        _, matcher = library_matcher
+        assert len(matcher) == 3
+
+    def test_exact_copy_scores_one(self, library_matcher):
+        model, matcher = library_matcher
+        matches = matcher.match(dfg_from_verilog(XOR))
+        assert matches[0].design == "xor_ip"
+        assert matches[0].score == pytest.approx(1.0)
+        assert matches[0].is_piracy
+
+    def test_sorted_descending(self, library_matcher):
+        _, matcher = library_matcher
+        matches = matcher.match(dfg_from_verilog(ADD))
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k(self, library_matcher):
+        _, matcher = library_matcher
+        assert len(matcher.match(dfg_from_verilog(XOR), top_k=2)) == 2
+
+    def test_best_design(self, library_matcher):
+        _, matcher = library_matcher
+        design, score = matcher.best_design(dfg_from_verilog(FSM))
+        assert design == "fsm_ip"
+        assert score == pytest.approx(1.0)
+
+    def test_match_scores_agree_with_model(self, library_matcher):
+        model, matcher = library_matcher
+        suspect = dfg_from_verilog(ADD)
+        matches = {m.instance: m.score for m in matcher.match(suspect)}
+        direct = model.similarity(suspect, dfg_from_verilog(XOR))
+        # cosine_similarity_np stabilizes each norm with an epsilon, the
+        # matcher normalizes exactly: agreement is to ~1e-8.
+        assert matches["xor_0"] == pytest.approx(direct, abs=1e-6)
+
+    def test_piracy_report_one_row_per_design(self, library_matcher):
+        model, matcher = library_matcher
+        matcher.add("xor_ip", "xor_1", dfg_from_verilog(XOR))
+        report = matcher.piracy_report(dfg_from_verilog(XOR))
+        designs = [m.design for m in report]
+        assert len(designs) == len(set(designs))
+
+    def test_empty_index_rejected(self):
+        matcher = IPMatcher(GNN4IP(seed=0))
+        with pytest.raises(ModelError):
+            matcher.match(dfg_from_verilog(XOR))
+
+    def test_match_dataclass(self):
+        match = Match("d", "i", 0.9, True)
+        assert match.design == "d"
+        assert match.is_piracy

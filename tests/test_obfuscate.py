@@ -1,0 +1,166 @@
+"""Obfuscation tests: every transform must preserve behaviour and change
+structure — the property Table III's experiment relies on."""
+
+import numpy as np
+import pytest
+
+from repro.obfuscate import (
+    TRANSFORMS,
+    decompose_gates,
+    demorgan_rewrite,
+    insert_buffer_chains,
+    insert_inverter_pairs,
+    make_rtl_variant,
+    obfuscate,
+    rename_wires,
+)
+from repro.sim import check_netlists_equivalent
+from repro.synth import synthesize_verilog
+
+ALU_SOURCE = """
+module alu(input [3:0] a, input [3:0] b, input [1:0] op,
+           output reg [3:0] y, output any);
+  always @(*) begin
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a & b;
+      2'b10: y = a ^ b;
+      default: y = a - b;
+    endcase
+  end
+  assign any = |y;
+endmodule
+"""
+
+SEQ_SOURCE = """
+module seq(input clk, input rst, input d, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else q <= {q[2:0], d};
+  end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def alu_netlist():
+    return synthesize_verilog(ALU_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def seq_netlist():
+    return synthesize_verilog(SEQ_SOURCE)
+
+
+class TestIndividualTransforms:
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_transform_preserves_function(self, alu_netlist, name):
+        rng = np.random.default_rng(5)
+        transformed = TRANSFORMS[name](alu_netlist.copy(), rng)
+        transformed.validate()
+        report = check_netlists_equivalent(alu_netlist, transformed,
+                                           vectors=48, seed=2)
+        assert report.equivalent, f"{name}: {report.counterexample}"
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_transform_on_sequential_netlist(self, seq_netlist, name):
+        rng = np.random.default_rng(9)
+        transformed = TRANSFORMS[name](seq_netlist.copy(), rng)
+        transformed.validate()
+        report = check_netlists_equivalent(seq_netlist, transformed,
+                                           vectors=12, seed=3)
+        assert report.equivalent, f"{name}: {report.counterexample}"
+
+    def test_rename_changes_all_internal_nets(self, alu_netlist):
+        renamed = rename_wires(alu_netlist, np.random.default_rng(0))
+        io_nets = set(alu_netlist.inputs) | set(alu_netlist.outputs)
+        before = alu_netlist.nets() - io_nets
+        after = renamed.nets() - io_nets
+        assert before.isdisjoint(after)
+
+    def test_rename_keeps_io(self, alu_netlist):
+        renamed = rename_wires(alu_netlist, np.random.default_rng(0))
+        assert renamed.inputs == alu_netlist.inputs
+        assert renamed.outputs == alu_netlist.outputs
+
+    def test_inverter_pairs_add_gates(self, alu_netlist):
+        out = insert_inverter_pairs(alu_netlist, np.random.default_rng(1))
+        assert out.num_gates > alu_netlist.num_gates
+
+    def test_buffer_chains_add_buffers(self, alu_netlist):
+        out = insert_buffer_chains(alu_netlist, np.random.default_rng(1))
+        buffers_before = alu_netlist.stats()["cells"].get("buf", 0)
+        assert out.stats()["cells"]["buf"] > buffers_before
+
+    def test_decompose_removes_xors(self, alu_netlist):
+        rng = np.random.default_rng(2)
+        out = decompose_gates(alu_netlist, rng, fraction=1.0)
+        assert out.stats()["cells"].get("xor", 0) < \
+            alu_netlist.stats()["cells"].get("xor", 1)
+
+    def test_demorgan_changes_structure(self, alu_netlist):
+        rng = np.random.default_rng(2)
+        out = demorgan_rewrite(alu_netlist, rng, fraction=1.0)
+        assert out.num_gates > alu_netlist.num_gates
+
+
+class TestObfuscatePipeline:
+    def test_pipeline_equivalent(self, alu_netlist):
+        for seed in range(4):
+            transformed = obfuscate(alu_netlist, seed=seed, strength=3)
+            report = check_netlists_equivalent(alu_netlist, transformed,
+                                               vectors=32, seed=seed)
+            assert report.equivalent
+
+    def test_different_seeds_different_structures(self, alu_netlist):
+        first = obfuscate(alu_netlist, seed=1)
+        second = obfuscate(alu_netlist, seed=2)
+        assert first.stats() != second.stats() or \
+            [g.output for g in first.gates] != [g.output for g in second.gates]
+
+    def test_explicit_transform_list(self, alu_netlist):
+        out = obfuscate(alu_netlist, seed=0, transforms=["decompose"])
+        report = check_netlists_equivalent(alu_netlist, out, vectors=32)
+        assert report.equivalent
+
+    def test_name_override(self, alu_netlist):
+        out = obfuscate(alu_netlist, seed=0, name="alu_obf")
+        assert out.name == "alu_obf"
+
+    def test_source_untouched(self, alu_netlist):
+        gates_before = alu_netlist.num_gates
+        obfuscate(alu_netlist, seed=0, strength=3)
+        assert alu_netlist.num_gates == gates_before
+
+
+class TestRtlVariants:
+    def test_variant_parses_and_matches(self):
+        variant = make_rtl_variant(ALU_SOURCE, seed=3)
+        original = synthesize_verilog(ALU_SOURCE)
+        rewritten = synthesize_verilog(variant)
+        report = check_netlists_equivalent(original, rewritten, vectors=48)
+        assert report.equivalent
+
+    def test_variant_renames_locals(self):
+        variant = make_rtl_variant(
+            "module m(input a, output y); wire tmp1; "
+            "assign tmp1 = ~a; assign y = tmp1; endmodule", seed=1)
+        assert "tmp1" not in variant
+        assert "module m" in variant
+
+    def test_variant_keeps_ports(self):
+        variant = make_rtl_variant(ALU_SOURCE, seed=7)
+        for port in ("a", "b", "op", "y", "any"):
+            assert port in variant
+
+    def test_different_seeds_different_text(self):
+        a = make_rtl_variant(ALU_SOURCE, seed=1)
+        b = make_rtl_variant(ALU_SOURCE, seed=2)
+        assert a != b
+
+    def test_sequential_variant_equivalent(self):
+        variant = make_rtl_variant(SEQ_SOURCE, seed=5)
+        original = synthesize_verilog(SEQ_SOURCE)
+        rewritten = synthesize_verilog(variant)
+        report = check_netlists_equivalent(original, rewritten, vectors=12)
+        assert report.equivalent

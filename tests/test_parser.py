@@ -1,0 +1,318 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.verilog import ast_nodes as ast
+from repro.verilog.parser import parse, parse_module
+
+
+class TestModuleHeaders:
+    def test_ansi_ports(self):
+        module = parse_module(
+            "module m(input a, output reg [7:0] q); endmodule")
+        assert module.name == "m"
+        assert module.port_names() == ["a", "q"]
+        assert module.ports[0].direction == "input"
+        assert module.ports[1].is_reg
+        assert module.ports[1].width is not None
+
+    def test_non_ansi_ports_merged(self):
+        module = parse_module("""
+module m(a, b, y);
+  input [3:0] a, b;
+  output y;
+  assign y = a[0] & b[0];
+endmodule
+""")
+        assert module.ports[0].direction == "input"
+        assert module.ports[0].width is not None
+        assert module.ports[2].direction == "output"
+        # port declarations must not linger as module items
+        assert not any(isinstance(i, ast.Port) for i in module.items)
+
+    def test_direction_carries_over_in_port_list(self):
+        module = parse_module("module m(input a, b, output y); endmodule")
+        assert module.ports[1].direction == "input"
+        assert module.ports[2].direction == "output"
+
+    def test_parameter_header(self):
+        module = parse_module(
+            "module m #(parameter W = 8, parameter D = 2) (input x); "
+            "endmodule")
+        assert [p.name for p in module.params] == ["W", "D"]
+        assert module.params[0].value.value == 8
+
+    def test_empty_port_list(self):
+        module = parse_module("module m(); endmodule")
+        assert module.ports == []
+
+    def test_multiple_modules(self):
+        source = parse("module a(); endmodule module b(); endmodule")
+        assert [m.name for m in source.modules] == ["a", "b"]
+
+
+class TestDeclarations:
+    def test_wire_declaration(self):
+        module = parse_module("module m(); wire [3:0] a, b; endmodule")
+        decl = module.items[0]
+        assert isinstance(decl, ast.NetDecl)
+        assert decl.names == ["a", "b"]
+        assert decl.kind == "wire"
+
+    def test_wire_with_init_becomes_assign(self):
+        module = parse_module(
+            "module m(input x); wire y = ~x; endmodule")
+        assert isinstance(module.items[0], ast.NetDecl)
+        assert isinstance(module.items[1], ast.Assign)
+
+    def test_reg_and_integer(self):
+        module = parse_module(
+            "module m(); reg [7:0] r; integer i; endmodule")
+        assert module.items[0].kind == "reg"
+        assert module.items[1].kind == "integer"
+
+    def test_localparam(self):
+        module = parse_module("module m(); localparam N = 4; endmodule")
+        assert module.items[0].local
+
+    def test_signed_declaration(self):
+        module = parse_module("module m(); wire signed [7:0] s; endmodule")
+        assert module.items[0].signed
+
+
+class TestExpressions:
+    def expr(self, text):
+        module = parse_module(f"module m(input a, input b, input c); "
+                              f"wire y; assign y = {text}; endmodule")
+        assigns = [i for i in module.items if isinstance(i, ast.Assign)]
+        return assigns[0].rhs
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = self.expr("a | b & c")
+        assert expr.op == "|"
+        assert expr.right.op == "&"
+
+    def test_left_associativity(self):
+        expr = self.expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_ternary_right_associative(self):
+        expr = self.expr("a ? b : c ? a : b")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.false_value, ast.Ternary)
+
+    def test_unary_reduction(self):
+        expr = self.expr("&a | ^b")
+        assert expr.op == "|"
+        assert expr.left.op == "&"
+        assert expr.right.op == "^"
+
+    def test_concat(self):
+        expr = self.expr("{a, b, 1'b0}")
+        assert isinstance(expr, ast.Concat)
+        assert len(expr.parts) == 3
+
+    def test_replication(self):
+        expr = self.expr("{4{a}}")
+        assert isinstance(expr, ast.Repeat)
+        assert expr.count.value == 4
+
+    def test_bit_select(self):
+        expr = self.expr("a[3]")
+        assert isinstance(expr, ast.BitSelect)
+
+    def test_part_select(self):
+        expr = self.expr("a[7:4]")
+        assert isinstance(expr, ast.PartSelect)
+        assert expr.mode == ":"
+
+    def test_indexed_part_select(self):
+        expr = self.expr("a[b +: 4]")
+        assert expr.mode == "+:"
+
+    def test_nested_selects(self):
+        expr = self.expr("a[7:4][1]")
+        assert isinstance(expr, ast.BitSelect)
+        assert isinstance(expr.base, ast.PartSelect)
+
+    def test_based_const_value(self):
+        expr = self.expr("8'hA5")
+        assert expr.value == 0xA5
+        assert expr.width == 8
+
+    def test_system_function_call(self):
+        expr = self.expr("$signed(a)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "$signed"
+
+    def test_le_in_expression_is_comparison(self):
+        expr = self.expr("a <= b")
+        assert expr.op == "<="
+
+
+class TestStatements:
+    def always(self, body, sens="*"):
+        module = parse_module(f"""
+module m(input clk, input a, input b, output reg q);
+  reg [3:0] t;
+  integer i;
+  always @({sens}) {body}
+endmodule
+""")
+        return [i for i in module.items if isinstance(i, ast.Always)][0]
+
+    def test_sensitivity_star(self):
+        always = self.always("q = a;")
+        assert always.sens_list == []
+        assert not always.is_clocked
+
+    def test_posedge_sensitivity(self):
+        always = self.always("q <= a;", sens="posedge clk")
+        assert always.is_clocked
+        assert always.sens_list[0].edge == "posedge"
+
+    def test_or_separated_sensitivity(self):
+        always = self.always("q <= a;", sens="posedge clk or negedge a")
+        assert [s.edge for s in always.sens_list] == ["posedge", "negedge"]
+
+    def test_comma_separated_sensitivity(self):
+        always = self.always("q = a;", sens="a, b")
+        assert len(always.sens_list) == 2
+
+    def test_if_else(self):
+        always = self.always("if (a) q = b; else q = ~b;")
+        stmt = always.statement
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_stmt is not None
+
+    def test_dangling_else_binds_inner(self):
+        always = self.always("if (a) if (b) q = 1'b1; else q = 1'b0;")
+        outer = always.statement
+        assert outer.else_stmt is None
+        assert outer.then_stmt.else_stmt is not None
+
+    def test_case_with_default(self):
+        always = self.always("""
+begin
+  case (t)
+    4'd0: q = a;
+    4'd1, 4'd2: q = b;
+    default: q = 1'b0;
+  endcase
+end
+""")
+        case = always.statement.statements[0]
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert case.items[1].patterns and len(case.items[1].patterns) == 2
+        assert case.items[2].patterns == []
+
+    def test_casez(self):
+        always = self.always("casez (t) 4'b1???: q = a; endcase")
+        assert always.statement.kind == "casez"
+
+    def test_for_loop(self):
+        always = self.always(
+            "begin for (i = 0; i < 4; i = i + 1) q = a; end")
+        loop = always.statement.statements[0]
+        assert isinstance(loop, ast.For)
+
+    def test_named_block(self):
+        always = self.always("begin : blk q = a; end")
+        assert always.statement.name == "blk"
+
+    def test_blocking_vs_nonblocking(self):
+        blocking = self.always("q = a;").statement
+        nonblocking = self.always("q <= a;").statement
+        assert isinstance(blocking, ast.BlockingAssign)
+        assert isinstance(nonblocking, ast.NonblockingAssign)
+
+    def test_concat_lvalue(self):
+        always = self.always("{q, t} = {a, b, 3'b0};")
+        assert isinstance(always.statement.lhs, ast.Concat)
+
+
+class TestInstancesAndGates:
+    def test_gate_primitive(self):
+        module = parse_module(
+            "module m(input a, input b, output y); "
+            "xor g1 (y, a, b); endmodule")
+        gate = module.items[0]
+        assert isinstance(gate, ast.GateInstance)
+        assert gate.gate == "xor"
+        assert len(gate.args) == 3
+
+    def test_anonymous_gate(self):
+        module = parse_module(
+            "module m(input a, output y); not (y, a); endmodule")
+        assert module.items[0].name.startswith("not_anon")
+
+    def test_multiple_gates_one_statement(self):
+        module = parse_module(
+            "module m(input a, output x, output y); "
+            "not n1 (x, a), n2 (y, a); endmodule")
+        gates = [i for i in module.items if isinstance(i, ast.GateInstance)]
+        assert len(gates) == 2
+
+    def test_named_connections(self):
+        module = parse_module("""
+module m(input a, output y);
+  sub u1 (.in(a), .out(y));
+endmodule
+""")
+        inst = module.items[0]
+        assert isinstance(inst, ast.ModuleInstance)
+        assert inst.connections[0].port == "in"
+
+    def test_positional_connections(self):
+        module = parse_module(
+            "module m(input a, output y); sub u1 (y, a); endmodule")
+        assert module.items[0].connections[0].port is None
+
+    def test_parameter_override(self):
+        module = parse_module(
+            "module m(input a, output y); "
+            "sub #(.W(16)) u1 (.in(a), .out(y)); endmodule")
+        inst = module.items[0]
+        assert inst.param_overrides[0].port == "W"
+        assert inst.param_overrides[0].expr.value == 16
+
+    def test_unconnected_port(self):
+        module = parse_module(
+            "module m(input a); sub u1 (.in(a), .out()); endmodule")
+        assert module.items[0].connections[1].expr is None
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(input a) endmodule")
+
+    def test_unterminated_module(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(input a);")
+
+    def test_unterminated_begin(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "module m(input a); always @(*) begin endmodule")
+
+    def test_generate_unsupported(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(); generate endgenerate endmodule")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("module m(input a);\n\nassign = 1;\nendmodule")
+        assert excinfo.value.line == 3
+
+    def test_parse_module_rejects_two_modules(self):
+        with pytest.raises(ParseError):
+            parse_module("module a(); endmodule module b(); endmodule")

@@ -1,0 +1,76 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_histogram,
+    ascii_scatter,
+    score_distribution_text,
+)
+
+
+class TestAsciiScatter:
+    def test_dimensions(self):
+        points = np.random.default_rng(0).normal(size=(30, 2))
+        text = ascii_scatter(points, width=40, height=10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_markers_by_label(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, labels=[0, 1],
+                             markers={0: "A", 1: "B"})
+        assert "A" in text
+        assert "B" in text
+
+    def test_default_markers(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        text = ascii_scatter(points, labels=[0, 1, 2])
+        assert sum(ch != " " and ch != "\n" for ch in text) == 3
+
+    def test_corners_mapped(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(points, width=10, height=4)
+        lines = text.split("\n")
+        assert lines[-1][0] != " "    # bottom-left point
+        assert lines[0][-1] != " "    # top-right point
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(5))
+
+    def test_identical_points_ok(self):
+        text = ascii_scatter(np.zeros((4, 2)))
+        assert isinstance(text, str)
+
+
+class TestAsciiHistogram:
+    def test_counts_sum(self):
+        values = [0.1, 0.2, 0.2, 0.9]
+        text = ascii_histogram(values, bins=4)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.split("\n"))
+        assert total == 4
+
+    def test_title(self):
+        text = ascii_histogram([1.0, 2.0], bins=2, title="scores:")
+        assert text.startswith("scores:")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+
+
+class TestScoreDistribution:
+    def test_both_classes_rendered(self):
+        text = score_distribution_text([0.9, 0.8, -0.1, 0.0],
+                                       [1, 1, 0, 0], delta=0.5)
+        assert "similar pairs:" in text
+        assert "different pairs:" in text
+        assert "+0.5000" in text
+
+    def test_single_class(self):
+        text = score_distribution_text([0.9], [1])
+        assert "similar pairs:" in text
+        assert "different" not in text

@@ -1,0 +1,261 @@
+"""Tests for the netlist simulator, RTL interpreter, and equivalence checker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dataflow import elaborate
+from repro.netlist import CONST0, CONST1, NetlistBuilder
+from repro.sim import (
+    NetlistSimulator,
+    RTLSimulator,
+    check_netlists_equivalent,
+)
+from repro.verilog import parse_source
+
+
+def rtl_sim(text):
+    return RTLSimulator(elaborate(parse_source(text)))
+
+
+class TestNetlistSimulator:
+    def xor_netlist(self):
+        builder = NetlistBuilder("x")
+        builder.inputs("a", "b")
+        builder.outputs("y")
+        builder.xor_("a", "b", out="y")
+        return builder.build()
+
+    def test_truth_table(self):
+        sim = NetlistSimulator(self.xor_netlist())
+        for a in (0, 1):
+            for b in (0, 1):
+                assert sim.evaluate({"a": a, "b": b})["y"] == a ^ b
+
+    def test_constants_available(self):
+        builder = NetlistBuilder("c")
+        builder.inputs("a")
+        builder.outputs("y")
+        builder.and_("a", CONST1, out="t")
+        builder.or_("t", CONST0, out="y")
+        sim = NetlistSimulator(builder.build())
+        assert sim.evaluate({"a": 1})["y"] == 1
+
+    def test_unknown_input_rejected(self):
+        sim = NetlistSimulator(self.xor_netlist())
+        with pytest.raises(SimulationError):
+            sim.set_inputs({"zz": 1})
+
+    def test_unknown_net_value_rejected(self):
+        sim = NetlistSimulator(self.xor_netlist())
+        with pytest.raises(SimulationError):
+            sim.value("nope")
+
+    def test_dff_updates_on_clock_only(self):
+        builder = NetlistBuilder("d")
+        builder.inputs("clk", "d")
+        builder.outputs("q")
+        builder.dff_("d", "clk", out="q")
+        sim = NetlistSimulator(builder.build())
+        sim.set_inputs({"d": 1})
+        assert sim.value("q") == 0  # not clocked yet
+        sim.clock()
+        assert sim.value("q") == 1
+
+    def test_dff_chain_shifts_once_per_clock(self):
+        builder = NetlistBuilder("chain")
+        builder.inputs("clk", "d")
+        builder.outputs("q")
+        builder.dff_("d", "clk", out="m")
+        builder.dff_("m", "clk", out="q")
+        sim = NetlistSimulator(builder.build())
+        sim.set_inputs({"d": 1})
+        sim.clock()
+        assert sim.value("q") == 0   # two-phase: no shoot-through
+        sim.clock()
+        assert sim.value("q") == 1
+
+    def test_reset_state_value(self):
+        builder = NetlistBuilder("r")
+        builder.inputs("clk", "d")
+        builder.outputs("q")
+        builder.dff_("d", "clk", out="q")
+        sim = NetlistSimulator(builder.build())
+        sim.reset(state_value=1)
+        assert sim.value("q") == 1
+
+    def test_bus_helpers(self):
+        builder = NetlistBuilder("b")
+        builder.input_bus("a", 4)
+        outs = builder.output_bus("y", 4)
+        for i, net in enumerate(outs):
+            builder.not_(f"a_{i}", out=net)
+        sim = NetlistSimulator(builder.build())
+        sim.set_inputs(sim.drive_bus("a", 4, 0b0101))
+        assert sim.read_bus("y", 4) == 0b1010
+
+
+class TestRTLSimulator:
+    def test_combinational_eval(self):
+        sim = rtl_sim("module m(input [3:0] a, input [3:0] b, "
+                      "output [4:0] s); assign s = a + b; endmodule")
+        assert sim.evaluate({"a": 7, "b": 9})["s"] == 16
+
+    def test_width_masking(self):
+        sim = rtl_sim("module m(input [3:0] a, output [3:0] y); "
+                      "assign y = a + 4'd1; endmodule")
+        assert sim.evaluate({"a": 15})["y"] == 0
+
+    def test_always_comb(self):
+        sim = rtl_sim("""
+module m(input [1:0] s, output reg [3:0] y);
+  always @(*) begin
+    case (s)
+      2'd0: y = 4'd1;
+      2'd1: y = 4'd2;
+      default: y = 4'd8;
+    endcase
+  end
+endmodule
+""")
+        assert sim.evaluate({"s": 0})["y"] == 1
+        assert sim.evaluate({"s": 3})["y"] == 8
+
+    def test_casez_wildcards(self):
+        sim = rtl_sim("""
+module m(input [3:0] r, output reg [1:0] y);
+  always @(*) begin
+    casez (r)
+      4'b1???: y = 2'd3;
+      4'b01??: y = 2'd2;
+      4'b001?: y = 2'd1;
+      default: y = 2'd0;
+    endcase
+  end
+endmodule
+""")
+        assert sim.evaluate({"r": 0b1000})["y"] == 3
+        assert sim.evaluate({"r": 0b0110})["y"] == 2
+        assert sim.evaluate({"r": 0b0010})["y"] == 1
+        assert sim.evaluate({"r": 0b0001})["y"] == 0
+
+    def test_sequential_counter(self):
+        sim = rtl_sim("""
+module m(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule
+""")
+        sim.set_inputs({"rst": 0})
+        for expected in (1, 2, 3):
+            sim.clock()
+            assert sim.value("q") == expected
+        sim.set_inputs({"rst": 1})
+        sim.clock()
+        assert sim.value("q") == 0
+
+    def test_nonblocking_swap(self):
+        sim = rtl_sim("""
+module m(input clk, output reg [3:0] a, output reg [3:0] b);
+  always @(posedge clk) begin
+    a <= b;
+    b <= a;
+  end
+endmodule
+""")
+        sim._values["a"] = 3
+        sim._values["b"] = 9
+        sim.clock()
+        assert (sim.value("a"), sim.value("b")) == (9, 3)
+
+    def test_concat_lvalue(self):
+        sim = rtl_sim("""
+module m(input [7:0] d, output [3:0] hi, output [3:0] lo);
+  assign {hi, lo} = d;
+endmodule
+""")
+        out = sim.evaluate({"d": 0xA5})
+        assert out["hi"] == 0xA
+        assert out["lo"] == 0x5
+
+    def test_for_loop(self):
+        sim = rtl_sim("""
+module m(input [7:0] d, output reg [3:0] n);
+  integer i;
+  always @(*) begin
+    n = 4'd0;
+    for (i = 0; i < 8; i = i + 1)
+      n = n + d[i];
+  end
+endmodule
+""")
+        assert sim.evaluate({"d": 0xFF})["n"] == 8
+        assert sim.evaluate({"d": 0x11})["n"] == 2
+
+    def test_comb_cycle_detected(self):
+        # A ring oscillator never settles: the simulator must say so.
+        with pytest.raises(SimulationError):
+            sim = rtl_sim("module m(input a, output x); "
+                          "assign x = ~x | (a & ~a); endmodule")
+            sim.evaluate({"a": 1})
+
+    def test_clock_without_seq_raises(self):
+        sim = rtl_sim("module m(input a, output y); assign y = a; endmodule")
+        with pytest.raises(SimulationError):
+            sim.clock()
+
+
+class TestEquivalenceChecker:
+    def test_equal_netlists(self):
+        builder = NetlistBuilder("m")
+        builder.inputs("a", "b")
+        builder.outputs("y")
+        builder.and_("a", "b", out="y")
+        net_a = builder.build()
+        report = check_netlists_equivalent(net_a, net_a.copy(), vectors=16)
+        assert report.equivalent
+        assert bool(report)
+
+    def test_detects_difference(self):
+        builder_a = NetlistBuilder("m")
+        builder_a.inputs("a", "b")
+        builder_a.outputs("y")
+        builder_a.and_("a", "b", out="y")
+        builder_b = NetlistBuilder("m")
+        builder_b.inputs("a", "b")
+        builder_b.outputs("y")
+        builder_b.or_("a", "b", out="y")
+        report = check_netlists_equivalent(builder_a.build(),
+                                           builder_b.build(), vectors=64)
+        assert not report.equivalent
+        assert report.counterexample is not None
+
+    def test_io_mismatch_rejected(self):
+        builder_a = NetlistBuilder("m")
+        builder_a.inputs("a")
+        builder_a.outputs("y")
+        builder_a.buf_("a", out="y")
+        builder_b = NetlistBuilder("m")
+        builder_b.inputs("b")
+        builder_b.outputs("y")
+        builder_b.buf_("b", out="y")
+        with pytest.raises(SimulationError):
+            check_netlists_equivalent(builder_a.build(), builder_b.build())
+
+    def test_sequential_equivalence(self):
+        def make(invert_twice):
+            builder = NetlistBuilder("m")
+            builder.inputs("clk", "d")
+            builder.outputs("q")
+            if invert_twice:
+                t1 = builder.not_("d")
+                t2 = builder.not_(t1)
+                builder.dff_(t2, "clk", out="q")
+            else:
+                builder.dff_("d", "clk", out="q")
+            return builder.build()
+
+        report = check_netlists_equivalent(make(True), make(False),
+                                           vectors=16)
+        assert report.equivalent
