@@ -1,4 +1,4 @@
-"""Command-line interface: ``gnn4ip`` with extract / train / compare.
+"""Command-line interface: ``gnn4ip`` with extract / train / compare / index.
 
 Examples::
 
@@ -6,33 +6,34 @@ Examples::
     gnn4ip train --families adder8 cmp8 alu --epochs 40 --save model.npz
     gnn4ip compare a.v b.v --model model.npz
     gnn4ip corpus --instances 3
+    gnn4ip index build my.index --families --instances 4 --model model.npz
+    gnn4ip index query my.index suspect.v -k 5
+    gnn4ip index stats my.index
+    gnn4ip compare a.v b.v --index my.index
 """
 
 import argparse
 import sys
-
-import numpy as np
+from pathlib import Path
 
 from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.core.persist import load_model, save_model  # noqa: F401 - re-export
 from repro.dataflow import dfg_from_verilog
-from repro.designs import default_rtl_families, family_names, rtl_records
-
-
-def save_model(model, path):
-    """Persist encoder weights and the decision boundary to an .npz file."""
-    state = model.encoder.state_dict()
-    state["__delta__"] = np.array(model.delta)
-    np.savez(path, **state)
-
-
-def load_model(path, **encoder_kwargs):
-    """Load a model saved by :func:`save_model`."""
-    data = np.load(path)
-    delta = float(data["__delta__"])
-    model = GNN4IP(delta=delta, **encoder_kwargs)
-    state = {key: data[key] for key in data.files if key != "__delta__"}
-    model.encoder.load_state_dict(state)
-    return model
+from repro.designs import (
+    default_rtl_families,
+    family_names,
+    materialize_corpus,
+    rtl_records,
+)
+from repro.errors import ReproError
+from repro.index import (
+    DFGCache,
+    EmbeddingService,
+    FingerprintIndex,
+    build_index,
+    content_key,
+)
+from repro.index.store import CACHE_DIR
 
 
 def _cmd_extract(args):
@@ -80,19 +81,64 @@ def _cmd_train(args):
     return 0
 
 
+def _load_or_warn(model_path, seed=0):
+    """Model from ``--model``, or a fresh (untrained) one with a warning."""
+    if model_path:
+        return load_model(model_path)
+    print("warning: comparing with an untrained model", file=sys.stderr)
+    return GNN4IP(seed=seed)
+
+
+def _indexed_embedding(index, service, path):
+    """Embedding for a file, reusing the index store/cache when possible.
+
+    Extraction runs with the pipeline options the index was built with, so
+    the suspect's embedding is comparable to the stored ones and its
+    content key can hit the index and the DFG cache.
+    """
+    pipeline = index.pipeline()
+    with open(path) as handle:
+        cleaned = pipeline.preprocess_text(handle.read())
+    key = content_key(cleaned, pipeline.options_fingerprint(),
+                      top=index.top)
+    if service.fingerprint == index.model_hash:
+        stored = index.lookup_key(key)
+        if stored is not None:
+            return stored, "index"
+    cache = DFGCache(index.root / CACHE_DIR)
+    graph = cache.load(key)
+    source = "cache" if graph is not None else "extracted"
+    if graph is None:
+        graph = pipeline.extract_preprocessed(cleaned, top=index.top)
+        cache.store(key, graph)
+    return service.embed_one(graph), source
+
+
 def _cmd_compare(args):
+    index = FingerprintIndex.load(args.index) if args.index else None
     if args.model:
         model = load_model(args.model)
+    elif index is not None:
+        model = index.model()
     else:
-        model = GNN4IP(seed=args.seed)
-        print("warning: comparing with an untrained model", file=sys.stderr)
+        model = _load_or_warn(None, seed=args.seed)
     if args.delta is not None:
         model.delta = args.delta
-    graphs = []
-    for path in (args.file_a, args.file_b):
-        with open(path) as handle:
-            graphs.append(dfg_from_verilog(handle.read()))
-    score = model.similarity(graphs[0], graphs[1])
+
+    if index is not None:
+        service = EmbeddingService(model)
+        embeddings = []
+        for path in (args.file_a, args.file_b):
+            embedding, source = _indexed_embedding(index, service, path)
+            embeddings.append(embedding)
+            print(f"{path}: embedding from {source}", file=sys.stderr)
+        score = model.similarity_from_embeddings(*embeddings)
+    else:
+        graphs = []
+        for path in (args.file_a, args.file_b):
+            with open(path) as handle:
+                graphs.append(dfg_from_verilog(handle.read()))
+        score = model.similarity(graphs[0], graphs[1])
     verdict = "PIRACY" if score > model.delta else "no piracy"
     print(f"similarity: {score:+.4f} (delta {model.delta:+.4f}) -> {verdict}")
     return 0 if score <= model.delta else 2
@@ -106,6 +152,95 @@ def _cmd_corpus(args):
         family = get_family(name)
         styles = ", ".join(family.style_names())
         print(f"  {name:16s} {family.description:40s} [{styles}]")
+    return 0
+
+
+# -- index subcommands --------------------------------------------------------
+def _collect_sources(sources):
+    """Expand files/directories into a sorted, deduplicated .v file list."""
+    paths = []
+    for source in sources:
+        path = Path(source)
+        if path.is_dir():
+            paths.extend(sorted(path.rglob("*.v")))
+        else:
+            paths.append(path)
+    seen = set()
+    unique = []
+    for path in paths:
+        if str(path) not in seen:
+            seen.add(str(path))
+            unique.append(path)
+    return unique
+
+
+def _cmd_index_build(args):
+    paths = _collect_sources(args.sources)
+    if args.families is not None:
+        families = args.families or default_rtl_families()
+        corpus_dir = Path(args.index_dir) / "corpus"
+        generated = materialize_corpus(corpus_dir, families=families,
+                                       instances_per_design=args.instances,
+                                       seed=args.seed)
+        print(f"generated {len(generated)} RTL files under {corpus_dir}")
+        paths.extend(generated)
+    if not paths:
+        print("error: no input files (pass sources or --families)",
+              file=sys.stderr)
+        return 1
+    model = _load_or_warn(args.model, seed=args.seed)
+    index, report = build_index(args.index_dir, paths, model,
+                                jobs=args.jobs,
+                                use_cache=not args.no_cache)
+    print(f"indexed {report['embedded']}/{report['files']} files "
+          f"({report['failures']} failures) with {report['jobs']} workers")
+    if report["embeddings_reused"]:
+        print(f"embeddings: {report['embedded_fresh']} fresh, "
+              f"{report['embeddings_reused']} reused from previous build")
+    cache = report["cache"]
+    if cache is not None:
+        print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+              f"({cache['store_bytes']} bytes written)")
+    print(f"extract: {report['extract_seconds']:.3f}s  "
+          f"embed: {report['embed_seconds']:.3f}s")
+    for entry in index.entries:
+        if entry["status"] == "error":
+            print(f"  FAILED {entry['path']}: {entry['error']}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_index_query(args):
+    index = FingerprintIndex.load(args.index_dir)
+    model = load_model(args.model) if args.model else index.model()
+    top = args.top if args.top is not None else index.top
+    with open(args.file) as handle:
+        graph = index.pipeline().extract(handle.read(), top=top)
+    hits = index.query_graph(graph, model, k=args.k)
+    print(f"top {len(hits)} of {len(index)} indexed designs "
+          f"(delta {model.delta:+.4f}):")
+    piracy = 0
+    for rank, hit in enumerate(hits, 1):
+        flag = "PIRACY" if hit.is_piracy else "      "
+        piracy += hit.is_piracy
+        print(f"  {rank:2d}. {hit.score:+.4f} {flag} "
+              f"{hit.design:16s} {hit.name}")
+    return 2 if piracy else 0
+
+
+def _cmd_index_stats(args):
+    stats = FingerprintIndex.load(args.index_dir).stats()
+    build = stats.pop("build", {})
+    for key in ("entries", "embedded", "failures", "designs", "hidden",
+                "cache_entries", "cache_bytes"):
+        print(f"{key:14s} {stats[key]}")
+    print(f"{'model_hash':14s} {stats['model_hash'][:16]}...")
+    if build:
+        cache = build.get("cache") or {}
+        print(f"{'last build':14s} {build.get('embedded', '?')} embedded, "
+              f"{cache.get('hits', 0)} cache hits, "
+              f"{build.get('extract_seconds', 0.0):.3f}s extract, "
+              f"{build.get('embed_seconds', 0.0):.3f}s embed")
     return 0
 
 
@@ -139,19 +274,65 @@ def build_parser():
     p_compare.add_argument("file_b")
     p_compare.add_argument("--model", default=None,
                            help=".npz from 'gnn4ip train --save'")
+    p_compare.add_argument("--index", default=None,
+                           help="fingerprint index dir; reuses its model, "
+                                "stored embeddings, and DFG cache")
     p_compare.add_argument("--delta", type=float, default=None)
     p_compare.add_argument("--seed", type=int, default=0)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_corpus = sub.add_parser("corpus", help="list design families")
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_index = sub.add_parser("index",
+                             help="persistent hardware-fingerprint index")
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+
+    p_build = index_sub.add_parser(
+        "build", help="extract + embed a corpus into an index")
+    p_build.add_argument("index_dir", help="index output directory")
+    p_build.add_argument("sources", nargs="*",
+                         help="Verilog files or directories (scanned "
+                              "recursively for *.v)")
+    p_build.add_argument("--families", nargs="*", default=None,
+                         help="also index generated RTL families "
+                              "(no names = the default benchmark set)")
+    p_build.add_argument("--instances", type=int, default=4,
+                         help="instances per generated family")
+    p_build.add_argument("--model", default=None,
+                         help=".npz model; untrained if omitted")
+    p_build.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: auto)")
+    p_build.add_argument("--no-cache", action="store_true",
+                         help="bypass the content-addressed DFG cache")
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.set_defaults(func=_cmd_index_build)
+
+    p_query = index_sub.add_parser(
+        "query", help="rank indexed designs against a suspect file")
+    p_query.add_argument("index_dir")
+    p_query.add_argument("file", help="suspect Verilog file")
+    p_query.add_argument("-k", type=int, default=5,
+                         help="number of hits to report")
+    p_query.add_argument("--model", default=None,
+                         help="override model (fingerprint must match)")
+    p_query.add_argument("--top", default=None, help="top module name")
+    p_query.set_defaults(func=_cmd_index_query)
+
+    p_stats = index_sub.add_parser("stats", help="index + cache statistics")
+    p_stats.add_argument("index_dir")
+    p_stats.set_defaults(func=_cmd_index_stats)
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

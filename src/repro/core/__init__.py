@@ -19,6 +19,7 @@ from repro.core.gnn4ip import GNN4IP, cosine_similarity_np
 from repro.core.hw2vec import HW2VEC, PreparedGraph
 from repro.core.matcher import IPMatcher, Match
 from repro.core.metrics import ConfusionMatrix, confusion_from_scores
+from repro.core.persist import load_model, save_model
 from repro.core.trainer import Trainer, train_model
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "HW2VEC", "PreparedGraph",
     "IPMatcher", "Match",
     "ConfusionMatrix", "confusion_from_scores",
+    "load_model", "save_model",
     "Trainer", "train_model",
 ]

@@ -49,6 +49,13 @@ class HW2VEC(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("need at least one GCN layer")
+        #: Constructor arguments, recorded so saved models can be rebuilt
+        #: with the right architecture and fingerprinted for index reuse.
+        self.config = {
+            "in_features": in_features, "hidden": hidden,
+            "num_layers": num_layers, "pool_ratio": pool_ratio,
+            "readout": readout, "dropout": dropout,
+        }
         rng = np.random.default_rng(seed)
         self.convs = []
         width = in_features
@@ -85,6 +92,13 @@ class HW2VEC(Module):
             self.train()
         return embedding
 
-    def embed_many(self, graphs):
-        """Embed a sequence of DFGs; returns an (n, hidden) array."""
-        return np.stack([self.embed(graph) for graph in graphs])
+    def embed_many(self, graphs, batch_size=64):
+        """Embed a sequence of DFGs; returns an (n, hidden) array.
+
+        Graphs are packed into block-diagonal batches and embedded in one
+        forward pass per batch (:func:`repro.nn.batch.batched_embed`);
+        results match per-graph :meth:`embed` calls to BLAS rounding.
+        """
+        from repro.nn.batch import batched_embed
+
+        return batched_embed(self, graphs, batch_size=batch_size)

@@ -1,0 +1,69 @@
+"""Model persistence: save/load GNN4IP models as ``.npz`` archives.
+
+The archive holds the encoder state dict plus two reserved keys:
+``__delta__`` (the decision boundary) and ``__config__`` (the encoder's
+constructor arguments as JSON), so a saved model can be rebuilt with the
+right architecture without the caller repeating the kwargs.  Loading a
+missing or foreign file raises :class:`~repro.errors.ModelError` with a
+diagnosis instead of a raw ``KeyError``.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.gnn4ip import GNN4IP
+from repro.errors import ModelError
+
+_DELTA_KEY = "__delta__"
+_CONFIG_KEY = "__config__"
+
+
+def save_model(model, path):
+    """Persist encoder weights, config, and the decision boundary."""
+    state = model.encoder.state_dict()
+    state[_DELTA_KEY] = np.array(model.delta)
+    config = getattr(model.encoder, "config", None)
+    if config is not None:
+        state[_CONFIG_KEY] = np.array(json.dumps(config, sort_keys=True))
+    np.savez(path, **state)
+
+
+def load_model(path, **encoder_kwargs):
+    """Load a model saved by :func:`save_model`.
+
+    Args:
+        path: the ``.npz`` archive.
+        encoder_kwargs: overrides for the stored encoder config (rarely
+            needed; weight shapes must still match).
+
+    Raises:
+        ModelError: when the file is missing, is not a gnn4ip model
+            archive, or its weights do not fit the encoder.
+    """
+    try:
+        data = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise ModelError(f"model file not found: {path}") from None
+    except (OSError, ValueError) as exc:
+        raise ModelError(f"not a readable .npz model file: {path} "
+                         f"({exc})") from exc
+    with data:
+        if _DELTA_KEY not in data.files:
+            raise ModelError(
+                f"{path} is not a gnn4ip model archive "
+                f"(missing the '{_DELTA_KEY}' entry)")
+        delta = float(data[_DELTA_KEY])
+        kwargs = {}
+        if _CONFIG_KEY in data.files:
+            kwargs.update(json.loads(str(data[_CONFIG_KEY])))
+        kwargs.update(encoder_kwargs)
+        model = GNN4IP(delta=delta, **kwargs)
+        state = {key: data[key] for key in data.files
+                 if key not in (_DELTA_KEY, _CONFIG_KEY)}
+    try:
+        model.encoder.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise ModelError(f"{path} does not contain a compatible "
+                         f"model state: {exc}") from exc
+    return model

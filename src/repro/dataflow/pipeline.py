@@ -23,20 +23,44 @@ class DFGPipeline:
     """
 
     def __init__(self, include_dirs=(), defines=None, do_trim=True):
-        self._include_dirs = include_dirs
+        self._include_dirs = tuple(include_dirs)
         self._defines = defines
-        self._do_trim = do_trim
+        self.do_trim = do_trim
 
-    def extract(self, text, top=None):
-        """Run all five phases on ``text``; returns the final DFG."""
-        cleaned = preprocess(text, include_dirs=self._include_dirs,
-                             defines=self._defines)
+    def preprocess_text(self, text):
+        """Run only the preprocess phase; returns the flattened source.
+
+        The cleaned text fully determines the rest of the pipeline (given
+        :meth:`options_fingerprint`), which is what makes extraction
+        content-addressable: the fingerprint index caches DFGs keyed by a
+        hash of this string plus the option fingerprint.
+        """
+        return preprocess(text, include_dirs=self._include_dirs,
+                          defines=self._defines)
+
+    def extract_preprocessed(self, cleaned, top=None):
+        """Run parse / elaborate / analyze / trim on preprocessed text."""
         source = parse(cleaned)
         flat = elaborate(source, top=top)
         graph = analyze(flat)
-        if self._do_trim:
+        if self.do_trim:
             graph = trim(graph)
         return graph
+
+    def options_fingerprint(self):
+        """Stable string describing every option that affects the output.
+
+        Two pipelines with equal fingerprints produce identical DFGs for
+        identical preprocessed text, so the fingerprint participates in
+        cache keys.  Include dirs and defines are excluded deliberately:
+        they only affect preprocessing, which is already captured by
+        hashing the preprocessed text itself.
+        """
+        return f"trim={int(self.do_trim)}"
+
+    def extract(self, text, top=None):
+        """Run all five phases on ``text``; returns the final DFG."""
+        return self.extract_preprocessed(self.preprocess_text(text), top=top)
 
     def extract_file(self, path, top=None):
         """Run the pipeline on a Verilog file."""

@@ -1,0 +1,80 @@
+"""DFG serialization: a stable on-disk format for extracted graphs.
+
+The format is zlib-compressed JSON of a flat dict — deterministic for a
+given graph, safe to load from untrusted bytes (no pickling of arbitrary
+objects), and versioned so stale cache entries from an incompatible format
+are rejected instead of misread.  Used by the fingerprint index's
+content-addressed DFG cache (:mod:`repro.index.cache`).
+"""
+
+import json
+import zlib
+
+from repro.dataflow.graph import DFG
+from repro.errors import DataflowError
+
+#: Bump when the payload layout changes; loaders reject other versions.
+FORMAT_VERSION = 1
+
+
+def dfg_to_dict(graph):
+    """Flatten a :class:`~repro.dataflow.graph.DFG` into plain JSON types."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "kinds": [node.kind for node in graph.nodes],
+        "labels": [node.label for node in graph.nodes],
+        "names": [node.name for node in graph.nodes],
+        "edges": [[src, dst]
+                  for src in range(len(graph))
+                  for dst in graph.successors(src)],
+    }
+
+
+def dfg_from_dict(payload):
+    """Rebuild a DFG from :func:`dfg_to_dict` output.
+
+    Raises:
+        DataflowError: on a malformed or version-incompatible payload.
+    """
+    try:
+        if payload["version"] != FORMAT_VERSION:
+            raise DataflowError(
+                f"DFG payload version {payload['version']!r} "
+                f"!= {FORMAT_VERSION}")
+        graph = DFG(payload["name"])
+        kinds, labels, names = (payload["kinds"], payload["labels"],
+                                payload["names"])
+        if not (len(kinds) == len(labels) == len(names)):
+            raise DataflowError("DFG payload arrays disagree in length")
+        for kind, label, name in zip(kinds, labels, names):
+            graph.add_node(kind, label, name)
+        count = len(kinds)
+        for src, dst in payload["edges"]:
+            if not (0 <= src < count and 0 <= dst < count):
+                raise DataflowError(f"DFG payload edge {src}->{dst} "
+                                    f"out of range")
+            graph.add_edge(src, dst)
+        return graph
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataflowError(f"malformed DFG payload: {exc}") from exc
+
+
+def dumps(graph):
+    """Serialize a DFG to compressed bytes."""
+    text = json.dumps(dfg_to_dict(graph), separators=(",", ":"),
+                      sort_keys=True)
+    return zlib.compress(text.encode("utf-8"), level=6)
+
+
+def loads(blob):
+    """Deserialize bytes from :func:`dumps`.
+
+    Raises:
+        DataflowError: if the bytes are corrupt or not a DFG payload.
+    """
+    try:
+        payload = json.loads(zlib.decompress(blob).decode("utf-8"))
+    except (zlib.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DataflowError(f"corrupt DFG blob: {exc}") from exc
+    return dfg_from_dict(payload)

@@ -14,6 +14,7 @@ from repro.designs.corpus import (
     corpus_statistics,
     default_rtl_families,
     iscas_records,
+    materialize_corpus,
     mips_visualization_records,
     netlist_records,
     rtl_records,
@@ -24,7 +25,7 @@ __all__ = [
     "DesignFamily", "DesignVariant", "all_families", "family_names",
     "generate_corpus", "get_family", "register",
     "SYNTHESIZABLE_FAMILIES", "corpus_statistics", "default_rtl_families",
-    "iscas_records", "mips_visualization_records", "netlist_records",
-    "rtl_records",
+    "iscas_records", "materialize_corpus", "mips_visualization_records",
+    "netlist_records", "rtl_records",
     "ISCAS_BENCHMARKS", "iscas_names", "iscas_netlist",
 ]

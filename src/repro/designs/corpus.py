@@ -146,6 +146,29 @@ def default_rtl_families(small=True):
     return [n for n in preferred if n in names]
 
 
+def materialize_corpus(directory, families=None, instances_per_design=4,
+                       seed=0):
+    """Write generated RTL instances as ``.v`` files under ``directory``.
+
+    This is the bridge between the synthetic design families and
+    file-oriented tooling (the fingerprint index, external EDA flows):
+    each variant becomes ``<instance>.v``.  Returns the written paths in
+    generation order.
+    """
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for variant in generate_corpus(families=families,
+                                   instances_per_design=instances_per_design,
+                                   seed=seed):
+        path = directory / f"{variant.instance}.v"
+        path.write_text(variant.verilog)
+        paths.append(path)
+    return paths
+
+
 def corpus_statistics(records):
     """Summary of a record list (sizes per design, Table I style)."""
     designs = {}

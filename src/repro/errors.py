@@ -62,3 +62,8 @@ class DatasetError(ReproError):
 
 class ModelError(ReproError):
     """Raised for invalid model configuration or usage."""
+
+
+class IndexStoreError(ReproError):
+    """Raised for missing, corrupt, or incompatible fingerprint indexes."""
+

@@ -1,0 +1,24 @@
+"""Corpus-scale fingerprint index.
+
+Treats DFG extraction as a cacheable, parallelizable build step and
+embedding as a batched query service: ``build_index`` fans extraction out
+over worker processes through a content-addressed DFG cache, embeds the
+corpus in packed batches, and persists an index that answers top-k
+nearest-design queries with one vectorized cosine pass.
+"""
+
+from repro.index.cache import CacheStats, DFGCache, content_key
+from repro.index.extractor import (
+    CorpusExtractor,
+    ExtractionResult,
+    default_jobs,
+)
+from repro.index.service import EmbeddingService, model_fingerprint
+from repro.index.store import FingerprintIndex, QueryHit, build_index
+
+__all__ = [
+    "CacheStats", "DFGCache", "content_key",
+    "CorpusExtractor", "ExtractionResult", "default_jobs",
+    "EmbeddingService", "model_fingerprint",
+    "FingerprintIndex", "QueryHit", "build_index",
+]

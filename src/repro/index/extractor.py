@@ -1,0 +1,153 @@
+"""Corpus-scale DFG extraction: parallel workers + content-addressed cache.
+
+Extraction of one Verilog file is independent of every other file, so a
+corpus fans out over ``multiprocessing`` workers.  The driver keeps three
+properties the single-file pipeline cannot offer:
+
+- **Deterministic ordering** — results come back in input order no matter
+  which worker finishes first, so two runs over the same corpus produce
+  identical reports and identical index layouts.
+- **Per-file error isolation** — a file the front-end cannot handle yields
+  an :class:`ExtractionResult` with ``error`` set; the run continues and
+  the failure is recorded in the index instead of crashing the build.
+- **Cache reuse** — the parent preprocesses each file (cheap), computes its
+  content key, and only ships cache misses to the workers (parse /
+  elaborate / analyze / trim are the expensive phases).  Worker results
+  come back as plain serialized payloads and are written to the cache by
+  the parent, so the cache never sees concurrent writers.
+"""
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from repro.dataflow.pipeline import DFGPipeline
+from repro.dataflow.serialize import dfg_from_dict, dfg_to_dict
+from repro.index.cache import content_key
+
+
+@dataclass
+class ExtractionResult:
+    """Outcome of extracting one file (exactly one of graph/error is set)."""
+
+    path: str
+    name: str            # file stem; unique-ified by the index builder
+    graph: object = None  # DFG on success
+    error: str = None     # "ExcType: message" on failure
+    key: str = None       # content key (None when preprocessing failed)
+    cached: bool = False
+
+    @property
+    def ok(self):
+        return self.error is None
+
+
+def _describe(exc):
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _extract_task(task):
+    """Worker: run the post-preprocess pipeline phases on cleaned text.
+
+    Runs in a forked child; returns plain picklable data only.  Any
+    exception — parse error, elaboration error, even a crash in the
+    analyzer — is captured as a string so one bad file cannot take down
+    the pool.
+    """
+    position, cleaned, top, do_trim = task
+    try:
+        pipeline = DFGPipeline(do_trim=do_trim)
+        graph = pipeline.extract_preprocessed(cleaned, top=top)
+        return position, dfg_to_dict(graph), None
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return position, None, _describe(exc)
+
+
+def default_jobs(task_count=None):
+    """Worker count: one per core, capped at 8 and at the task count."""
+    jobs = min(os.cpu_count() or 1, 8)
+    if task_count is not None:
+        jobs = min(jobs, max(task_count, 1))
+    return jobs
+
+
+class CorpusExtractor:
+    """Extract DFGs for many Verilog files, in parallel and cached.
+
+    Args:
+        pipeline: a configured :class:`DFGPipeline` (default options
+            when omitted).
+        cache: a :class:`~repro.index.cache.DFGCache`, or ``None`` to
+            always re-extract.
+        jobs: worker processes; ``None`` picks :func:`default_jobs`,
+            ``1`` forces the serial path (same results, no pool).
+    """
+
+    def __init__(self, pipeline=None, cache=None, jobs=None):
+        self.pipeline = pipeline or DFGPipeline()
+        self.cache = cache
+        self.jobs = jobs
+        #: Worker count the last extract_paths run actually used (1 when
+        #: everything was cached or served serially).
+        self.last_jobs = 1
+
+    def _prepare(self, path, top):
+        """Preprocess + cache probe for one file; returns a result shell
+        plus the cleaned text when extraction is still needed."""
+        result = ExtractionResult(path=str(path),
+                                  name=os.path.splitext(
+                                      os.path.basename(str(path)))[0])
+        try:
+            with open(path) as handle:
+                text = handle.read()
+            cleaned = self.pipeline.preprocess_text(text)
+        except Exception as exc:  # noqa: BLE001 - per-file isolation
+            result.error = _describe(exc)
+            return result, None
+        result.key = content_key(cleaned,
+                                 self.pipeline.options_fingerprint(),
+                                 top=top)
+        if self.cache is not None:
+            graph = self.cache.load(result.key)
+            if graph is not None:
+                result.graph = graph
+                result.cached = True
+                return result, None
+        return result, cleaned
+
+    def extract_paths(self, paths, top=None):
+        """Extract every file in ``paths``; results in input order.
+
+        Args:
+            paths: Verilog file paths.
+            top: top-module name applied to every file (rarely useful on
+                mixed corpora; leave ``None`` to auto-detect per file).
+        """
+        results = []
+        pending = []  # (position, cleaned)
+        for path in paths:
+            result, cleaned = self._prepare(path, top)
+            results.append(result)
+            if cleaned is not None:
+                pending.append((len(results) - 1, cleaned))
+
+        tasks = [(pos, cleaned, top, self.pipeline.do_trim)
+                 for pos, cleaned in pending]
+        jobs = self.jobs if self.jobs is not None else default_jobs(len(tasks))
+        self.last_jobs = 1
+        if tasks:
+            if jobs > 1 and len(tasks) > 1:
+                self.last_jobs = jobs
+                with multiprocessing.Pool(processes=jobs) as pool:
+                    outcomes = pool.map(_extract_task, tasks)
+            else:
+                outcomes = [_extract_task(task) for task in tasks]
+            for position, payload, error in outcomes:
+                result = results[position]
+                if error is not None:
+                    result.error = error
+                    continue
+                result.graph = dfg_from_dict(payload)
+                if self.cache is not None:
+                    self.cache.store(result.key, result.graph)
+        return results

@@ -1,0 +1,69 @@
+"""Batched embedding service and model fingerprinting.
+
+The index stores embeddings, not graphs, so every stored vector is only
+meaningful for the exact model that produced it.  :func:`model_fingerprint`
+hashes the encoder architecture, all weights, and the decision boundary;
+the fingerprint is persisted with the index and checked before any stored
+embedding is reused.
+
+:class:`EmbeddingService` is the query-side batching layer: it embeds many
+graphs per forward pass through :func:`repro.nn.batch.batched_embed`
+(block-diagonal packing), which matches per-graph ``encoder.embed`` to
+BLAS rounding at a fraction of the per-graph overhead.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.nn.batch import batched_embed
+
+
+def model_fingerprint(model):
+    """SHA-256 hex digest of a :class:`~repro.core.gnn4ip.GNN4IP` model.
+
+    Covers the encoder config and every parameter tensor (name, shape,
+    and raw bytes) — any retrain, finetune, or architecture change yields
+    a new fingerprint.  Delta is deliberately excluded: embeddings do not
+    depend on the decision boundary, so retuning delta (or overriding it
+    with ``compare --delta``) keeps stored embeddings reusable.
+    """
+    digest = hashlib.sha256()
+    config = getattr(model.encoder, "config", {})
+    digest.update(json.dumps(config, sort_keys=True).encode("utf-8"))
+    for name, value in sorted(model.encoder.state_dict().items()):
+        array = np.ascontiguousarray(value, dtype=np.float64)
+        digest.update(f"{name}:{array.shape}".encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class EmbeddingService:
+    """Embed graphs in batches with a fixed model.
+
+    Args:
+        model: a :class:`~repro.core.gnn4ip.GNN4IP`.
+        batch_size: graphs per packed forward pass (bounds peak memory).
+    """
+
+    def __init__(self, model, batch_size=64):
+        self.model = model
+        self.batch_size = batch_size
+        self._fingerprint = None
+
+    @property
+    def fingerprint(self):
+        """Model fingerprint, computed once and cached."""
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint(self.model)
+        return self._fingerprint
+
+    def embed_graphs(self, graphs):
+        """``(n, hidden)`` embeddings for a sequence of DFGs, in order."""
+        return batched_embed(self.model.encoder, graphs,
+                             batch_size=self.batch_size)
+
+    def embed_one(self, graph):
+        """Embedding vector for a single DFG."""
+        return self.embed_graphs([graph])[0]

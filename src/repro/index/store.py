@@ -1,0 +1,293 @@
+"""Persistent hardware-fingerprint index.
+
+On-disk layout under the index root::
+
+    meta.json        entries (one per input file, failures included),
+                     model hash, pipeline options, last-build report
+    embeddings.npz   float64 embedding matrix, one row per OK entry,
+                     plus the content keys for cross-checking
+    model.npz        the exact model that produced the embeddings
+    cache/           content-addressed DFG cache (survives rebuilds)
+
+Queries never re-embed the corpus: the suspect design is embedded once and
+scored against the whole matrix with one vectorized cosine pass, exactly
+the deployment workflow of :class:`repro.core.matcher.IPMatcher` but
+persistent, incremental (via the DFG cache), and model-checked (stored
+embeddings are refused for a model with a different fingerprint).
+"""
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.persist import load_model, save_model
+from repro.errors import IndexStoreError
+from repro.index.cache import DFGCache
+from repro.index.extractor import CorpusExtractor
+from repro.index.service import EmbeddingService
+
+META_NAME = "meta.json"
+EMBEDDINGS_NAME = "embeddings.npz"
+MODEL_NAME = "model.npz"
+CACHE_DIR = "cache"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class QueryHit:
+    """One ranked index entry for a query design."""
+
+    name: str
+    path: str
+    design: str
+    score: float
+    is_piracy: bool
+
+
+def _normalize_rows(matrix, eps=1e-12):
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, eps)
+
+
+class FingerprintIndex:
+    """A loaded fingerprint index (see module docstring for the layout)."""
+
+    def __init__(self, root, meta, matrix):
+        self.root = Path(root)
+        self.meta = meta
+        self.matrix = matrix              # (n_ok, hidden) raw embeddings
+        self._unit = _normalize_rows(matrix) if len(matrix) else matrix
+        self.entries = meta["entries"]
+        self._ok_entries = [e for e in self.entries if e["status"] == "ok"]
+        self._row_by_key = {}
+        for row, entry in enumerate(self._ok_entries):
+            self._row_by_key.setdefault(entry["key"], row)
+
+    # -- loading -------------------------------------------------------------
+    @classmethod
+    def load(cls, root):
+        """Open an existing index; raises IndexStoreError when unusable."""
+        root = Path(root)
+        meta_path = root / META_NAME
+        if not meta_path.is_file():
+            raise IndexStoreError(
+                f"no fingerprint index at {root} (missing {META_NAME}; "
+                f"run 'gnn4ip index build' first)")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IndexStoreError(f"corrupt index metadata: {exc}") from exc
+        if meta.get("version") != FORMAT_VERSION:
+            raise IndexStoreError(
+                f"index version {meta.get('version')!r} is not supported "
+                f"(expected {FORMAT_VERSION})")
+        try:
+            with np.load(root / EMBEDDINGS_NAME, allow_pickle=False) as data:
+                matrix = data["matrix"]
+                keys = [str(k) for k in data["keys"]]
+        except (OSError, KeyError, ValueError) as exc:
+            raise IndexStoreError(f"corrupt embedding store: {exc}") from exc
+        ok_keys = [e["key"] for e in meta["entries"] if e["status"] == "ok"]
+        if keys != ok_keys or matrix.shape[0] != len(ok_keys):
+            raise IndexStoreError(
+                "embedding store does not match index metadata "
+                "(partial write? rebuild the index)")
+        return cls(root, meta, matrix)
+
+    def model(self, **kwargs):
+        """The model persisted with the index."""
+        return load_model(self.root / MODEL_NAME, **kwargs)
+
+    def pipeline(self):
+        """A pipeline configured like the one the index was built with.
+
+        Queries must extract suspects with the same options the corpus was
+        extracted with, or scores would compare incomparable graphs.
+        """
+        from repro.dataflow.pipeline import DFGPipeline
+
+        return DFGPipeline(do_trim=self.meta["options"]["do_trim"])
+
+    @property
+    def top(self):
+        """Top-module option the index was built with (usually None)."""
+        return self.meta["options"]["top"]
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self):
+        return len(self._ok_entries)
+
+    @property
+    def model_hash(self):
+        return self.meta["model_hash"]
+
+    def lookup_key(self, key):
+        """Stored embedding for a content key, or None."""
+        row = self._row_by_key.get(key)
+        return None if row is None else self.matrix[row]
+
+    def query_vector(self, vector, k=5, delta=0.0):
+        """Top-k entries by cosine similarity to ``vector``."""
+        if not len(self):
+            raise IndexStoreError("the fingerprint index is empty")
+        vector = np.asarray(vector, dtype=np.float64)
+        unit = vector / max(np.linalg.norm(vector), 1e-12)
+        scores = self._unit @ unit
+        order = np.argsort(-scores, kind="stable")[:max(k, 0)]
+        hits = []
+        for row in order:
+            entry = self._ok_entries[row]
+            hits.append(QueryHit(name=entry["name"], path=entry["path"],
+                                 design=entry["design"],
+                                 score=float(scores[row]),
+                                 is_piracy=bool(scores[row] > delta)))
+        return hits
+
+    def query_graph(self, graph, model, k=5):
+        """Embed a suspect DFG and rank it against the index.
+
+        Raises:
+            IndexStoreError: when ``model`` is not the model the index was
+                built with (its embeddings would not be comparable).
+        """
+        service = EmbeddingService(model)
+        if service.fingerprint != self.model_hash:
+            raise IndexStoreError(
+                "model fingerprint does not match the index "
+                "(rebuild the index or query with its own model)")
+        vector = service.embed_one(graph)
+        return self.query_vector(vector, k=k, delta=model.delta)
+
+    def stats(self):
+        """Summary dict for reports and the ``index stats`` command."""
+        designs = {}
+        failures = 0
+        for entry in self.entries:
+            if entry["status"] == "ok":
+                designs[entry["design"]] = designs.get(entry["design"], 0) + 1
+            else:
+                failures += 1
+        cache = DFGCache(self.root / CACHE_DIR)
+        return {
+            "entries": len(self.entries),
+            "embedded": len(self),
+            "failures": failures,
+            "designs": len(designs),
+            "hidden": int(self.matrix.shape[1]) if len(self) else 0,
+            "model_hash": self.model_hash,
+            "cache_entries": cache.entry_count(),
+            "cache_bytes": cache.disk_bytes(),
+            "build": self.meta.get("build", {}),
+        }
+
+
+def _unique_names(results):
+    """File stems, suffixed where needed so index names stay unique."""
+    seen = {}
+    names = []
+    for result in results:
+        count = seen.get(result.name, 0)
+        seen[result.name] = count + 1
+        names.append(result.name if count == 0
+                     else f"{result.name}#{count + 1}")
+    return names
+
+
+def build_index(root, paths, model, pipeline=None, jobs=None,
+                use_cache=True, top=None, batch_size=64):
+    """Build (or rebuild) a fingerprint index over Verilog files.
+
+    Extraction fans out over worker processes and reuses the index's DFG
+    cache; embedding runs batched.  Files the front-end rejects become
+    failure entries instead of aborting the build.
+
+    Returns:
+        (index, report) — the loaded :class:`FingerprintIndex` and a dict
+        describing the build (counts, cache stats, timings).
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    paths = [str(p) for p in paths]
+    if not paths:
+        raise IndexStoreError("no input files to index")
+
+    start = time.perf_counter()
+    cache = DFGCache(root / CACHE_DIR) if use_cache else None
+    extractor = CorpusExtractor(pipeline=pipeline, cache=cache, jobs=jobs)
+    results = extractor.extract_paths(paths, top=top)
+    extract_seconds = time.perf_counter() - start
+
+    ok = [r for r in results if r.ok]
+    service = EmbeddingService(model, batch_size=batch_size)
+
+    # Rebuild fast path: embeddings from a previous build of this index
+    # are reused for unchanged content keys, provided the model is the
+    # same one (fingerprint match).  --no-cache recomputes everything.
+    previous = {}
+    if use_cache:
+        try:
+            old = FingerprintIndex.load(root)
+            if old.model_hash == service.fingerprint:
+                previous = {entry["key"]: old.matrix[row]
+                            for row, entry in enumerate(old._ok_entries)}
+        except IndexStoreError:
+            pass
+
+    embed_start = time.perf_counter()
+    fresh = [r for r in ok if r.key not in previous]
+    fresh_matrix = (service.embed_graphs([r.graph for r in fresh])
+                    if fresh else np.empty((0, model.encoder.hidden)))
+    fresh_rows = {r.key: fresh_matrix[i] for i, r in enumerate(fresh)}
+    matrix = (np.stack([previous[r.key] if r.key in previous
+                        else fresh_rows[r.key] for r in ok])
+              if ok else np.empty((0, model.encoder.hidden)))
+    embed_seconds = time.perf_counter() - embed_start
+
+    entries = []
+    names = _unique_names(results)
+    for result, name in zip(results, names):
+        entry = {"name": name, "path": result.path, "key": result.key,
+                 "status": "ok" if result.ok else "error"}
+        if result.ok:
+            entry["design"] = result.graph.name
+            entry["nodes"] = len(result.graph)
+            entry["edges"] = result.graph.num_edges
+            entry["cached"] = result.cached
+        else:
+            entry["error"] = result.error
+        entries.append(entry)
+
+    report = {
+        "files": len(results),
+        "embedded": len(ok),
+        "embedded_fresh": len(fresh),
+        "embeddings_reused": len(ok) - len(fresh),
+        "failures": len(results) - len(ok),
+        "cache": cache.stats.as_dict() if cache else None,
+        "extract_seconds": extract_seconds,
+        "embed_seconds": embed_seconds,
+        "jobs": extractor.last_jobs,
+    }
+    meta = {
+        "version": FORMAT_VERSION,
+        "model_hash": service.fingerprint,
+        "options": {
+            "top": top,
+            "do_trim": (pipeline.do_trim if pipeline is not None else True),
+        },
+        "entries": entries,
+        "build": report,
+    }
+
+    np.savez(root / EMBEDDINGS_NAME, matrix=matrix,
+             keys=np.array([r.key for r in ok], dtype="U64"))
+    save_model(model, root / MODEL_NAME)
+    # meta.json is written last: its presence marks a complete index, and
+    # load() cross-checks it against the embedding store.
+    tmp = root / (META_NAME + ".tmp")
+    tmp.write_text(json.dumps(meta, indent=1, sort_keys=True))
+    tmp.replace(root / META_NAME)
+    return FingerprintIndex(root, meta, matrix), report

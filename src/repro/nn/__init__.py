@@ -5,6 +5,12 @@ Contents: reverse-mode autograd (:class:`Tensor`), GNN layers
 cosine-embedding loss, and optimizers.
 """
 
+from repro.nn.batch import (
+    GraphBatch,
+    batched_embed,
+    batched_forward,
+    pack_prepared,
+)
 from repro.nn.layers import (
     Dropout,
     GCNConv,
@@ -29,6 +35,7 @@ __all__ = [
     "Tensor", "concat", "cosine_similarity", "dot", "l2_norm", "spmm",
     "Module", "Linear", "GCNConv", "Dropout", "glorot", "normalize_adjacency",
     "SAGPool", "Readout", "readout",
+    "GraphBatch", "batched_embed", "batched_forward", "pack_prepared",
     "cosine_embedding_loss", "pairwise_cosine_loss",
     "Optimizer", "SGD", "Adam",
 ]

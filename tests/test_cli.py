@@ -5,6 +5,7 @@ import pytest
 
 from repro.cli import build_parser, load_model, main, save_model
 from repro.core import GNN4IP
+from repro.errors import ModelError
 
 ADDER = """
 module adder(input [3:0] a, input [3:0] b, output [4:0] s);
@@ -92,6 +93,44 @@ class TestCompareAndModelIO:
                 loaded.encoder.named_parameters()):
             assert name_a == name_b
             np.testing.assert_array_equal(tensor_a.data, tensor_b.data)
+
+    def test_save_load_preserves_architecture(self, tmp_path):
+        model = GNN4IP(seed=2, hidden=8, num_layers=3)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.encoder.hidden == 8
+        assert len(loaded.encoder.convs) == 3
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ModelError, match="not found"):
+            load_model(str(tmp_path / "absent.npz"))
+
+    def test_load_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, weights=np.zeros((3, 3)), other=np.ones(4))
+        with pytest.raises(ModelError, match="not a gnn4ip model"):
+            load_model(path)
+
+    def test_load_incompatible_state(self, tmp_path):
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, __delta__=np.array(0.5), junk=np.zeros(2))
+        with pytest.raises(ModelError, match="compatible"):
+            load_model(path)
+
+    def test_load_non_npz_file(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_text("definitely not a numpy archive")
+        with pytest.raises(ModelError):
+            load_model(str(path))
+
+    def test_cli_reports_model_errors(self, verilog_files, tmp_path,
+                                      capsys):
+        code = main(["compare", verilog_files["adder.v"],
+                     verilog_files["mux.v"],
+                     "--model", str(tmp_path / "absent.npz")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_compare_with_saved_model(self, verilog_files, tmp_path,
                                       capsys):

@@ -1,0 +1,321 @@
+"""Fingerprint index: cache behavior, parallel extraction, top-k queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNN4IP, cosine_similarity_np
+from repro.dataflow import DFGPipeline, dfg_from_verilog
+from repro.dataflow.serialize import dfg_from_dict, dfg_to_dict, dumps, loads
+from repro.errors import DataflowError, IndexStoreError
+from repro.index import (
+    CorpusExtractor,
+    DFGCache,
+    EmbeddingService,
+    FingerprintIndex,
+    build_index,
+    content_key,
+    model_fingerprint,
+)
+
+ADDER = """
+module adder(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = a + b;
+endmodule
+"""
+
+SUB = """
+module sub(input [3:0] a, input [3:0] b, output [4:0] d);
+  assign d = a - b;
+endmodule
+"""
+
+MUX = """
+module mux(input [7:0] d, input [2:0] sel, output q);
+  assign q = d[sel];
+endmodule
+"""
+
+XOR_CHAIN = """
+module xchain(input [3:0] a, input [3:0] b, output x);
+  assign x = ^(a ^ b);
+endmodule
+"""
+
+BROKEN = "module oops(input a endmodule"
+
+SOURCES = {"adder.v": ADDER, "sub.v": SUB, "mux.v": MUX,
+           "xchain.v": XOR_CHAIN}
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    for name, text in SOURCES.items():
+        (root / name).write_text(text)
+    return root
+
+
+@pytest.fixture
+def corpus_paths(corpus_dir):
+    return sorted(corpus_dir.glob("*.v"))
+
+
+def graph_signature(graph):
+    """Structure tuple for exact graph comparison."""
+    return (graph.name,
+            tuple((n.kind, n.label, n.name) for n in graph.nodes),
+            tuple((src, dst) for src in range(len(graph))
+                  for dst in graph.successors(src)))
+
+
+class TestSerialize:
+    def test_round_trip(self):
+        graph = dfg_from_verilog(ADDER)
+        again = dfg_from_dict(dfg_to_dict(graph))
+        assert graph_signature(again) == graph_signature(graph)
+
+    def test_bytes_round_trip(self):
+        graph = dfg_from_verilog(MUX)
+        assert graph_signature(loads(dumps(graph))) == \
+            graph_signature(graph)
+
+    def test_corrupt_bytes_raise(self):
+        with pytest.raises(DataflowError):
+            loads(b"not a dfg blob")
+
+    def test_bad_version_raises(self):
+        payload = dfg_to_dict(dfg_from_verilog(ADDER))
+        payload["version"] = 999
+        with pytest.raises(DataflowError):
+            dfg_from_dict(payload)
+
+
+class TestContentKey:
+    def test_stable(self):
+        key = content_key("module m; endmodule", "trim=1")
+        assert key == content_key("module m; endmodule", "trim=1")
+        assert len(key) == 64
+
+    def test_sensitive_to_source_options_top(self):
+        base = content_key("module m; endmodule", "trim=1")
+        assert content_key("module n; endmodule", "trim=1") != base
+        assert content_key("module m; endmodule", "trim=0") != base
+        assert content_key("module m; endmodule", "trim=1", top="m") != base
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path, corpus_paths):
+        cache = DFGCache(tmp_path / "cache")
+        extractor = CorpusExtractor(cache=cache, jobs=1)
+        first = extractor.extract_paths(corpus_paths)
+        assert cache.stats.misses == len(corpus_paths)
+        assert cache.stats.stores == len(corpus_paths)
+        assert cache.stats.hits == 0
+
+        cache.stats.__init__()
+        second = extractor.extract_paths(corpus_paths)
+        assert cache.stats.hits == len(corpus_paths)
+        assert cache.stats.misses == 0
+        assert all(r.cached for r in second)
+        for a, b in zip(first, second):
+            assert graph_signature(a.graph) == graph_signature(b.graph)
+
+    def test_corrupt_entry_recovers(self, tmp_path, corpus_paths):
+        cache = DFGCache(tmp_path / "cache")
+        extractor = CorpusExtractor(cache=cache, jobs=1)
+        first = extractor.extract_paths(corpus_paths)
+
+        # Truncate one blob; the entry must heal on the next run.
+        victim = cache.blob_path(first[0].key)
+        victim.write_bytes(b"\x00garbage")
+        cache.stats.__init__()
+        second = extractor.extract_paths(corpus_paths)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.hits == len(corpus_paths) - 1
+        assert graph_signature(second[0].graph) == \
+            graph_signature(first[0].graph)
+        # Healed: third run hits everything.
+        cache.stats.__init__()
+        extractor.extract_paths(corpus_paths)
+        assert cache.stats.hits == len(corpus_paths)
+
+    def test_no_cache(self, corpus_paths):
+        extractor = CorpusExtractor(cache=None, jobs=1)
+        results = extractor.extract_paths(corpus_paths)
+        assert all(r.ok and not r.cached for r in results)
+
+    def test_entry_count_and_bytes(self, tmp_path, corpus_paths):
+        cache = DFGCache(tmp_path / "cache")
+        CorpusExtractor(cache=cache, jobs=1).extract_paths(corpus_paths)
+        assert cache.entry_count() == len(corpus_paths)
+        assert cache.disk_bytes() == cache.stats.store_bytes > 0
+
+
+class TestCorpusExtractor:
+    def test_parallel_matches_serial(self, corpus_paths):
+        serial = CorpusExtractor(jobs=1).extract_paths(corpus_paths)
+        parallel = CorpusExtractor(jobs=3).extract_paths(corpus_paths)
+        assert [r.path for r in parallel] == [r.path for r in serial]
+        for a, b in zip(serial, parallel):
+            assert graph_signature(a.graph) == graph_signature(b.graph)
+
+    def test_error_isolation(self, corpus_dir):
+        (corpus_dir / "broken.v").write_text(BROKEN)
+        paths = sorted(corpus_dir.glob("*.v"))
+        for jobs in (1, 2):
+            results = CorpusExtractor(jobs=jobs).extract_paths(paths)
+            by_name = {r.name: r for r in results}
+            assert not by_name["broken"].ok
+            assert "Error" in by_name["broken"].error
+            assert by_name["broken"].graph is None
+            ok = [r for r in results if r.ok]
+            assert len(ok) == len(paths) - 1
+
+    def test_matches_single_file_pipeline(self, corpus_paths):
+        results = CorpusExtractor(jobs=2).extract_paths(corpus_paths)
+        pipeline = DFGPipeline()
+        for result in results:
+            direct = pipeline.extract_file(result.path)
+            assert graph_signature(result.graph) == graph_signature(direct)
+
+    def test_respects_do_trim(self, corpus_paths):
+        trimmed = CorpusExtractor(jobs=1).extract_paths(corpus_paths[:1])
+        raw = CorpusExtractor(pipeline=DFGPipeline(do_trim=False),
+                              jobs=1).extract_paths(corpus_paths[:1])
+        assert len(raw[0].graph) >= len(trimmed[0].graph)
+        assert raw[0].key != trimmed[0].key
+
+
+class TestModelFingerprint:
+    def test_deterministic_and_weight_sensitive(self):
+        a = model_fingerprint(GNN4IP(seed=0))
+        assert a == model_fingerprint(GNN4IP(seed=0))
+        assert a != model_fingerprint(GNN4IP(seed=1))
+        assert a != model_fingerprint(GNN4IP(seed=0, hidden=8))
+
+    def test_delta_does_not_affect_fingerprint(self):
+        """Embeddings ignore delta, so fingerprints must too — retuning
+        the boundary keeps stored embeddings reusable."""
+        a = GNN4IP(seed=0)
+        b = GNN4IP(seed=0, delta=0.9)
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+
+class TestFingerprintIndex:
+    @pytest.fixture
+    def built(self, tmp_path, corpus_paths):
+        model = GNN4IP(seed=0)
+        index, report = build_index(tmp_path / "idx", corpus_paths, model,
+                                    jobs=1)
+        return index, report, model
+
+    def test_build_report(self, built):
+        index, report, _ = built
+        assert report["embedded"] == len(SOURCES)
+        assert report["failures"] == 0
+        assert len(index) == len(SOURCES)
+
+    def test_load_round_trip(self, built, tmp_path):
+        index, _, _ = built
+        loaded = FingerprintIndex.load(tmp_path / "idx")
+        np.testing.assert_array_equal(loaded.matrix, index.matrix)
+        assert loaded.model_hash == index.model_hash
+        assert [e["name"] for e in loaded.entries] == \
+            [e["name"] for e in index.entries]
+
+    def test_top_k_matches_brute_force(self, built, corpus_paths):
+        """Index scores must equal pairwise model.similarity exactly."""
+        index, _, model = built
+        for path in corpus_paths:
+            suspect = DFGPipeline().extract_file(path)
+            hits = index.query_graph(suspect, model, k=len(index))
+            brute = []
+            for other in corpus_paths:
+                graph = DFGPipeline().extract_file(other)
+                brute.append((other.stem, model.similarity(suspect, graph)))
+            brute.sort(key=lambda item: -item[1])
+            assert [h.name for h in hits] == [name for name, _ in brute]
+            # cosine_similarity_np adds eps inside the norm product while
+            # the index normalizes rows, so scores agree to ~1e-6, not
+            # bit-exactly.
+            for hit, (_, score) in zip(hits, brute):
+                assert hit.score == pytest.approx(score, abs=1e-6)
+                assert hit.is_piracy == (hit.score > model.delta)
+
+    def test_query_rejects_foreign_model(self, built):
+        index, _, _ = built
+        with pytest.raises(IndexStoreError):
+            index.query_graph(dfg_from_verilog(ADDER), GNN4IP(seed=7))
+
+    def test_lookup_key(self, built, corpus_paths):
+        index, _, model = built
+        pipeline = DFGPipeline()
+        cleaned = pipeline.preprocess_text(corpus_paths[0].read_text())
+        key = content_key(cleaned, pipeline.options_fingerprint())
+        stored = index.lookup_key(key)
+        assert stored is not None
+        direct = model.encoder.embed(pipeline.extract_file(corpus_paths[0]))
+        np.testing.assert_allclose(stored, direct)
+        assert index.lookup_key("0" * 64) is None
+
+    def test_failures_are_recorded(self, tmp_path, corpus_dir):
+        (corpus_dir / "broken.v").write_text(BROKEN)
+        paths = sorted(corpus_dir.glob("*.v"))
+        index, report = build_index(tmp_path / "idx2", paths,
+                                    GNN4IP(seed=0), jobs=1)
+        assert report["failures"] == 1
+        failed = [e for e in index.entries if e["status"] == "error"]
+        assert len(failed) == 1
+        assert failed[0]["name"] == "broken"
+        assert len(index) == len(paths) - 1
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(IndexStoreError):
+            FingerprintIndex.load(tmp_path / "nothing")
+
+    def test_load_detects_mismatched_store(self, built, tmp_path):
+        root = tmp_path / "idx"
+        matrix = np.zeros((1, 16))
+        np.savez(root / "embeddings.npz", matrix=matrix,
+                 keys=np.array(["0" * 64], dtype="U64"))
+        with pytest.raises(IndexStoreError):
+            FingerprintIndex.load(root)
+
+    def test_warm_rebuild_hits_cache(self, built, tmp_path, corpus_paths):
+        _, report, model = built
+        assert report["cache"]["hits"] == 0
+        _, warm = build_index(tmp_path / "idx", corpus_paths, model, jobs=1)
+        assert warm["cache"]["hits"] == len(SOURCES)
+        assert warm["cache"]["misses"] == 0
+
+    def test_stats(self, built):
+        index, _, _ = built
+        stats = index.stats()
+        assert stats["entries"] == len(SOURCES)
+        assert stats["embedded"] == len(SOURCES)
+        assert stats["designs"] == len(SOURCES)
+        assert stats["cache_entries"] == len(SOURCES)
+        assert stats["hidden"] == 16
+
+
+class TestEmbeddingService:
+    def test_matches_per_graph_embed(self):
+        model = GNN4IP(seed=3)
+        graphs = [dfg_from_verilog(text) for text in SOURCES.values()]
+        service = EmbeddingService(model, batch_size=2)
+        batched = service.embed_graphs(graphs)
+        single = np.stack([model.encoder.embed(g) for g in graphs])
+        np.testing.assert_allclose(batched, single, rtol=1e-9, atol=1e-15)
+
+    def test_embed_one(self):
+        model = GNN4IP(seed=3)
+        graph = dfg_from_verilog(ADDER)
+        np.testing.assert_allclose(
+            EmbeddingService(model).embed_one(graph),
+            model.encoder.embed(graph), rtol=1e-9, atol=1e-15)
+
+    def test_fingerprint_cached(self):
+        service = EmbeddingService(GNN4IP(seed=0))
+        assert service.fingerprint == service.fingerprint
+        assert service.fingerprint == model_fingerprint(service.model)
