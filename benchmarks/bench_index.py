@@ -1,6 +1,6 @@
-"""Fingerprint-index benchmark: cache leverage and batched embedding.
+"""Fingerprint-index benchmark: cache leverage, batched embedding/training.
 
-Two scaling claims are measured and enforced:
+Three scaling claims are measured and enforced:
 
 - **Cold vs warm indexing** — rebuilding an unchanged corpus must be at
   least 2x faster than the first build, because every DFG comes out of the
@@ -8,9 +8,13 @@ Two scaling claims are measured and enforced:
 - **Batched vs per-graph embedding** — embedding the corpus through the
   block-diagonal batched forward pass must beat one ``embed`` call per
   graph.
+- **Batched vs per-pair-loop training** — a training epoch through the
+  block-diagonal forward+backward path must be at least 2x faster than the
+  per-graph autograd loop, with identical losses.
 
-Results are also written as JSON (``benchmarks/out/bench_index.json``) so
-future PRs can track the trajectory of both speedups.
+Results are also written as JSON (``benchmarks/out/bench_index.json`` and
+``benchmarks/out/bench_train.json``) so future PRs can track the
+trajectory of all three speedups.
 """
 
 import json
@@ -19,8 +23,8 @@ import time
 import pytest
 
 from conftest import OUT_DIR, report
-from repro.core import GNN4IP
-from repro.designs import materialize_corpus
+from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.designs import materialize_corpus, rtl_records
 from repro.index import CorpusExtractor, EmbeddingService, build_index
 
 #: Small but non-trivial slice of the generated corpus; extraction cost
@@ -144,6 +148,63 @@ def bench_index_batched_embedding(benchmark, corpus_files, config):
     _write_json(existing)
     assert batched_s < single_s, \
         "batched embedding slower than per-graph embedding"
+
+
+def bench_train_batched_vs_loop(benchmark, config):
+    """Batched training epochs must be >= 2x faster than the per-pair loop.
+
+    Both trainers see the same dataset, seed, and (dropout-free) model, so
+    the per-epoch losses must agree to rounding — the speedup is pure
+    execution strategy, not a different optimization trajectory.
+    """
+    records = rtl_records(families=list(FAMILIES),
+                          instances_per_design=INSTANCES,
+                          seed=config.seed)
+    dataset = build_pair_dataset(records, seed=config.seed)
+
+    def epoch_time(mode, epochs=3):
+        trainer = Trainer(GNN4IP(seed=config.seed, dropout=0.0),
+                          seed=config.seed, mode=mode)
+        trainer.train_epoch(dataset, 0)  # warm caches + prepare()
+        losses = []
+        start = time.perf_counter()
+        for epoch in range(1, epochs + 1):
+            loss, _ = trainer.train_epoch(dataset, epoch)
+            losses.append(loss)
+        return (time.perf_counter() - start) / epochs, losses
+
+    loop_s, loop_losses = epoch_time("loop")
+    batched_s, batched_losses = epoch_time("batched")
+
+    trainer = Trainer(GNN4IP(seed=config.seed, dropout=0.0),
+                      seed=config.seed)
+    trainer.train_epoch(dataset, 0)
+    benchmark(trainer.train_epoch, dataset, 1)
+
+    speedup = loop_s / batched_s
+    pairs = len(dataset.train_pairs)
+    lines = [f"graphs: {len(records)}, train pairs: {pairs}",
+             f"per-pair loop epoch: {loop_s * 1000:8.1f} ms "
+             f"({pairs / loop_s:8.0f} pairs/s)",
+             f"batched epoch:       {batched_s * 1000:8.1f} ms "
+             f"({pairs / batched_s:8.0f} pairs/s)",
+             f"speedup:             {speedup:8.2f}x (required: >= 2x)"]
+    report("train_batched_vs_loop", "\n".join(lines))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "bench_train.json", "w") as handle:
+        json.dump({"graphs": len(records), "train_pairs": pairs,
+                   "loop_epoch_seconds": loop_s,
+                   "batched_epoch_seconds": batched_s,
+                   "batched_speedup": speedup,
+                   "loop_losses": loop_losses,
+                   "batched_losses": batched_losses},
+                  handle, indent=2, sort_keys=True)
+
+    for loop_loss, batched_loss in zip(loop_losses, batched_losses):
+        assert batched_loss == pytest.approx(loop_loss, abs=1e-8)
+    assert speedup >= 2.0, \
+        f"batched training only {speedup:.2f}x faster than the loop"
 
 
 def bench_index_parallel_extraction(corpus_files, tmp_path_factory):

@@ -1,12 +1,20 @@
 """Command-line interface: ``gnn4ip`` with extract / train / compare / index.
 
+Detection commands work at two levels: ``rtl`` (the paper's data-flow
+graphs) and ``netlist`` (gate-level graphs, synthesized from the input when
+it is not already structural).  ``--level`` selects the frontend; models
+remember the level they were trained for and refuse the other one.
+
 Examples::
 
     gnn4ip extract-dfg design.v
     gnn4ip train --families adder8 cmp8 alu --epochs 40 --save model.npz
+    gnn4ip train --level netlist --epochs 40 --save netmodel.npz
     gnn4ip compare a.v b.v --model model.npz
+    gnn4ip compare a.v b.v --level netlist --model netmodel.npz
     gnn4ip corpus --instances 3
     gnn4ip index build my.index --families --instances 4 --model model.npz
+    gnn4ip index build net.index --level netlist --families
     gnn4ip index query my.index suspect.v -k 5
     gnn4ip index stats my.index
     gnn4ip compare a.v b.v --index my.index
@@ -23,6 +31,7 @@ from repro.designs import (
     default_rtl_families,
     family_names,
     materialize_corpus,
+    netlist_ir_records,
     rtl_records,
 )
 from repro.errors import ReproError
@@ -31,9 +40,9 @@ from repro.index import (
     EmbeddingService,
     FingerprintIndex,
     build_index,
-    content_key,
 )
 from repro.index.store import CACHE_DIR
+from repro.ir.frontends import get_frontend
 
 
 def _cmd_extract(args):
@@ -57,18 +66,26 @@ def _cmd_extract(args):
 
 
 def _cmd_train(args):
-    families = args.families or default_rtl_families()
-    print(f"generating corpus: {len(families)} designs x "
-          f"{args.instances} instances")
-    records = rtl_records(families=families,
-                          instances_per_design=args.instances,
-                          seed=args.seed)
+    if args.level == "netlist":
+        families = args.families or None
+        print(f"generating netlist corpus (synthesized RTL families) x "
+              f"{args.instances} instances")
+        records = netlist_ir_records(families=families,
+                                     instances_per_design=args.instances,
+                                     seed=args.seed)
+    else:
+        families = args.families or default_rtl_families()
+        print(f"generating corpus: {len(families)} designs x "
+              f"{args.instances} instances")
+        records = rtl_records(families=families,
+                              instances_per_design=args.instances,
+                              seed=args.seed)
     dataset = build_pair_dataset(records, seed=args.seed)
     summary = dataset.summary()
     print(f"pairs: {summary['pairs']} "
           f"({summary['similar_pairs']} similar / "
           f"{summary['different_pairs']} different)")
-    model = GNN4IP(seed=args.seed)
+    model = GNN4IP(seed=args.seed, featurizer=args.level)
     trainer = Trainer(model, seed=args.seed)
     trainer.fit(dataset, epochs=args.epochs, verbose=True)
     result = trainer.test(dataset)
@@ -81,26 +98,25 @@ def _cmd_train(args):
     return 0
 
 
-def _load_or_warn(model_path, seed=0):
+def _load_or_warn(model_path, seed=0, level="rtl"):
     """Model from ``--model``, or a fresh (untrained) one with a warning."""
     if model_path:
         return load_model(model_path)
     print("warning: comparing with an untrained model", file=sys.stderr)
-    return GNN4IP(seed=seed)
+    return GNN4IP(seed=seed, featurizer=level or "rtl")
 
 
 def _indexed_embedding(index, service, path):
     """Embedding for a file, reusing the index store/cache when possible.
 
-    Extraction runs with the pipeline options the index was built with, so
-    the suspect's embedding is comparable to the stored ones and its
-    content key can hit the index and the DFG cache.
+    Extraction runs through the frontend (level + options) the index was
+    built with, so the suspect's embedding is comparable to the stored
+    ones and its content key can hit the index and the graph cache.
     """
-    pipeline = index.pipeline()
+    frontend = index.frontend()
     with open(path) as handle:
-        cleaned = pipeline.preprocess_text(handle.read())
-    key = content_key(cleaned, pipeline.options_fingerprint(),
-                      top=index.top)
+        cleaned = frontend.preprocess_text(handle.read())
+    key = frontend.content_key(cleaned, top=index.top)
     if service.fingerprint == index.model_hash:
         stored = index.lookup_key(key)
         if stored is not None:
@@ -109,19 +125,23 @@ def _indexed_embedding(index, service, path):
     graph = cache.load(key)
     source = "cache" if graph is not None else "extracted"
     if graph is None:
-        graph = pipeline.extract_preprocessed(cleaned, top=index.top)
+        graph = frontend.extract_preprocessed(cleaned, top=index.top)
         cache.store(key, graph)
     return service.embed_one(graph), source
 
 
 def _cmd_compare(args):
     index = FingerprintIndex.load(args.index) if args.index else None
+    if index is not None and args.level and args.level != index.level:
+        print(f"error: index was built at --level {index.level}, "
+              f"not {args.level}", file=sys.stderr)
+        return 1
     if args.model:
         model = load_model(args.model)
     elif index is not None:
         model = index.model()
     else:
-        model = _load_or_warn(None, seed=args.seed)
+        model = _load_or_warn(None, seed=args.seed, level=args.level)
     if args.delta is not None:
         model.delta = args.delta
 
@@ -134,10 +154,12 @@ def _cmd_compare(args):
             print(f"{path}: embedding from {source}", file=sys.stderr)
         score = model.similarity_from_embeddings(*embeddings)
     else:
+        level = args.level or model.encoder.featurizer.level
+        frontend = get_frontend(level)
         graphs = []
         for path in (args.file_a, args.file_b):
             with open(path) as handle:
-                graphs.append(dfg_from_verilog(handle.read()))
+                graphs.append(frontend.extract(handle.read()))
         score = model.similarity(graphs[0], graphs[1])
     verdict = "PIRACY" if score > model.delta else "no piracy"
     print(f"similarity: {score:+.4f} (delta {model.delta:+.4f}) -> {verdict}")
@@ -188,11 +210,12 @@ def _cmd_index_build(args):
         print("error: no input files (pass sources or --families)",
               file=sys.stderr)
         return 1
-    model = _load_or_warn(args.model, seed=args.seed)
+    model = _load_or_warn(args.model, seed=args.seed, level=args.level)
     index, report = build_index(args.index_dir, paths, model,
-                                jobs=args.jobs,
+                                jobs=args.jobs, level=args.level,
                                 use_cache=not args.no_cache)
     print(f"indexed {report['embedded']}/{report['files']} files "
+          f"at level {index.level} "
           f"({report['failures']} failures) with {report['jobs']} workers")
     if report["embeddings_reused"]:
         print(f"embeddings: {report['embedded_fresh']} fresh, "
@@ -215,7 +238,7 @@ def _cmd_index_query(args):
     model = load_model(args.model) if args.model else index.model()
     top = args.top if args.top is not None else index.top
     with open(args.file) as handle:
-        graph = index.pipeline().extract(handle.read(), top=top)
+        graph = index.frontend().extract(handle.read(), top=top)
     hits = index.query_graph(graph, model, k=args.k)
     print(f"top {len(hits)} of {len(index)} indexed designs "
           f"(delta {model.delta:+.4f}):")
@@ -231,8 +254,8 @@ def _cmd_index_query(args):
 def _cmd_index_stats(args):
     stats = FingerprintIndex.load(args.index_dir).stats()
     build = stats.pop("build", {})
-    for key in ("entries", "embedded", "failures", "designs", "hidden",
-                "cache_entries", "cache_bytes"):
+    for key in ("level", "entries", "embedded", "failures", "designs",
+                "hidden", "cache_entries", "cache_bytes"):
         print(f"{key:14s} {stats[key]}")
     print(f"{'model_hash':14s} {stats['model_hash'][:16]}...")
     if build:
@@ -265,6 +288,10 @@ def build_parser():
     p_train.add_argument("--instances", type=int, default=4)
     p_train.add_argument("--epochs", type=int, default=40)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--level", choices=("rtl", "netlist"),
+                         default="rtl",
+                         help="train on RTL dataflow graphs or "
+                              "synthesized gate-level netlists")
     p_train.add_argument("--save", default=None, help="output .npz path")
     p_train.set_defaults(func=_cmd_train)
 
@@ -279,6 +306,11 @@ def build_parser():
                                 "stored embeddings, and DFG cache")
     p_compare.add_argument("--delta", type=float, default=None)
     p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument("--level", choices=("rtl", "netlist"),
+                           default=None,
+                           help="compare RTL dataflow graphs (default) or "
+                                "synthesized gate-level netlists; must "
+                                "match the model/index level")
     p_compare.set_defaults(func=_cmd_compare)
 
     p_corpus = sub.add_parser("corpus", help="list design families")
@@ -304,8 +336,12 @@ def build_parser():
     p_build.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: auto)")
     p_build.add_argument("--no-cache", action="store_true",
-                         help="bypass the content-addressed DFG cache")
+                         help="bypass the content-addressed graph cache")
     p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--level", choices=("rtl", "netlist"),
+                         default=None,
+                         help="extraction level (default: the model's "
+                              "level, rtl for fresh models)")
     p_build.set_defaults(func=_cmd_index_build)
 
     p_query = index_sub.add_parser(

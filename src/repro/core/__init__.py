@@ -10,8 +10,13 @@ from repro.core.dataset import (
 )
 from repro.core.features import (
     FEATURE_DIM,
+    FEATURIZERS,
     LABEL_INDEX,
+    NETLIST_FEATURIZER,
+    RTL_FEATURIZER,
     VOCABULARY,
+    OneHotFeaturizer,
+    get_featurizer,
     label_index,
     one_hot_features,
 )
@@ -25,8 +30,9 @@ from repro.core.trainer import Trainer, train_model
 __all__ = [
     "GraphRecord", "PairDataset", "batches", "build_pair_dataset",
     "make_pairs", "split_pairs",
-    "FEATURE_DIM", "LABEL_INDEX", "VOCABULARY", "label_index",
-    "one_hot_features",
+    "FEATURE_DIM", "FEATURIZERS", "LABEL_INDEX", "NETLIST_FEATURIZER",
+    "RTL_FEATURIZER", "VOCABULARY", "OneHotFeaturizer", "get_featurizer",
+    "label_index", "one_hot_features",
     "GNN4IP", "cosine_similarity_np",
     "HW2VEC", "PreparedGraph",
     "IPMatcher", "Match",

@@ -4,57 +4,80 @@ Architecture (paper's evaluation settings as defaults): a stack of GCN
 layers (2 layers, 16 hidden units), dropout 0.1 after each, a self-attention
 graph-pooling layer with ratio 0.5, and a max readout producing the graph
 embedding h_G.
+
+The encoder consumes :class:`~repro.ir.graphir.GraphIR` through a pluggable
+featurizer (see :mod:`repro.core.features`): RTL DFGs and gate-level
+netlist graphs flow through the same layers, differing only in the node
+vocabulary their featurizer one-hot encodes.  The featurizer is part of the
+model's identity — it is recorded in ``config`` so persistence and the
+fingerprint index can refuse graphs from the wrong frontend.
 """
 
 import numpy as np
 
-from repro.core.features import FEATURE_DIM, one_hot_features
+from repro.core.features import get_featurizer
+from repro.ir import to_graphir
 from repro.nn.layers import Dropout, GCNConv, Module, normalize_adjacency
 from repro.nn.pooling import Readout, SAGPool
 from repro.nn.tensor import Tensor
 
 
 class PreparedGraph:
-    """A DFG converted to model inputs (features + adjacencies).
+    """A GraphIR converted to model inputs (features + adjacencies).
 
     Conversion is deterministic, so prepared graphs can be cached and reused
-    across epochs.
+    across epochs.  Accepts anything :func:`repro.ir.to_graphir` can adapt
+    (GraphIR, DFG, gate-level Netlist).
     """
 
-    __slots__ = ("name", "features", "adjacency", "a_norm", "num_nodes")
+    __slots__ = ("name", "level", "features", "adjacency", "a_norm",
+                 "num_nodes")
 
-    def __init__(self, graph):
-        self.name = graph.name
-        self.features = one_hot_features(graph)
-        self.adjacency = graph.adjacency(symmetric=True)
+    def __init__(self, graph, featurizer="rtl"):
+        ir = to_graphir(graph)
+        featurizer = get_featurizer(featurizer)
+        self.name = ir.name
+        self.level = getattr(ir, "level", featurizer.level)
+        self.features = featurizer.features(ir)
+        self.adjacency = ir.adjacency(symmetric=True)
         self.a_norm = normalize_adjacency(self.adjacency)
-        self.num_nodes = len(graph)
+        self.num_nodes = len(ir)
 
 
 class HW2VEC(Module):
-    """Graph encoder: DFG -> fixed-size embedding.
+    """Graph encoder: GraphIR -> fixed-size embedding.
 
     Args:
-        in_features: node feature width (defaults to the label vocabulary).
+        in_features: node feature width (defaults to the featurizer's
+            vocabulary size).
         hidden: GCN hidden units (paper: 16).
         num_layers: GCN depth (paper: 2).
         pool_ratio: SAGPool keep ratio (paper: 0.5).
         readout: ``max`` / ``mean`` / ``sum`` (paper: max).
         dropout: dropout rate after each GCN layer (paper: 0.1).
         seed: RNG seed for weight init and dropout masks.
+        featurizer: registry name (``rtl`` / ``netlist``) or a
+            :class:`repro.ir.Featurizer` instance; fixes which graph level
+            this encoder accepts.
     """
 
-    def __init__(self, in_features=FEATURE_DIM, hidden=16, num_layers=2,
-                 pool_ratio=0.5, readout="max", dropout=0.1, seed=0):
+    def __init__(self, in_features=None, hidden=16, num_layers=2,
+                 pool_ratio=0.5, readout="max", dropout=0.1, seed=0,
+                 featurizer="rtl"):
         super().__init__()
         if num_layers < 1:
             raise ValueError("need at least one GCN layer")
+        self.featurizer = get_featurizer(featurizer)
+        if in_features is None:
+            in_features = self.featurizer.dim
         #: Constructor arguments, recorded so saved models can be rebuilt
-        #: with the right architecture and fingerprinted for index reuse.
+        #: with the right architecture (and featurizer/frontend) and
+        #: fingerprinted for index reuse.
         self.config = {
             "in_features": in_features, "hidden": hidden,
             "num_layers": num_layers, "pool_ratio": pool_ratio,
             "readout": readout, "dropout": dropout,
+            "featurizer": self.featurizer.name,
         }
         rng = np.random.default_rng(seed)
         self.convs = []
@@ -71,8 +94,14 @@ class HW2VEC(Module):
         self.hidden = hidden
 
     def prepare(self, graph):
-        """Convert a DFG into cached model inputs."""
-        return PreparedGraph(graph)
+        """Convert a GraphIR/DFG/Netlist into cached model inputs.
+
+        Raises:
+            ModelError: when the graph's level does not match the
+                encoder's featurizer (e.g. a netlist graph fed to an
+                RTL-trained model).
+        """
+        return PreparedGraph(graph, self.featurizer)
 
     def forward(self, prepared):
         """Embed one prepared graph; returns a 1-D Tensor of size hidden."""
@@ -84,7 +113,7 @@ class HW2VEC(Module):
         return self.readout(x_pool)
 
     def embed(self, graph):
-        """Embed a DFG (prepares it first); returns a numpy vector."""
+        """Embed a graph (prepares it first); returns a numpy vector."""
         was_training = self.training
         self.eval()
         embedding = self.forward(self.prepare(graph)).numpy().copy()
@@ -93,7 +122,7 @@ class HW2VEC(Module):
         return embedding
 
     def embed_many(self, graphs, batch_size=64):
-        """Embed a sequence of DFGs; returns an (n, hidden) array.
+        """Embed a sequence of graphs; returns an (n, hidden) array.
 
         Graphs are packed into block-diagonal batches and embedded in one
         forward pass per batch (:func:`repro.nn.batch.batched_embed`);

@@ -3,9 +3,14 @@
 The archive holds the encoder state dict plus two reserved keys:
 ``__delta__`` (the decision boundary) and ``__config__`` (the encoder's
 constructor arguments as JSON), so a saved model can be rebuilt with the
-right architecture without the caller repeating the kwargs.  Loading a
-missing or foreign file raises :class:`~repro.errors.ModelError` with a
-diagnosis instead of a raw ``KeyError``.
+right architecture without the caller repeating the kwargs.  The config
+includes the encoder's **featurizer** name, so the extraction frontend the
+model was trained for round-trips too: a reloaded netlist model refuses
+RTL graphs (``ModelError``) instead of scoring them against the wrong
+vocabulary.  Archives from before the featurizer field default to ``rtl``.
+Loading a missing or foreign file raises
+:class:`~repro.errors.ModelError` with a diagnosis instead of a raw
+``KeyError``.
 """
 
 import json
@@ -17,15 +22,25 @@ from repro.errors import ModelError
 
 _DELTA_KEY = "__delta__"
 _CONFIG_KEY = "__config__"
+_SCHEMA_KEY = "__featurizer_schema__"
 
 
 def save_model(model, path):
-    """Persist encoder weights, config, and the decision boundary."""
+    """Persist encoder weights, config, and the decision boundary.
+
+    The featurizer's schema fingerprint is stored alongside its name:
+    weights are only meaningful under the exact vocabulary column order
+    they were trained with, so loading under a drifted vocabulary must
+    fail instead of silently binding old weights to new columns.
+    """
     state = model.encoder.state_dict()
     state[_DELTA_KEY] = np.array(model.delta)
     config = getattr(model.encoder, "config", None)
     if config is not None:
         state[_CONFIG_KEY] = np.array(json.dumps(config, sort_keys=True))
+    featurizer = getattr(model.encoder, "featurizer", None)
+    if featurizer is not None:
+        state[_SCHEMA_KEY] = np.array(featurizer.fingerprint())
     np.savez(path, **state)
 
 
@@ -59,8 +74,18 @@ def load_model(path, **encoder_kwargs):
             kwargs.update(json.loads(str(data[_CONFIG_KEY])))
         kwargs.update(encoder_kwargs)
         model = GNN4IP(delta=delta, **kwargs)
+        if _SCHEMA_KEY in data.files:
+            saved_schema = str(data[_SCHEMA_KEY])
+            current = model.encoder.featurizer.fingerprint()
+            if saved_schema != current:
+                raise ModelError(
+                    f"{path} was trained under featurizer schema "
+                    f"{saved_schema}, but the current "
+                    f"{model.encoder.featurizer.name!r} vocabulary has "
+                    f"schema {current}; its weights would bind to the "
+                    f"wrong feature columns (retrain the model)")
         state = {key: data[key] for key in data.files
-                 if key not in (_DELTA_KEY, _CONFIG_KEY)}
+                 if key not in (_DELTA_KEY, _CONFIG_KEY, _SCHEMA_KEY)}
     try:
         model.encoder.load_state_dict(state)
     except (KeyError, ValueError) as exc:

@@ -316,7 +316,10 @@ class DataflowAnalyzer:
         env.update(result_env)
 
     def _merge_branches(self, cond, then_env, else_env, out_env):
-        touched = set(then_env) | set(else_env)
+        # Sorted so node creation order (hence node ids and downstream
+        # top-k tie-breaks) never depends on hash-randomized set order:
+        # identical source must yield an identical graph in every process.
+        touched = sorted(set(then_env) | set(else_env))
         for name in touched:
             then_tree = then_env.get(name)
             else_tree = else_env.get(name)

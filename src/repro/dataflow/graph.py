@@ -4,44 +4,33 @@ The DFG follows the paper's definition (§III-B): a rooted directed graph
 whose nodes are signals, constants, or operations, with an edge ``u -> v``
 whenever the value of ``u`` depends on ``v``.  Output signals are the roots
 and input signals the leaves.
+
+Structurally a DFG is a :class:`~repro.ir.graphir.GraphIR` at the ``rtl``
+level — it inherits nodes, edges, and adjacency from the IR and layers the
+RTL-specific machinery (named-signal identity, role upgrades, root/leaf
+queries) on top, so everything downstream of the frontend consumes it
+through the GraphIR interface.
 """
 
-import networkx as nx
-import numpy as np
-from scipy import sparse
+from repro.ir.graphir import (
+    KIND_CONST,
+    KIND_OP,
+    KIND_SIGNAL,
+    LEVEL_RTL,
+    GraphIR,
+    IRNode,
+)
 
-#: Node kinds.  ``op`` nodes carry an operator label, signal nodes carry a
-#: role label (input/output/wire/reg), ``const`` nodes the literal value.
-KIND_SIGNAL = "signal"
-KIND_OP = "op"
-KIND_CONST = "const"
+#: Backwards-compatible alias: DFG vertices are plain IR nodes.
+DFGNode = IRNode
 
-
-class DFGNode:
-    """One vertex of a data-flow graph.
-
-    Attributes:
-        node_id: dense integer id, index into :attr:`DFG.nodes`.
-        kind: ``signal`` / ``op`` / ``const``.
-        label: vocabulary label used for GNN features (e.g. ``xor``,
-            ``input``, ``const``).
-        name: full hierarchical signal name (signals only) or literal text.
-    """
-
-    __slots__ = ("node_id", "kind", "label", "name")
-
-    def __init__(self, node_id, kind, label, name=None):
-        self.node_id = node_id
-        self.kind = kind
-        self.label = label
-        self.name = name
-
-    def __repr__(self):
-        descr = self.name if self.name else self.label
-        return f"DFGNode({self.node_id}, {self.kind}, {descr})"
+__all__ = [
+    "DFG", "DFGNode", "GraphIR", "IRNode",
+    "KIND_CONST", "KIND_OP", "KIND_SIGNAL", "LEVEL_RTL",
+]
 
 
-class DFG:
+class DFG(GraphIR):
     """A data-flow graph with typed nodes and dependency edges.
 
     Edges run from the dependent node toward the nodes it depends on, so a
@@ -49,21 +38,19 @@ class DFG:
     """
 
     def __init__(self, name="dfg"):
-        self.name = name
-        self.nodes = []
-        self._succ = []           # adjacency: node -> list of dependencies
-        self._pred = []           # reverse adjacency
+        super().__init__(name, level=LEVEL_RTL)
         self._signal_ids = {}     # signal name -> node id
+
+    def _empty_like(self):
+        return DFG(self.name)
 
     # -- construction ------------------------------------------------------
     def add_node(self, kind, label, name=None):
-        """Append a node; returns its id."""
-        node_id = len(self.nodes)
-        self.nodes.append(DFGNode(node_id, kind, label, name))
-        self._succ.append([])
-        self._pred.append([])
+        """Append a node; returns its id.  Signal nodes are registered by
+        name so :meth:`add_signal` can merge per-signal dataflow trees."""
+        node_id = super().add_node(kind, label, name)
         if kind == KIND_SIGNAL and name is not None:
-            self._signal_ids[name] = node_id
+            self._signal_ids.setdefault(name, node_id)
         return node_id
 
     def add_signal(self, name, role):
@@ -80,34 +67,13 @@ class DFG:
             node.label = role
         return node_id
 
-    def add_edge(self, src, dst):
-        """Record that node ``src`` depends on node ``dst``."""
-        if dst not in self._succ[src]:
-            self._succ[src].append(dst)
-            self._pred[dst].append(src)
-
     # -- queries -------------------------------------------------------------
-    def __len__(self):
-        return len(self.nodes)
-
-    @property
-    def num_edges(self):
-        return sum(len(deps) for deps in self._succ)
-
     def signal_id(self, name):
         """Node id of signal ``name`` (KeyError if absent)."""
         return self._signal_ids[name]
 
     def has_signal(self, name):
         return name in self._signal_ids
-
-    def successors(self, node_id):
-        """Nodes that ``node_id`` depends on."""
-        return list(self._succ[node_id])
-
-    def predecessors(self, node_id):
-        """Nodes that depend on ``node_id``."""
-        return list(self._pred[node_id])
 
     def roots(self):
         """Output-signal node ids (the DFG roots)."""
@@ -119,17 +85,6 @@ class DFG:
         return [n.node_id for n in self.nodes
                 if n.kind == KIND_SIGNAL and n.label == "input"]
 
-    def labels(self):
-        """List of node labels in node-id order."""
-        return [node.label for node in self.nodes]
-
-    def label_counts(self):
-        """Histogram of node labels."""
-        counts = {}
-        for node in self.nodes:
-            counts[node.label] = counts.get(node.label, 0) + 1
-        return counts
-
     def stats(self):
         """Summary dict used in reports and tests."""
         return {
@@ -139,63 +94,6 @@ class DFG:
             "roots": len(self.roots()),
             "leaves": len(self.leaves()),
         }
-
-    # -- transforms ----------------------------------------------------------
-    def reachable_from(self, seed_ids):
-        """Set of node ids reachable from ``seed_ids`` along dependencies."""
-        seen = set()
-        stack = list(seed_ids)
-        while stack:
-            node_id = stack.pop()
-            if node_id in seen:
-                continue
-            seen.add(node_id)
-            stack.extend(self._succ[node_id])
-        return seen
-
-    def subgraph(self, keep_ids):
-        """A new DFG containing only ``keep_ids`` (edges restricted)."""
-        keep = sorted(set(keep_ids))
-        remap = {old: new for new, old in enumerate(keep)}
-        out = DFG(self.name)
-        for old in keep:
-            node = self.nodes[old]
-            out.add_node(node.kind, node.label, node.name)
-        for old in keep:
-            for dep in self._succ[old]:
-                if dep in remap:
-                    out.add_edge(remap[old], remap[dep])
-        return out
-
-    def to_networkx(self):
-        """Export as a networkx DiGraph with node attributes."""
-        graph = nx.DiGraph(name=self.name)
-        for node in self.nodes:
-            graph.add_node(node.node_id, kind=node.kind, label=node.label,
-                           name=node.name)
-        for src, deps in enumerate(self._succ):
-            for dst in deps:
-                graph.add_edge(src, dst)
-        return graph
-
-    def adjacency(self, symmetric=True, dtype=np.float64):
-        """Sparse adjacency matrix (CSR).
-
-        Args:
-            symmetric: union with the transpose, which is what the GCN
-                propagation (Eq. 5) expects for undirected message passing.
-        """
-        n = len(self.nodes)
-        rows, cols = [], []
-        for src, deps in enumerate(self._succ):
-            for dst in deps:
-                rows.append(src)
-                cols.append(dst)
-        data = np.ones(len(rows), dtype=dtype)
-        matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
-        if symmetric:
-            matrix = matrix.maximum(matrix.T)
-        return matrix
 
     def __repr__(self):
         return (f"DFG({self.name!r}, nodes={len(self.nodes)}, "

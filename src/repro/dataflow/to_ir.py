@@ -1,0 +1,29 @@
+"""RTL adapter: :class:`DFG` -> plain :class:`GraphIR`.
+
+A DFG already *is* a GraphIR (it subclasses it at the ``rtl`` level), so the
+model path accepts DFGs directly.  This adapter exists for the places that
+want a *detached plain* IR — the RTL extraction frontend returns one so a
+cold extraction and a cache hit (which deserializes to plain GraphIR)
+produce the same type, and worker processes ship the lean representation
+without the DFG's signal-identity table.
+"""
+
+from repro.dataflow.graph import DFG
+from repro.ir.graphir import LEVEL_RTL, GraphIR
+
+
+def dfg_to_ir(dfg):
+    """Copy a :class:`~repro.dataflow.graph.DFG` into a plain GraphIR.
+
+    Node ids, kinds, labels, names, and edges are preserved exactly, so
+    featurization and adjacency are identical to running on the DFG itself.
+    """
+    if not isinstance(dfg, DFG):
+        raise TypeError(f"expected a DFG, got {type(dfg).__name__}")
+    ir = GraphIR(dfg.name, level=LEVEL_RTL)
+    for node in dfg.nodes:
+        ir.add_node(node.kind, node.label, node.name)
+    for src in range(len(dfg)):
+        for dst in dfg.successors(src):
+            ir.add_edge(src, dst)
+    return ir

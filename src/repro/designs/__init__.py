@@ -16,6 +16,7 @@ from repro.designs.corpus import (
     iscas_records,
     materialize_corpus,
     mips_visualization_records,
+    netlist_ir_records,
     netlist_records,
     rtl_records,
 )
@@ -26,6 +27,6 @@ __all__ = [
     "generate_corpus", "get_family", "register",
     "SYNTHESIZABLE_FAMILIES", "corpus_statistics", "default_rtl_families",
     "iscas_records", "materialize_corpus", "mips_visualization_records",
-    "netlist_records", "rtl_records",
+    "netlist_ir_records", "netlist_records", "rtl_records",
     "ISCAS_BENCHMARKS", "iscas_names", "iscas_netlist",
 ]

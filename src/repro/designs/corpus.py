@@ -51,17 +51,17 @@ def _netlist_graph(netlist, instance_name):
     return graph
 
 
-def netlist_records(families=None, instances_per_design=3, seed=0,
-                    verbose=False):
-    """Netlist corpus: synthesize family RTL, then obfuscate for variants.
+def _netlist_variants(families, instances_per_design, seed):
+    """Yield ``(design, index, netlist)`` synthesized-variant triples.
 
-    Instance 0 of each design is the plain synthesized netlist; the others
-    are behaviour-preserving obfuscations with increasing seeds, mirroring
-    how netlist "hardware instances" of one design differ in practice.
+    The single source of the variant-generation scheme shared by
+    :func:`netlist_records` and :func:`netlist_ir_records`: instance 0 of
+    each design is the plain synthesized netlist; the others are
+    behaviour-preserving obfuscations with increasing seeds, mirroring how
+    netlist "hardware instances" of one design differ in practice.
     """
     if families is None:
         families = [n for n in SYNTHESIZABLE_FAMILIES if n in family_names()]
-    records = []
     for offset, name in enumerate(families):
         family = get_family(name)
         variant = family.generate(seed=seed + 31 * offset, rewrite=False)
@@ -72,12 +72,52 @@ def netlist_records(families=None, instances_per_design=3, seed=0,
             else:
                 net = obfuscate(base, seed=seed + 1000 * offset + index,
                                 strength=1 + index % 3)
-            instance = f"{name}_net{index}"
-            graph = _netlist_graph(net, instance)
-            records.append(GraphRecord(design=name, instance=instance,
-                                       graph=graph, kind="netlist"))
-            if verbose:
-                print(f"  netlist {instance}: {len(graph)} nodes")
+            yield name, index, net
+
+
+def netlist_records(families=None, instances_per_design=3, seed=0,
+                    verbose=False):
+    """Netlist corpus: synthesize family RTL, then obfuscate for variants.
+
+    Graphs are netlists round-tripped through structural Verilog into RTL
+    dataflow graphs (the paper's original netlist treatment); see
+    :func:`netlist_ir_records` for the direct gate-level IR corpus.
+    """
+    records = []
+    for name, index, net in _netlist_variants(families, instances_per_design,
+                                              seed):
+        instance = f"{name}_net{index}"
+        graph = _netlist_graph(net, instance)
+        records.append(GraphRecord(design=name, instance=instance,
+                                   graph=graph, kind="netlist"))
+        if verbose:
+            print(f"  netlist {instance}: {len(graph)} nodes")
+    return records
+
+
+def netlist_ir_records(families=None, instances_per_design=3, seed=0,
+                       verbose=False):
+    """Gate-level GraphIR corpus for the netlist detection scenario.
+
+    The same synthesized-plus-obfuscated instances as
+    :func:`netlist_records` (one shared generation scheme,
+    :func:`_netlist_variants`), but the graphs are lowered *directly* to
+    netlist-level :class:`~repro.ir.graphir.GraphIR` (cell-library node
+    labels) instead of being round-tripped through structural Verilog into
+    RTL dataflow graphs — this is the corpus for models trained with the
+    ``netlist`` featurizer.
+    """
+    from repro.netlist.to_ir import netlist_to_ir
+
+    records = []
+    for name, index, net in _netlist_variants(families, instances_per_design,
+                                              seed):
+        instance = f"{name}_nir{index}"
+        graph = netlist_to_ir(net, name=instance)
+        records.append(GraphRecord(design=name, instance=instance,
+                                   graph=graph, kind="netlist"))
+        if verbose:
+            print(f"  netlist-ir {instance}: {len(graph)} nodes")
     return records
 
 

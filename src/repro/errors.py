@@ -44,6 +44,10 @@ class DataflowError(ReproError):
     """Raised when dataflow analysis cannot handle a construct."""
 
 
+class GraphIRError(ReproError):
+    """Raised for malformed or incompatible GraphIR payloads."""
+
+
 class SynthesisError(ReproError):
     """Raised when RTL cannot be lowered to a gate-level netlist."""
 

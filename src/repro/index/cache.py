@@ -1,24 +1,27 @@
-"""Content-addressed on-disk cache for extracted DFGs.
+"""Content-addressed on-disk cache for extracted graphs.
 
 Entries are keyed by SHA-256 over the *preprocessed* Verilog source plus
-every pipeline option that affects extraction (trim flag, top module,
-serialization format version).  Identical sources therefore share one
-entry regardless of file name or location, and any change to the source,
-the options, or the on-disk format changes the key instead of silently
-returning a stale graph.
+every pipeline option that affects extraction (level, trim flag, top
+module) plus the frontend's **schema fingerprint** (IR format version and
+featurizer vocabulary).  Identical sources therefore share one entry
+regardless of file name or location, and any change to the source, the
+options, the on-disk format, or the feature schema changes the key instead
+of silently returning a stale graph — a ``FEATURE_DIM``/vocabulary change
+can never resurrect fingerprints computed under the old schema.
 
 Layout mirrors git's object store: ``<root>/<key[:2]>/<key[2:]>.dfg`` keeps
 directories small on large corpora.  Blobs are the compressed-JSON payloads
-of :mod:`repro.dataflow.serialize`; a corrupt blob (truncated write, disk
-fault, stale format) is treated as a miss, counted in the stats, and
-deleted so the slot heals on the next store.
+of :mod:`repro.ir.serialize` (RTL and netlist graphs share the codec); a
+corrupt blob (truncated write, disk fault, stale format) is treated as a
+miss, counted in the stats, and deleted so the slot heals on the next
+store.
 """
 
 import hashlib
 from pathlib import Path
 
-from repro.dataflow import serialize
-from repro.errors import DataflowError
+from repro.errors import ReproError
+from repro.ir import serialize as ir_serialize
 
 
 class CacheStats:
@@ -43,10 +46,19 @@ class CacheStats:
                 f"stores={self.stores}, corrupt={self.corrupt})")
 
 
-def content_key(cleaned_text, options_fingerprint, top=None):
-    """SHA-256 hex key for preprocessed source + extraction options."""
+def content_key(cleaned_text, options_fingerprint, top=None, schema=""):
+    """SHA-256 hex key for preprocessed source + extraction options.
+
+    Args:
+        cleaned_text: preprocessed Verilog source.
+        options_fingerprint: frontend options string (level, trim, ...).
+        top: top-module override, part of the key.
+        schema: the frontend's schema fingerprint (IR format version +
+            featurizer vocabulary digest); callers that do not care about
+            feature-schema invalidation may leave it empty.
+    """
     digest = hashlib.sha256()
-    digest.update(f"dfg-v{serialize.FORMAT_VERSION}\0".encode("utf-8"))
+    digest.update(f"gir\0schema={schema}\0".encode("utf-8"))
     digest.update(f"{options_fingerprint}\0top={top or ''}\0"
                   .encode("utf-8"))
     digest.update(cleaned_text.encode("utf-8"))
@@ -54,7 +66,11 @@ def content_key(cleaned_text, options_fingerprint, top=None):
 
 
 class DFGCache:
-    """Persistent DFG store under ``root``; safe to share across runs."""
+    """Persistent graph store under ``root``; safe to share across runs.
+
+    Blobs are encoded with :mod:`repro.ir.serialize`, which handles every
+    GraphIR level (including DFGs, which serialize as RTL-level IR).
+    """
 
     def __init__(self, root):
         self.root = Path(root)
@@ -64,7 +80,7 @@ class DFGCache:
         return self.root / key[:2] / f"{key[2:]}.dfg"
 
     def load(self, key):
-        """The cached DFG for ``key``, or ``None`` on a miss.
+        """The cached graph for ``key``, or ``None`` on a miss.
 
         Corrupt entries are deleted and reported as misses.
         """
@@ -75,8 +91,8 @@ class DFGCache:
             self.stats.misses += 1
             return None
         try:
-            graph = serialize.loads(blob)
-        except DataflowError:
+            graph = ir_serialize.loads(blob)
+        except ReproError:
             self.stats.corrupt += 1
             self.stats.misses += 1
             path.unlink(missing_ok=True)
@@ -89,7 +105,7 @@ class DFGCache:
         """Write ``graph`` under ``key`` (atomically via rename)."""
         path = self.blob_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = serialize.dumps(graph)
+        blob = ir_serialize.dumps(graph)
         tmp = path.with_suffix(".tmp")
         tmp.write_bytes(blob)
         tmp.replace(path)

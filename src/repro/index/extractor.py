@@ -1,29 +1,30 @@
-"""Corpus-scale DFG extraction: parallel workers + content-addressed cache.
+"""Corpus-scale graph extraction: parallel workers + content-addressed cache.
 
 Extraction of one Verilog file is independent of every other file, so a
-corpus fans out over ``multiprocessing`` workers.  The driver keeps three
-properties the single-file pipeline cannot offer:
+corpus fans out over ``multiprocessing`` workers.  The driver is frontend-
+agnostic — it runs the RTL dataflow pipeline or the synthesize-to-netlist
+frontend (see :mod:`repro.ir.frontends`) depending on the requested level —
+and keeps three properties the single-file pipeline cannot offer:
 
 - **Deterministic ordering** — results come back in input order no matter
   which worker finishes first, so two runs over the same corpus produce
   identical reports and identical index layouts.
-- **Per-file error isolation** — a file the front-end cannot handle yields
+- **Per-file error isolation** — a file the frontend cannot handle yields
   an :class:`ExtractionResult` with ``error`` set; the run continues and
   the failure is recorded in the index instead of crashing the build.
 - **Cache reuse** — the parent preprocesses each file (cheap), computes its
   content key, and only ships cache misses to the workers (parse /
-  elaborate / analyze / trim are the expensive phases).  Worker results
-  come back as plain serialized payloads and are written to the cache by
-  the parent, so the cache never sees concurrent writers.
+  elaborate / analyze or synthesize are the expensive phases).  Worker
+  results come back as plain serialized GraphIR payloads and are written
+  to the cache by the parent, so the cache never sees concurrent writers.
 """
 
 import multiprocessing
 import os
 from dataclasses import dataclass
 
-from repro.dataflow.pipeline import DFGPipeline
-from repro.dataflow.serialize import dfg_from_dict, dfg_to_dict
-from repro.index.cache import content_key
+from repro.ir import serialize as ir_serialize
+from repro.ir.frontends import RTLFrontend, get_frontend
 
 
 @dataclass
@@ -32,7 +33,7 @@ class ExtractionResult:
 
     path: str
     name: str            # file stem; unique-ified by the index builder
-    graph: object = None  # DFG on success
+    graph: object = None  # GraphIR on success
     error: str = None     # "ExcType: message" on failure
     key: str = None       # content key (None when preprocessing failed)
     cached: bool = False
@@ -47,18 +48,18 @@ def _describe(exc):
 
 
 def _extract_task(task):
-    """Worker: run the post-preprocess pipeline phases on cleaned text.
+    """Worker: run the post-preprocess frontend phases on cleaned text.
 
     Runs in a forked child; returns plain picklable data only.  Any
     exception — parse error, elaboration error, even a crash in the
-    analyzer — is captured as a string so one bad file cannot take down
-    the pool.
+    analyzer or synthesizer — is captured as a string so one bad file
+    cannot take down the pool.
     """
-    position, cleaned, top, do_trim = task
+    position, cleaned, top, level, options = task
     try:
-        pipeline = DFGPipeline(do_trim=do_trim)
-        graph = pipeline.extract_preprocessed(cleaned, top=top)
-        return position, dfg_to_dict(graph), None
+        frontend = get_frontend(level, **options)
+        graph = frontend.extract_preprocessed(cleaned, top=top)
+        return position, ir_serialize.to_dict(graph), None
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         return position, None, _describe(exc)
 
@@ -72,19 +73,24 @@ def default_jobs(task_count=None):
 
 
 class CorpusExtractor:
-    """Extract DFGs for many Verilog files, in parallel and cached.
+    """Extract GraphIRs for many Verilog files, in parallel and cached.
 
     Args:
-        pipeline: a configured :class:`DFGPipeline` (default options
-            when omitted).
+        pipeline: a configured :class:`~repro.dataflow.pipeline.DFGPipeline`
+            for the RTL frontend (back-compat convenience; ignored when
+            ``frontend`` is given).
         cache: a :class:`~repro.index.cache.DFGCache`, or ``None`` to
             always re-extract.
         jobs: worker processes; ``None`` picks :func:`default_jobs`,
             ``1`` forces the serial path (same results, no pool).
+        frontend: an :mod:`repro.ir.frontends` frontend selecting the
+            extraction level (default: the RTL dataflow frontend).
     """
 
-    def __init__(self, pipeline=None, cache=None, jobs=None):
-        self.pipeline = pipeline or DFGPipeline()
+    def __init__(self, pipeline=None, cache=None, jobs=None, frontend=None):
+        if frontend is None:
+            frontend = RTLFrontend(pipeline=pipeline)
+        self.frontend = frontend
         self.cache = cache
         self.jobs = jobs
         #: Worker count the last extract_paths run actually used (1 when
@@ -100,13 +106,11 @@ class CorpusExtractor:
         try:
             with open(path) as handle:
                 text = handle.read()
-            cleaned = self.pipeline.preprocess_text(text)
+            cleaned = self.frontend.preprocess_text(text)
         except Exception as exc:  # noqa: BLE001 - per-file isolation
             result.error = _describe(exc)
             return result, None
-        result.key = content_key(cleaned,
-                                 self.pipeline.options_fingerprint(),
-                                 top=top)
+        result.key = self.frontend.content_key(cleaned, top=top)
         if self.cache is not None:
             graph = self.cache.load(result.key)
             if graph is not None:
@@ -131,7 +135,8 @@ class CorpusExtractor:
             if cleaned is not None:
                 pending.append((len(results) - 1, cleaned))
 
-        tasks = [(pos, cleaned, top, self.pipeline.do_trim)
+        level, options = self.frontend.worker_spec()
+        tasks = [(pos, cleaned, top, level, options)
                  for pos, cleaned in pending]
         jobs = self.jobs if self.jobs is not None else default_jobs(len(tasks))
         self.last_jobs = 1
@@ -147,7 +152,7 @@ class CorpusExtractor:
                 if error is not None:
                     result.error = error
                     continue
-                result.graph = dfg_from_dict(payload)
+                result.graph = ir_serialize.from_dict(payload)
                 if self.cache is not None:
                     self.cache.store(result.key, result.graph)
         return results

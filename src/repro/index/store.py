@@ -24,16 +24,20 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.persist import load_model, save_model
-from repro.errors import IndexStoreError
+from repro.errors import IndexStoreError, ModelError
 from repro.index.cache import DFGCache
 from repro.index.extractor import CorpusExtractor
 from repro.index.service import EmbeddingService
+from repro.ir.frontends import RTLFrontend, get_frontend
 
 META_NAME = "meta.json"
 EMBEDDINGS_NAME = "embeddings.npz"
 MODEL_NAME = "model.npz"
 CACHE_DIR = "cache"
-FORMAT_VERSION = 1
+#: v2: options carry level + schema fingerprint, and model fingerprints
+#: hash the featurizer config key — v1 indexes would load but fail their
+#: own model-hash check, so they are refused with a clear rebuild message.
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -101,15 +105,38 @@ class FingerprintIndex:
         """The model persisted with the index."""
         return load_model(self.root / MODEL_NAME, **kwargs)
 
-    def pipeline(self):
-        """A pipeline configured like the one the index was built with.
+    def frontend(self):
+        """A frontend configured like the one the index was built with.
 
-        Queries must extract suspects with the same options the corpus was
-        extracted with, or scores would compare incomparable graphs.
+        Queries must extract suspects at the same level and with the same
+        options the corpus was extracted with, or scores would compare
+        incomparable graphs.
+
+        Raises:
+            IndexStoreError: when the current feature schema no longer
+                matches the one the index was built under (e.g. the
+                vocabulary changed in a later version) — stored embeddings
+                would be silently incomparable to fresh ones.
         """
-        from repro.dataflow.pipeline import DFGPipeline
+        frontend = get_frontend(self.level,
+                                do_trim=self.meta["options"].get("do_trim",
+                                                                 True))
+        stored = self.meta["options"].get("schema")
+        if stored is not None and stored != frontend.schema_fingerprint():
+            raise IndexStoreError(
+                f"the feature schema has changed since this index was "
+                f"built ({stored} -> {frontend.schema_fingerprint()}); "
+                f"rebuild the index")
+        return frontend
 
-        return DFGPipeline(do_trim=self.meta["options"]["do_trim"])
+    def pipeline(self):
+        """Deprecated alias for :meth:`frontend` (same extract interface)."""
+        return self.frontend()
+
+    @property
+    def level(self):
+        """Extraction level the index was built at (``rtl``/``netlist``)."""
+        return self.meta["options"].get("level", "rtl")
 
     @property
     def top(self):
@@ -172,6 +199,7 @@ class FingerprintIndex:
                 failures += 1
         cache = DFGCache(self.root / CACHE_DIR)
         return {
+            "level": self.level,
             "entries": len(self.entries),
             "embedded": len(self),
             "failures": failures,
@@ -197,16 +225,28 @@ def _unique_names(results):
 
 
 def build_index(root, paths, model, pipeline=None, jobs=None,
-                use_cache=True, top=None, batch_size=64):
+                use_cache=True, top=None, batch_size=64, level=None,
+                frontend=None):
     """Build (or rebuild) a fingerprint index over Verilog files.
 
-    Extraction fans out over worker processes and reuses the index's DFG
-    cache; embedding runs batched.  Files the front-end rejects become
+    Extraction fans out over worker processes and reuses the index's graph
+    cache; embedding runs batched.  Files the frontend rejects become
     failure entries instead of aborting the build.
+
+    Args:
+        level: extraction level (``rtl`` / ``netlist``); defaults to the
+            level of the model's featurizer, so a netlist-trained model
+            indexes at the netlist level without extra flags.
+        frontend: explicit :mod:`repro.ir.frontends` frontend (overrides
+            ``level`` and ``pipeline``).
 
     Returns:
         (index, report) — the loaded :class:`FingerprintIndex` and a dict
         describing the build (counts, cache stats, timings).
+
+    Raises:
+        ModelError: when the model's featurizer level does not match the
+            requested extraction level (its embeddings would be garbage).
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
@@ -214,9 +254,27 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
     if not paths:
         raise IndexStoreError("no input files to index")
 
+    model_level = getattr(model.encoder, "featurizer", None)
+    model_level = model_level.level if model_level is not None else "rtl"
+    if frontend is None:
+        if pipeline is not None:
+            if level not in (None, "rtl"):
+                raise ValueError(
+                    f"pipeline= selects the RTL frontend and conflicts "
+                    f"with level={level!r}; pass frontend= instead")
+            frontend = RTLFrontend(pipeline=pipeline)
+        else:
+            frontend = get_frontend(level if level is not None
+                                    else model_level)
+    if frontend.level != model_level:
+        raise ModelError(
+            f"cannot build a {frontend.level}-level index with a "
+            f"{model_level}-level model (train with --level "
+            f"{frontend.level} or change --level)")
+
     start = time.perf_counter()
     cache = DFGCache(root / CACHE_DIR) if use_cache else None
-    extractor = CorpusExtractor(pipeline=pipeline, cache=cache, jobs=jobs)
+    extractor = CorpusExtractor(cache=cache, jobs=jobs, frontend=frontend)
     results = extractor.extract_paths(paths, top=top)
     extract_seconds = time.perf_counter() - start
 
@@ -276,7 +334,9 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
         "model_hash": service.fingerprint,
         "options": {
             "top": top,
-            "do_trim": (pipeline.do_trim if pipeline is not None else True),
+            "level": frontend.level,
+            "do_trim": getattr(frontend, "do_trim", True),
+            "schema": frontend.schema_fingerprint(),
         },
         "entries": entries,
         "build": report,

@@ -1,0 +1,52 @@
+"""Unified graph IR: one representation between frontends and the model.
+
+``GraphIR`` is the hand-off point of the architecture::
+
+    frontends (dataflow / netlist)  ->  GraphIR  ->  featurizer  ->  encoder
+
+:func:`to_graphir` adapts any supported design object (DFG, gate-level
+Netlist, or an existing GraphIR) into the IR; :mod:`repro.ir.frontends`
+holds the level-selectable extraction frontends used by the index and CLI.
+
+This package root deliberately imports only dependency-free modules so the
+frontends (which pull in the Verilog pipeline and synthesizer) never create
+import cycles; access them as ``repro.ir.frontends``.
+"""
+
+from repro.ir.featurize import Featurizer
+from repro.ir.graphir import (
+    KIND_CELL,
+    KIND_CONST,
+    KIND_OP,
+    KIND_SIGNAL,
+    LEVEL_NETLIST,
+    LEVEL_RTL,
+    GraphIR,
+    IRNode,
+)
+
+
+def to_graphir(graph):
+    """Adapt ``graph`` to a :class:`GraphIR`.
+
+    Accepts a GraphIR (returned as-is, including DFG instances, which are
+    GraphIR subclasses) or a gate-level
+    :class:`~repro.netlist.netlist.Netlist` (lowered through
+    :func:`~repro.netlist.to_ir.netlist_to_ir`).
+    """
+    if isinstance(graph, GraphIR):
+        return graph
+    from repro.netlist.netlist import Netlist
+
+    if isinstance(graph, Netlist):
+        from repro.netlist.to_ir import netlist_to_ir
+
+        return netlist_to_ir(graph)
+    raise TypeError(f"cannot adapt {type(graph).__name__} to GraphIR")
+
+
+__all__ = [
+    "Featurizer", "GraphIR", "IRNode", "to_graphir",
+    "KIND_CELL", "KIND_CONST", "KIND_OP", "KIND_SIGNAL",
+    "LEVEL_NETLIST", "LEVEL_RTL",
+]

@@ -1,0 +1,43 @@
+"""The pluggable featurizer protocol: GraphIR -> node feature matrix.
+
+A featurizer turns a :class:`~repro.ir.graphir.GraphIR` into the ``(N, dim)``
+node-feature matrix the encoder consumes.  Featurizers are *typed by level*:
+an RTL featurizer only accepts RTL graphs, a netlist featurizer only
+netlist graphs — feeding a model graphs from the wrong frontend raises
+:class:`~repro.errors.ModelError` instead of silently producing garbage
+similarities.
+
+Every featurizer exposes a stable :meth:`~Featurizer.fingerprint` over its
+schema (name, level, vocabulary, format version).  The fingerprint is folded
+into content-addressed cache keys and index metadata, so a vocabulary change
+invalidates stale cached fingerprints instead of silently reusing them.
+
+Concrete featurizers live in :mod:`repro.core.features`; this module only
+defines the protocol so frontends and the encoder can be typed against it.
+"""
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Featurizer(Protocol):
+    """Structural interface every featurizer implements."""
+
+    #: Registry name (``rtl``, ``netlist``, ...).
+    name: str
+    #: Graph level this featurizer accepts (matches ``GraphIR.level``).
+    level: str
+    #: Feature dimensionality (width of the returned matrices).
+    dim: int
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the feature schema (name/level/vocab)."""
+        ...
+
+    def check(self, graph) -> None:
+        """Raise ``ModelError`` when ``graph`` is from the wrong level."""
+        ...
+
+    def features(self, graph):
+        """``(len(graph), dim)`` feature matrix for a GraphIR."""
+        ...

@@ -1,0 +1,145 @@
+"""Level-selectable extraction frontends: Verilog text -> GraphIR.
+
+A frontend owns one extraction level end-to-end: preprocessing, the
+level-specific lowering, the default featurizer, and the fingerprints that
+make extraction content-addressable.  The fingerprint index, the CLI's
+``--level rtl|netlist`` flags, and the corpus extractor all select a
+frontend instead of hard-coding the DFG pipeline:
+
+- :class:`RTLFrontend` — the paper's five-phase dataflow pipeline
+  (preprocess / parse / analyze / merge / trim), emitting RTL-level IR.
+- :class:`NetlistFrontend` — parse + elaborate, then *synthesize* to a
+  gate-level netlist (bit-blasting RTL when the input is not already
+  structural) and lower it through :func:`~repro.netlist.to_ir.netlist_to_ir`.
+
+Both share the same preprocessor, so one ``.v`` corpus can be indexed at
+either level; a structural netlist file flows through the synthesizer
+unchanged because gate instances lower to themselves.
+"""
+
+from repro.core.features import get_featurizer
+from repro.ir import serialize as ir_serialize
+from repro.ir.graphir import LEVEL_NETLIST, LEVEL_RTL
+
+
+class _Frontend:
+    """Shared frontend behavior (fingerprints, convenience entry points)."""
+
+    #: Extraction level; matches the ``GraphIR.level`` this frontend emits.
+    level = None
+
+    def __init__(self, featurizer=None):
+        self.featurizer = get_featurizer(featurizer
+                                         if featurizer is not None
+                                         else self.level)
+
+    # -- extraction (level-specific) ------------------------------------
+    def preprocess_text(self, text):
+        raise NotImplementedError
+
+    def extract_preprocessed(self, cleaned, top=None):
+        raise NotImplementedError
+
+    def extract(self, text, top=None):
+        """Preprocess + extract in one call; returns a GraphIR."""
+        return self.extract_preprocessed(self.preprocess_text(text), top=top)
+
+    def extract_file(self, path, top=None):
+        """Run the frontend on a Verilog file."""
+        with open(path) as handle:
+            return self.extract(handle.read(), top=top)
+
+    # -- fingerprints ----------------------------------------------------
+    def options_fingerprint(self):
+        """Stable string over every option that affects the output graph."""
+        raise NotImplementedError
+
+    def schema_fingerprint(self):
+        """Stable string over everything that affects *downstream* meaning:
+        the level, the IR serialization format, and the featurizer schema.
+
+        Folded into content-addressed cache keys (see
+        :func:`repro.index.cache.content_key`), so a feature-vocabulary or
+        format change can never silently reuse stale cached fingerprints.
+        """
+        return (f"{self.level}:ir-v{ir_serialize.FORMAT_VERSION}"
+                f":feat={self.featurizer.fingerprint()}")
+
+    def content_key(self, cleaned, top=None):
+        """Cache/index key for preprocessed source under this frontend."""
+        from repro.index.cache import content_key
+
+        return content_key(cleaned, self.options_fingerprint(), top=top,
+                           schema=self.schema_fingerprint())
+
+    def worker_spec(self):
+        """(level, options) pair a worker process can rebuild us from."""
+        return self.level, {}
+
+
+class RTLFrontend(_Frontend):
+    """RTL dataflow frontend wrapping :class:`~repro.dataflow.pipeline.DFGPipeline`."""
+
+    level = LEVEL_RTL
+
+    def __init__(self, pipeline=None, do_trim=True, featurizer=None):
+        super().__init__(featurizer)
+        from repro.dataflow.pipeline import DFGPipeline
+
+        self.pipeline = pipeline if pipeline is not None \
+            else DFGPipeline(do_trim=do_trim)
+
+    @property
+    def do_trim(self):
+        return self.pipeline.do_trim
+
+    def preprocess_text(self, text):
+        return self.pipeline.preprocess_text(text)
+
+    def extract_preprocessed(self, cleaned, top=None):
+        from repro.dataflow.to_ir import dfg_to_ir
+
+        return dfg_to_ir(self.pipeline.extract_preprocessed(cleaned, top=top))
+
+    def options_fingerprint(self):
+        return f"level={self.level}:{self.pipeline.options_fingerprint()}"
+
+    def worker_spec(self):
+        return self.level, {"do_trim": self.pipeline.do_trim}
+
+
+class NetlistFrontend(_Frontend):
+    """Gate-level frontend: synthesize (when needed) and lower to IR."""
+
+    level = LEVEL_NETLIST
+
+    def preprocess_text(self, text):
+        from repro.verilog import preprocess
+
+        return preprocess(text)
+
+    def extract_preprocessed(self, cleaned, top=None):
+        from repro.dataflow.elaborate import elaborate
+        from repro.netlist.to_ir import netlist_to_ir
+        from repro.synth.synthesize import synthesize
+        from repro.verilog import parse
+
+        module = elaborate(parse(cleaned), top=top)
+        return netlist_to_ir(synthesize(module))
+
+    def options_fingerprint(self):
+        return f"level={self.level}"
+
+
+def get_frontend(level, do_trim=True, featurizer=None):
+    """Build the frontend for ``level`` (``rtl`` or ``netlist``).
+
+    Raises:
+        ValueError: for an unknown level.
+    """
+    if level in (None, LEVEL_RTL):
+        return RTLFrontend(do_trim=do_trim, featurizer=featurizer)
+    if level == LEVEL_NETLIST:
+        return NetlistFrontend(featurizer=featurizer)
+    raise ValueError(f"unknown extraction level {level!r} "
+                     f"(expected 'rtl' or 'netlist')")

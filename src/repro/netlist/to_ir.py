@@ -1,0 +1,75 @@
+"""Netlist frontend: gate-level :class:`Netlist` -> typed :class:`GraphIR`.
+
+The lowering mirrors the paper's gate-level workload: every gate instance
+becomes one ``cell`` node labeled with its cell-library name (``nand``,
+``mux``, ``dff``...), primary inputs/outputs become ``signal`` nodes, and
+the constant nets become ``const`` nodes.  Edges follow the dependency
+orientation shared with the RTL DFG: a gate depends on the drivers of its
+input nets, an output port depends on the gate driving it.
+
+Internal nets are not materialized as nodes — a net is just the wire
+between its driver and its readers, so readers connect straight to the
+driving gate.  This keeps netlist graphs proportional to gate count and
+makes the cell-type histogram the dominant signal, which is what the
+netlist featurizer one-hot encodes.
+"""
+
+from repro.errors import NetlistError
+from repro.ir.graphir import (
+    KIND_CELL,
+    KIND_CONST,
+    KIND_SIGNAL,
+    LEVEL_NETLIST,
+    GraphIR,
+)
+from repro.netlist.netlist import CONST0, CONST1
+
+
+def netlist_to_ir(netlist, name=None):
+    """Lower a validated :class:`~repro.netlist.netlist.Netlist` to GraphIR.
+
+    Args:
+        netlist: the gate-level netlist (must pass ``validate()``; an
+            undriven net raises :class:`~repro.errors.NetlistError`).
+        name: override for the graph name (defaults to the module name).
+
+    Returns:
+        A :class:`~repro.ir.graphir.GraphIR` with ``level="netlist"``.
+    """
+    ir = GraphIR(name or netlist.name, level=LEVEL_NETLIST)
+    source = {}  # net name -> node id of the value driving it
+
+    for net in netlist.inputs:
+        source[net] = ir.add_node(KIND_SIGNAL, "input", net)
+    for clk in netlist.clocks:
+        if clk not in source:
+            source[clk] = ir.add_node(KIND_SIGNAL, "input", clk)
+
+    # All gate nodes are created before any edge so DFF feedback loops
+    # (q feeding combinational logic that feeds d) resolve naturally.
+    gate_ids = []
+    for gate in netlist.gates:
+        gate_id = ir.add_node(KIND_CELL, gate.cell, gate.name)
+        gate_ids.append(gate_id)
+        source[gate.output] = gate_id
+
+    def resolve(net):
+        node_id = source.get(net)
+        if node_id is not None:
+            return node_id
+        if net in (CONST0, CONST1):
+            source[net] = ir.add_node(KIND_CONST, "const", net)
+            return source[net]
+        raise NetlistError(
+            f"net {net!r} has no driver (validate the netlist first)")
+
+    for gate, gate_id in zip(netlist.gates, gate_ids):
+        for net in gate.inputs:
+            ir.add_edge(gate_id, resolve(net))
+
+    for net in netlist.outputs:
+        driver = source.get(net)
+        out_id = ir.add_node(KIND_SIGNAL, "output", net)
+        if driver is not None:
+            ir.add_edge(out_id, driver)
+    return ir

@@ -167,9 +167,18 @@ class Dropout(Module):
         self.rate = rate
         self._rng = rng or np.random.default_rng(0)
 
+    def draw_mask(self, shape):
+        """Draw one inverted-dropout mask, consuming the module RNG.
+
+        Exposed so the block-diagonal batched trainer can draw per-graph
+        masks in exactly the per-graph forward order, keeping batched and
+        per-graph training bit-compatible in their randomness.
+        """
+        keep = 1.0 - self.rate
+        mask = self._rng.random(shape) < keep
+        return mask.astype(np.float64) / keep
+
     def forward(self, x):
         if not self.training or self.rate == 0.0:
             return x
-        keep = 1.0 - self.rate
-        mask = self._rng.random(x.shape) < keep
-        return x * Tensor(mask.astype(np.float64) / keep)
+        return x * Tensor(self.draw_mask(x.shape))

@@ -13,6 +13,20 @@ from repro.nn.layers import GCNConv, Module, normalize_adjacency
 from repro.nn.tensor import Tensor
 
 
+def topk_nodes(scores, num_nodes, ratio):
+    """Indices of the kept nodes: top ``ceil(ratio * N)`` by score.
+
+    The single source of truth for SAGPool's selection semantics — stable
+    descending argsort (ties keep node order), at least one survivor, kept
+    indices re-sorted ascending.  Shared with the batched forward paths in
+    :mod:`repro.nn.batch`, whose bit-parity with per-graph pooling depends
+    on all call sites selecting identically.
+    """
+    keep = max(1, int(np.ceil(ratio * num_nodes)))
+    order = np.argsort(-scores, kind="stable")
+    return np.sort(order[:keep])
+
+
 class SAGPool(Module):
     """Self-attention graph pooling with top-k node filtering.
 
@@ -42,10 +56,8 @@ class SAGPool(Module):
             (x_pool, a_norm_pool, adj_pool, kept_indices)
         """
         num_nodes = x.shape[0]
-        keep = max(1, int(np.ceil(self.ratio * num_nodes)))
         scores = self.score_layer(x, a_norm).reshape(num_nodes)
-        order = np.argsort(-scores.data, kind="stable")
-        kept = np.sort(order[:keep])
+        kept = topk_nodes(scores.data, num_nodes, self.ratio)
         gate = scores.index_select(kept).tanh().reshape(len(kept), 1)
         x_pool = x.index_select(kept) * gate
         adj_pool = adjacency[kept][:, kept]

@@ -390,7 +390,10 @@ class Synthesizer:
             nba_env.update(result_nba)
 
     def _merge(self, cond, then_env, else_env, out_env):
-        for name in set(then_env) | set(else_env):
+        # Sorted so gate creation order never depends on hash-randomized
+        # set order; identical source must synthesize identically in every
+        # process (content-addressed caching relies on it).
+        for name in sorted(set(then_env) | set(else_env)):
             then_bits = then_env.get(name)
             else_bits = else_env.get(name)
             if then_bits is None:

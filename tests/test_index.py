@@ -250,12 +250,12 @@ class TestFingerprintIndex:
 
     def test_lookup_key(self, built, corpus_paths):
         index, _, model = built
-        pipeline = DFGPipeline()
-        cleaned = pipeline.preprocess_text(corpus_paths[0].read_text())
-        key = content_key(cleaned, pipeline.options_fingerprint())
+        frontend = index.frontend()
+        cleaned = frontend.preprocess_text(corpus_paths[0].read_text())
+        key = frontend.content_key(cleaned)
         stored = index.lookup_key(key)
         assert stored is not None
-        direct = model.encoder.embed(pipeline.extract_file(corpus_paths[0]))
+        direct = model.encoder.embed(frontend.extract_file(corpus_paths[0]))
         np.testing.assert_allclose(stored, direct)
         assert index.lookup_key("0" * 64) is None
 
