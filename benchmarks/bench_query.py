@@ -1,0 +1,219 @@
+"""Query-serving benchmark: memmap open, batched lookups, IVF pre-filter.
+
+The index is the deployment hot path — embed a suspect once, score it
+against a corpus of stored fingerprints.  Three serving claims are
+measured over a synthetic ~50k-fingerprint corpus (clustered unit
+vectors, mimicking design families) and enforced:
+
+- **Memmap open vs v2 npz load** — opening the v3 shard store (stat +
+  mmap, no decompression, no re-normalization) must be >= 10x faster
+  than the v2-era load (decompress the float64 ``.npz``, materialize the
+  key list, re-normalize every row).
+- **Batched vs single-suspect queries** — serving 64 suspects through
+  one ``query_many`` call (one BLAS matmul + one partial top-k per
+  suspect) must be >= 5x faster than 64 single-vector queries.
+- **IVF vs exact** — the coarse-quantized path (probe the best clusters,
+  exactly re-rank the candidates) must be >= 3x faster than exact
+  scoring while keeping recall@10 >= 0.95.
+
+Exact-mode ``query_many`` must also match per-vector ``query_vector``
+bit-for-bit (single-row batches are padded so BLAS keeps one kernel).
+
+Scale comes from ``REPRO_BENCH_QUERY_N`` (default 50000).  The recall
+floor holds at any size; the timing floors are asserted only at >= 20000
+rows — below that (CI smoke runs) fixed per-call overheads dominate and
+the ratios measure noise, so they are recorded but not enforced.
+Results land in ``benchmarks/out/bench_query.json``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import OUT_DIR, report
+from repro.index.ann import IVFIndex
+from repro.index.engine import QueryEngine
+from repro.index.shards import ShardStore, unit_rows_f32, write_shard
+
+N = int(os.environ.get("REPRO_BENCH_QUERY_N", "50000"))
+HIDDEN = 16
+SUSPECTS = 64
+IVF_QUERIES = 256
+#: Timing floors are only meaningful once the corpus dwarfs per-call
+#: overhead; smoke runs below this record ratios without enforcing them.
+FLOORS_MIN_ROWS = 20000
+SEED = 7
+
+
+def _assert_floors():
+    return N >= FLOORS_MIN_ROWS
+
+
+def _merge_json(payload):
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "bench_query.json"
+    existing = json.loads(out_path.read_text()) if out_path.exists() else {}
+    existing.update(payload)
+    with open(out_path, "w") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+
+
+def timed(fn, repeats=5):
+    """Best-of-N wall time (first call outside the timed region)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Clustered synthetic unit float32 rows — design families in
+    embedding space (tight same-family clusters, like the real corpus)."""
+    rng = np.random.default_rng(SEED)
+    families = max(8, N // 100)
+    centers = rng.standard_normal((families, HIDDEN))
+    labels = rng.integers(0, families, size=N)
+    rows = centers[labels] + 0.15 * rng.standard_normal((N, HIDDEN))
+    return unit_rows_f32(rows)
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return [{"name": f"d{i:06d}", "path": f"d{i:06d}.v",
+             "design": f"fam{i}", "status": "ok"} for i in range(N)]
+
+
+@pytest.fixture(scope="module")
+def stores(corpus, tmp_path_factory):
+    """The same corpus persisted both ways: v2-style npz and v3 shards."""
+    root = tmp_path_factory.mktemp("query_store")
+    matrix64 = np.asarray(corpus, dtype=np.float64)
+    keys = np.array([f"{i:064d}" for i in range(N)], dtype="U64")
+    np.savez(root / "embeddings.npz", matrix=matrix64, keys=keys)
+    spec = write_shard(root, 0, corpus)
+    return root, [spec]
+
+
+def bench_memmap_open_vs_npz_load(stores):
+    """v3 open (stat + mmap) must be >= 10x faster than the v2 load."""
+    root, specs = stores
+
+    def v2_load():
+        # The retired loader: decompress the whole float64 matrix,
+        # materialize the key list, re-normalize every row.
+        with np.load(root / "embeddings.npz", allow_pickle=False) as data:
+            matrix = data["matrix"]
+            keys = [str(k) for k in data["keys"]]
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        unit = matrix / np.maximum(norms, 1e-12)
+        return unit, keys
+
+    def v3_open():
+        return ShardStore(root, HIDDEN, specs).open().blocks()
+
+    npz_s = timed(v2_load)
+    mmap_s = timed(v3_open, repeats=20)
+    speedup = npz_s / mmap_s
+    lines = [f"rows: {N} x {HIDDEN} float32",
+             f"v2 npz load:   {npz_s * 1000:10.3f} ms",
+             f"v3 memmap open:{mmap_s * 1000:10.3f} ms",
+             f"speedup:       {speedup:10.1f}x (required: >= 10x)"]
+    report("query_memmap_open", "\n".join(lines))
+    _merge_json({"rows": N, "hidden": HIDDEN,
+                 "npz_load_seconds": npz_s,
+                 "memmap_open_seconds": mmap_s,
+                 "memmap_open_speedup": speedup})
+    if _assert_floors():
+        assert speedup >= 10.0, \
+            f"memmap open only {speedup:.1f}x faster than the npz load"
+
+
+def bench_batched_vs_single_queries(corpus, entries):
+    """One 64-suspect query_many must be >= 5x faster than 64 singles,
+    and bit-identical to them."""
+    engine = QueryEngine([corpus], entries)
+    rng = np.random.default_rng(SEED + 1)
+    picks = rng.choice(N, size=SUSPECTS, replace=False)
+    suspects = unit_rows_f32(
+        corpus[picks] + 0.05 * rng.standard_normal((SUSPECTS, HIDDEN)))
+
+    batched_s = timed(lambda: engine.query_many(suspects, k=10))
+    single_s = timed(lambda: [engine.query_many(s[None], k=10)[0]
+                              for s in suspects])
+
+    batched = engine.query_many(suspects, k=10)
+    singles = [engine.query_many(s[None], k=10)[0] for s in suspects]
+    identical = all(
+        [(h.name, h.score) for h in many] == [(h.name, h.score)
+                                              for h in one]
+        for many, one in zip(batched, singles))
+
+    speedup = single_s / batched_s
+    lines = [f"corpus: {N} rows, suspects: {SUSPECTS}, k=10",
+             f"64 single queries: {single_s * 1000:8.1f} ms",
+             f"one batched call:  {batched_s * 1000:8.1f} ms",
+             f"speedup:           {speedup:8.2f}x (required: >= 5x)",
+             f"bit-identical results: {identical}"]
+    report("query_batched_vs_single", "\n".join(lines))
+    _merge_json({"suspects": SUSPECTS,
+                 "single_queries_seconds": single_s,
+                 "batched_query_seconds": batched_s,
+                 "batched_query_speedup": speedup,
+                 "batched_equals_single": identical})
+    assert identical, "batched exact results diverged from single queries"
+    if _assert_floors():
+        assert speedup >= 5.0, \
+            f"batched serving only {speedup:.2f}x faster than singles"
+
+
+def bench_ivf_vs_exact(corpus, entries):
+    """IVF pre-filter must be >= 3x faster at recall@10 >= 0.95."""
+    n_clusters = max(64, min(1024, int(round(4 * N ** 0.5))))
+    nprobe = 8
+    fit_start = time.perf_counter()
+    ivf = IVFIndex.fit(corpus, n_clusters=n_clusters, seed=SEED)
+    fit_seconds = time.perf_counter() - fit_start
+    engine = QueryEngine([corpus], entries, ivf=ivf)
+
+    rng = np.random.default_rng(SEED + 2)
+    picks = rng.choice(N, size=IVF_QUERIES, replace=False)
+    queries = unit_rows_f32(
+        corpus[picks] + 0.05 * rng.standard_normal((IVF_QUERIES, HIDDEN)))
+
+    exact_s = timed(lambda: engine.query_many(queries, k=10, exact=True))
+    ivf_s = timed(lambda: engine.query_many(queries, k=10, nprobe=nprobe))
+
+    exact = engine.query_many(queries, k=10, exact=True)
+    approx = engine.query_many(queries, k=10, nprobe=nprobe)
+    recalls = [len({h.name for h in ex} & {h.name for h in ap}) / len(ex)
+               for ex, ap in zip(exact, approx)]
+    recall = float(np.mean(recalls))
+
+    speedup = exact_s / ivf_s
+    lines = [f"corpus: {N} rows, {n_clusters} clusters, "
+             f"nprobe={nprobe}, {IVF_QUERIES} queries, k=10",
+             f"k-means fit:  {fit_seconds * 1000:8.1f} ms (build-time)",
+             f"exact batch:  {exact_s * 1000:8.1f} ms",
+             f"ivf batch:    {ivf_s * 1000:8.1f} ms",
+             f"speedup:      {speedup:8.2f}x (required: >= 3x)",
+             f"recall@10:    {recall:8.4f} (required: >= 0.95)"]
+    report("query_ivf_vs_exact", "\n".join(lines))
+    _merge_json({"ivf_clusters": n_clusters, "nprobe": nprobe,
+                 "ivf_queries": IVF_QUERIES,
+                 "ivf_fit_seconds": fit_seconds,
+                 "exact_query_seconds": exact_s,
+                 "ivf_query_seconds": ivf_s,
+                 "ivf_speedup": speedup,
+                 "recall_at_10": recall,
+                 "timing_floors_enforced": _assert_floors()})
+    assert recall >= 0.95, f"IVF recall@10 only {recall:.4f}"
+    if _assert_floors():
+        assert speedup >= 3.0, \
+            f"IVF serving only {speedup:.2f}x faster than exact"

@@ -15,7 +15,11 @@ Examples::
     gnn4ip corpus --instances 3
     gnn4ip index build my.index --families --instances 4 --model model.npz
     gnn4ip index build net.index --level netlist --families
+    gnn4ip index add my.index new_designs/
     gnn4ip index query my.index suspect.v -k 5
+    gnn4ip index query my.index s1.v s2.v s3.v --nprobe 8
+    gnn4ip index query my.index suspect.v --exact
+    gnn4ip index migrate old.index
     gnn4ip index stats my.index
     gnn4ip compare a.v b.v --index my.index
 """
@@ -39,7 +43,9 @@ from repro.index import (
     DFGCache,
     EmbeddingService,
     FingerprintIndex,
+    add_to_index,
     build_index,
+    migrate_v2,
 )
 from repro.index.store import CACHE_DIR
 from repro.ir.frontends import get_frontend
@@ -121,12 +127,15 @@ def _indexed_embedding(index, service, path):
         stored = index.lookup_key(key)
         if stored is not None:
             return stored, "index"
-    cache = DFGCache(index.root / CACHE_DIR)
-    graph = cache.load(key)
+    # Respect the index's cache policy: a --no-cache index must not grow
+    # a cache/ directory as a side effect of compare.
+    cache = DFGCache(index.root / CACHE_DIR) if index.use_cache else None
+    graph = cache.load(key) if cache is not None else None
     source = "cache" if graph is not None else "extracted"
     if graph is None:
         graph = frontend.extract_preprocessed(cleaned, top=index.top)
-        cache.store(key, graph)
+        if cache is not None:
+            cache.store(key, graph)
     return service.embed_one(graph), source
 
 
@@ -233,29 +242,92 @@ def _cmd_index_build(args):
     return 0
 
 
+def _cmd_index_add(args):
+    paths = _collect_sources(args.sources)
+    if not paths:
+        print("error: no input files to add", file=sys.stderr)
+        return 1
+    index, report = add_to_index(args.index_dir, paths, jobs=args.jobs)
+    print(f"added {report['embedded']}/{report['files']} files "
+          f"({report['embedded_fresh']} embedded fresh, "
+          f"{report['embeddings_reused']} reused, "
+          f"{report['failures']} failures)")
+    print(f"index now: {len(index)} designs in "
+          f"{len(index.shards.specs)} shard(s)")
+    # Only this run's entries (appended last) — earlier failure entries
+    # in the index must not be re-reported as this add's failures.
+    for entry in index.entries[-report["files"]:]:
+        if entry["status"] == "error":
+            print(f"  FAILED {entry['path']}: {entry['error']}",
+                  file=sys.stderr)
+    # Partial failures are recorded, not fatal (same as build); but an
+    # add that added nothing at all must not look like success.
+    return 0 if report["embedded"] or not report["failures"] else 1
+
+
 def _cmd_index_query(args):
     index = FingerprintIndex.load(args.index_dir)
     model = load_model(args.model) if args.model else index.model()
     top = args.top if args.top is not None else index.top
-    with open(args.file) as handle:
-        graph = index.frontend().extract(handle.read(), top=top)
-    hits = index.query_graph(graph, model, k=args.k)
-    print(f"top {len(hits)} of {len(index)} indexed designs "
-          f"(delta {model.delta:+.4f}):")
+    frontend = index.frontend()
+    graphs, labels, failures = [], [], 0
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                graphs.append(frontend.extract(handle.read(), top=top))
+            labels.append(path)
+        except (ReproError, OSError) as exc:
+            failures += 1
+            print(f"error: {path}: {exc}", file=sys.stderr)
+    if not graphs:
+        return 1
+    # One batched embed for every suspect, one engine pass for the batch.
+    results = index.query_graphs(graphs, model, k=args.k,
+                                 nprobe=args.nprobe, exact=args.exact)
+    if args.exact or index.ivf is None:
+        serving = "exact"
+    else:
+        # Report the probe count the engine actually uses, via the same
+        # clamp the quantizer applies — not the raw flag value.
+        serving = f"ivf:{index.ivf.effective_nprobe(args.nprobe)} probes"
     piracy = 0
-    for rank, hit in enumerate(hits, 1):
-        flag = "PIRACY" if hit.is_piracy else "      "
-        piracy += hit.is_piracy
-        print(f"  {rank:2d}. {hit.score:+.4f} {flag} "
-              f"{hit.design:16s} {hit.name}")
-    return 2 if piracy else 0
+    for label, hits in zip(labels, results):
+        if len(labels) > 1:
+            print(f"== {label}")
+        print(f"top {len(hits)} of {len(index)} indexed designs "
+              f"({serving}, delta {model.delta:+.4f}):")
+        for rank, hit in enumerate(hits, 1):
+            flag = "PIRACY" if hit.is_piracy else "      "
+            piracy += hit.is_piracy
+            print(f"  {rank:2d}. {hit.score:+.4f} {flag} "
+                  f"{hit.design:16s} {hit.name}")
+    if piracy:
+        return 2
+    return 1 if failures else 0
+
+
+def _cmd_index_migrate(args):
+    try:
+        FingerprintIndex.load(args.index_dir)
+    except ReproError:
+        pass  # not loadable as v3 — attempt the actual migration
+    else:
+        print(f"{args.index_dir} is already format v3; nothing to do")
+        return 0
+    index = migrate_v2(args.index_dir)
+    ivf = (f", ivf quantizer with {index.ivf.n_clusters} clusters"
+           if index.ivf else "")
+    print(f"migrated {args.index_dir} to format v3: {len(index)} "
+          f"embeddings in {len(index.shards.specs)} shard(s){ivf}")
+    return 0
 
 
 def _cmd_index_stats(args):
     stats = FingerprintIndex.load(args.index_dir).stats()
     build = stats.pop("build", {})
     for key in ("level", "entries", "embedded", "failures", "designs",
-                "hidden", "cache_entries", "cache_bytes"):
+                "hidden", "shards", "ivf_clusters", "cache_entries",
+                "cache_bytes"):
         print(f"{key:14s} {stats[key]}")
     print(f"{'model_hash':14s} {stats['model_hash'][:16]}...")
     if build:
@@ -344,16 +416,41 @@ def build_parser():
                               "level, rtl for fresh models)")
     p_build.set_defaults(func=_cmd_index_build)
 
+    p_add = index_sub.add_parser(
+        "add", help="append designs to an existing index (no rebuild)")
+    p_add.add_argument("index_dir")
+    p_add.add_argument("sources", nargs="+",
+                       help="Verilog files or directories (scanned "
+                            "recursively for *.v)")
+    p_add.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: auto)")
+    p_add.set_defaults(func=_cmd_index_add)
+
     p_query = index_sub.add_parser(
-        "query", help="rank indexed designs against a suspect file")
+        "query", help="rank indexed designs against suspect files")
     p_query.add_argument("index_dir")
-    p_query.add_argument("file", help="suspect Verilog file")
+    p_query.add_argument("files", nargs="+",
+                         help="suspect Verilog files (embedded as one "
+                              "batch, one ranked table each)")
     p_query.add_argument("-k", type=int, default=5,
                          help="number of hits to report")
     p_query.add_argument("--model", default=None,
                          help="override model (fingerprint must match)")
     p_query.add_argument("--top", default=None, help="top module name")
+    p_query.add_argument("--nprobe", type=int, default=None,
+                         help="IVF clusters to probe (implies the "
+                              "approximate pre-filter when the index "
+                              "has a quantizer)")
+    p_query.add_argument("--exact", action="store_true",
+                         help="score every stored fingerprint, bypassing "
+                              "the IVF pre-filter")
     p_query.set_defaults(func=_cmd_index_query)
+
+    p_migrate = index_sub.add_parser(
+        "migrate", help="convert a v2 index to the memory-mapped v3 "
+                        "format in place (no re-embedding)")
+    p_migrate.add_argument("index_dir")
+    p_migrate.set_defaults(func=_cmd_index_migrate)
 
     p_stats = index_sub.add_parser("stats", help="index + cache statistics")
     p_stats.add_argument("index_dir")

@@ -3,22 +3,36 @@
 Treats DFG extraction as a cacheable, parallelizable build step and
 embedding as a batched query service: ``build_index`` fans extraction out
 over worker processes through a content-addressed DFG cache, embeds the
-corpus in packed batches, and persists an index that answers top-k
-nearest-design queries with one vectorized cosine pass.
+corpus in packed batches, and persists memory-mapped float32 shards that
+open without decompressing or copying.  ``add_to_index`` grows the corpus
+in place (one appended shard, no re-embedding); the
+:class:`~repro.index.engine.QueryEngine` answers whole batches of top-k
+nearest-design queries per BLAS pass, optionally pre-filtered by an IVF
+coarse quantizer (:mod:`repro.index.ann`) that probes only the nearest
+clusters and re-ranks candidates exactly.
 """
 
+from repro.index.ann import IVFIndex
 from repro.index.cache import CacheStats, DFGCache, content_key
+from repro.index.engine import QueryEngine, QueryHit
 from repro.index.extractor import (
     CorpusExtractor,
     ExtractionResult,
     default_jobs,
 )
 from repro.index.service import EmbeddingService, model_fingerprint
-from repro.index.store import FingerprintIndex, QueryHit, build_index
+from repro.index.shards import ShardStore
+from repro.index.store import (
+    FingerprintIndex,
+    add_to_index,
+    build_index,
+    migrate_v2,
+)
 
 __all__ = [
     "CacheStats", "DFGCache", "content_key",
     "CorpusExtractor", "ExtractionResult", "default_jobs",
     "EmbeddingService", "model_fingerprint",
-    "FingerprintIndex", "QueryHit", "build_index",
+    "FingerprintIndex", "QueryEngine", "QueryHit", "IVFIndex",
+    "ShardStore", "add_to_index", "build_index", "migrate_v2",
 ]

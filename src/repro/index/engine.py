@@ -1,0 +1,233 @@
+"""Batched sublinear query serving over the memory-mapped shard store.
+
+One :class:`QueryEngine` turns the stored corpus into a lookup service:
+
+- **Batched scoring** — ``query_many`` scores a whole batch of suspects
+  against every shard with one BLAS matmul per shard, instead of one
+  pass per suspect.  Single-row batches are padded to two rows before
+  the matmul so BLAS always takes the same gemm kernel: a lone
+  ``query_vector`` call is **bit-identical** to the same vector inside
+  any batch (OpenBLAS routes 1-row gemms to a differently-rounded
+  kernel otherwise).
+- **Partial top-k** — ranks come from ``argpartition`` (O(n)) plus a
+  sort of only ``k`` candidates, not a full ``argsort`` of the corpus;
+  large corpora first reduce each row to its best score blocks.  The
+  returned hits order ties toward the lower row id; *which* of several
+  boundary-tied rows enters the top-k is deterministic for a given
+  corpus but unspecified (the price of partial selection).
+- **IVF pre-filter** — with a fitted :class:`~repro.index.ann.IVFIndex`,
+  only the rows in the ``nprobe`` best clusters are gathered and scored
+  (exact dot products, so scores are never approximated — only the
+  candidate pool is).  ``exact=True`` is the escape hatch that bypasses
+  the quantizer entirely.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexStoreError
+
+#: Row-segment width for two-stage exact top-k: block maxima are reduced
+#: for the whole batch in one vectorized pass, then each row only
+#: partitions the ~k*_BLOCK candidates from its best blocks instead of
+#: the full corpus (the top-k elements of a row always live in its top-k
+#: blocks by max).
+_BLOCK = 1024
+
+
+@dataclass
+class QueryHit:
+    """One ranked index entry for a query design."""
+
+    name: str
+    path: str
+    design: str
+    score: float
+    is_piracy: bool
+
+
+class QueryEngine:
+    """Score query vectors against the stored (unit float32) corpus.
+
+    Args:
+        blocks: per-shard ``(rows, hidden)`` float32 arrays or memmaps,
+            in global row order (``ShardStore.blocks()``).  The engine is
+            deliberately storage-agnostic — it sees plain row blocks, so
+            tests and benchmarks feed in-memory arrays while production
+            feeds memmaps — and therefore keeps its own row-offset table
+            rather than depending on :class:`ShardStore`.
+        entries: the ok index entries, one per stored row, in row order.
+        ivf: optional fitted :class:`~repro.index.ann.IVFIndex` over the
+            same rows.
+    """
+
+    def __init__(self, blocks, entries, ivf=None):
+        self._blocks = list(blocks)
+        self._entries = entries
+        self.ivf = ivf
+        self._offsets = np.concatenate(
+            ([0], np.cumsum([len(b) for b in self._blocks]))
+        ).astype(np.int64)
+        self.hidden = (int(self._blocks[0].shape[1]) if self._blocks
+                       else 0)
+
+    def __len__(self):
+        return int(self._offsets[-1])
+
+    # -- scoring -------------------------------------------------------------
+    def _as_queries(self, vectors):
+        """Unit float32 query batch, validated against the store width."""
+        queries = np.asarray(vectors, dtype=np.float64)
+        if queries.size == 0:
+            # Any empty input (including a plain []) is an empty batch,
+            # not a shape error.
+            return np.empty((0, self.hidden), dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None]
+        if queries.ndim != 2 or queries.shape[1] != self.hidden:
+            raise IndexStoreError(
+                f"query vectors have shape {queries.shape}, expected "
+                f"(n, {self.hidden})")
+        norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        unit = queries / np.maximum(norms, 1e-12)
+        return np.ascontiguousarray(unit, dtype=np.float32)
+
+    def _exact_scores(self, queries):
+        """(n_queries, corpus) float32 scores, one gemm per shard."""
+        # Pad 1-row batches to 2: BLAS then uses the same gemm kernel for
+        # every batch size, keeping single and batched scores bit-equal.
+        padded = queries
+        if len(queries) == 1:
+            padded = np.concatenate([queries, np.zeros_like(queries)])
+        parts = [padded @ np.asarray(block).T for block in self._blocks]
+        scores = parts[0] if len(parts) == 1 else np.concatenate(parts,
+                                                                 axis=1)
+        return scores[:len(queries)]
+
+    def gather(self, rows):
+        """Stored rows by global id, crossing shard boundaries."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(self._blocks) == 1:
+            return np.asarray(self._blocks[0])[rows]
+        out = np.empty((len(rows), self.hidden), dtype=np.float32)
+        shard = np.searchsorted(self._offsets, rows, side="right") - 1
+        for index, block in enumerate(self._blocks):
+            mask = shard == index
+            if mask.any():
+                out[mask] = np.asarray(block)[rows[mask]
+                                              - self._offsets[index]]
+        return out
+
+    def _block_maxima(self, scores):
+        """Per-row maxima over _BLOCK-wide segments, one vectorized pass
+        for the whole batch (the remainder segment becomes a last,
+        shorter block)."""
+        q, n = scores.shape
+        whole = n // _BLOCK
+        maxima = scores[:, :whole * _BLOCK].reshape(q, whole,
+                                                    _BLOCK).max(axis=2)
+        if whole * _BLOCK < n:
+            tail = scores[:, whole * _BLOCK:].max(axis=1, keepdims=True)
+            maxima = np.concatenate([maxima, tail], axis=1)
+        return maxima
+
+    def _block_candidates(self, row, maxima, kk):
+        """Exact top-kk of one row via its kk best blocks.
+
+        A block holding a top-kk element has a maximum at least that
+        large, so the kk best blocks by maximum always cover the top-kk
+        set; only their ~kk*_BLOCK members get partitioned.
+        """
+        n = len(self)
+        nblk = maxima.shape[0]
+        t = min(kk, nblk)
+        blocks = np.argpartition(maxima, nblk - t)[nblk - t:]
+        cand = np.concatenate(
+            [np.arange(b * _BLOCK, min((b + 1) * _BLOCK, n),
+                       dtype=np.int64) for b in blocks])
+        vals = row[cand]
+        keep = np.argpartition(vals, len(vals) - kk)[len(vals) - kk:]
+        return cand[keep]
+
+    @staticmethod
+    def _top_sel(scores, row_ids, k):
+        """Positions of the best-k scores, ties toward lower row id.
+
+        ``argpartition`` is O(n); only the ``k`` survivors get sorted —
+        no full argsort of the corpus per query.
+        """
+        k = min(max(int(k), 0), len(row_ids))
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        pos = np.arange(len(row_ids), dtype=np.int64)
+        if k < len(row_ids):
+            pos = np.argpartition(-scores, k - 1)[:k]
+        order = np.lexsort((row_ids[pos], -scores[pos]))
+        return pos[order]
+
+    # -- queries -------------------------------------------------------------
+    def query_many(self, vectors, k=5, delta=0.0, nprobe=None,
+                   exact=False):
+        """Top-k hit lists for a batch of query vectors, in input order.
+
+        Args:
+            vectors: ``(n, hidden)`` array-like (or one 1-D vector).
+            k: hits per query.
+            delta: piracy decision threshold on the cosine score.
+            nprobe: IVF clusters to probe; ``None`` means the
+                quantizer's default (:data:`repro.index.ann.DEFAULT_NPROBE`).
+            exact: bypass the IVF pre-filter and score every stored row.
+        """
+        if not len(self):
+            raise IndexStoreError("the fingerprint index is empty")
+        queries = self._as_queries(vectors)
+        if not len(queries):
+            return []
+        if exact or self.ivf is None:
+            scores = self._exact_scores(queries)
+            n = len(self)
+            kk = min(max(int(k), 0), n)
+            if kk == 0:
+                return [[] for _ in range(len(queries))]
+            # Two-stage selection pays off once the corpus dwarfs the
+            # candidate pool; tiny corpora partition directly.
+            blocked = n >= 4 * _BLOCK and 2 * (kk + 1) * _BLOCK <= n
+            blockmax = self._block_maxima(scores) if blocked else None
+            results = []
+            for i in range(len(queries)):
+                row = scores[i]
+                if blocked:
+                    cand = self._block_candidates(row, blockmax[i], kk)
+                elif kk < n:
+                    # Ascending argpartition + tail slice: top-k in O(n)
+                    # without negating (copying) the score row.
+                    cand = np.argpartition(row, n - kk)[n - kk:]
+                else:
+                    cand = np.arange(n, dtype=np.int64)
+                order = np.lexsort((cand, -row[cand]))
+                sel = cand[order]
+                results.append(self._hits(sel, row[sel], delta))
+            return results
+        cand_rows, offsets = self.ivf.probe(queries, nprobe)
+        gathered = self.gather(cand_rows)
+        owner = np.repeat(np.arange(len(queries)), np.diff(offsets))
+        cand_scores = np.einsum("ij,ij->i", gathered, queries[owner])
+        results = []
+        for i in range(len(queries)):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            rows, scores = cand_rows[lo:hi], cand_scores[lo:hi]
+            sel = self._top_sel(scores, rows, k)
+            results.append(self._hits(rows[sel], scores[sel], delta))
+        return results
+
+    def _hits(self, rows, scores, delta):
+        """Hit objects for ranked rows with their (rank-aligned) scores."""
+        hits = []
+        for rank, row in enumerate(rows.tolist()):
+            score = float(scores[rank])
+            entry = self._entries[row]
+            hits.append(QueryHit(name=entry["name"], path=entry["path"],
+                                 design=entry["design"], score=score,
+                                 is_piracy=bool(score > delta)))
+        return hits

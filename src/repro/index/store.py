@@ -1,105 +1,157 @@
-"""Persistent hardware-fingerprint index.
+"""Persistent hardware-fingerprint index (on-disk format v3).
 
 On-disk layout under the index root::
 
-    meta.json        entries (one per input file, failures included),
-                     model hash, pipeline options, last-build report
-    embeddings.npz   float64 embedding matrix, one row per OK entry,
-                     plus the content keys for cross-checking
-    model.npz        the exact model that produced the embeddings
-    cache/           content-addressed DFG cache (survives rebuilds)
+    meta.json         entries (one per input file, failures included),
+                      model hash, pipeline options, shard specs, IVF
+                      config, last-build report — always written last,
+                      atomically: its presence marks a complete index
+    shards/*.f32      unit-normalized float32 embedding rows as raw
+                      memory-mapped shard files (append-only; see
+                      :mod:`repro.index.shards`)
+    ivf-NNNNN.npz     optional coarse quantizer for sublinear queries
+                      (:mod:`repro.index.ann`)
+    model.npz         the exact model that produced the embeddings
+    cache/            content-addressed DFG cache (survives rebuilds;
+                      absent when the index was built with
+                      ``use_cache=False``)
 
-Queries never re-embed the corpus: the suspect design is embedded once and
-scored against the whole matrix with one vectorized cosine pass, exactly
-the deployment workflow of :class:`repro.core.matcher.IPMatcher` but
-persistent, incremental (via the DFG cache), and model-checked (stored
-embeddings are refused for a model with a different fingerprint).
+Opening an index is ``stat`` + ``mmap`` — no decompression, no
+re-normalization (v2 paid both on every load).  Queries run through the
+batched :class:`~repro.index.engine.QueryEngine`; the embedding service
+and frontend are cached on the index object so a lookup service embeds
+each suspect once and never re-fingerprints the model per call.
+``add_to_index`` grows the corpus in place: new files append one shard
+plus meta entries without re-embedding or rewriting what is already
+stored.
 """
 
 import json
 import time
-from dataclasses import dataclass
+import zipfile
+from dataclasses import dataclass  # noqa: F401 - re-export for back-compat
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.persist import load_model, save_model
 from repro.errors import IndexStoreError, ModelError
+from repro.index.ann import (
+    IVF_NAME,
+    MIN_ROWS as IVF_MIN_ROWS,
+    IVFIndex,
+    ivf_filename,
+)
 from repro.index.cache import DFGCache
+from repro.index.engine import QueryEngine, QueryHit  # noqa: F401
 from repro.index.extractor import CorpusExtractor
 from repro.index.service import EmbeddingService
+from repro.index.shards import (
+    ShardStore,
+    next_shard_ordinal,
+    unit_rows_f32,
+    write_shard,
+)
 from repro.ir.frontends import RTLFrontend, get_frontend
 
 META_NAME = "meta.json"
-EMBEDDINGS_NAME = "embeddings.npz"
 MODEL_NAME = "model.npz"
 CACHE_DIR = "cache"
-#: v2: options carry level + schema fingerprint, and model fingerprints
-#: hash the featurizer config key — v1 indexes would load but fail their
-#: own model-hash check, so they are refused with a clear rebuild message.
-FORMAT_VERSION = 2
+#: v2's single compressed ``embeddings.npz`` store; only read by
+#: :func:`migrate_v2`.
+LEGACY_EMBEDDINGS_NAME = "embeddings.npz"
+#: v3: embeddings live in raw memory-mapped float32 shards (meta carries
+#: the shard specs) with an optional IVF quantizer.  v2 indexes are
+#: refused with a migrate/rebuild message — ``migrate_v2`` converts them
+#: in place without re-embedding.
+FORMAT_VERSION = 3
 
 
-@dataclass
-class QueryHit:
-    """One ranked index entry for a query design."""
-
-    name: str
-    path: str
-    design: str
-    score: float
-    is_piracy: bool
+def _write_meta(root, meta):
+    """Atomic ``meta.json`` write — always the last file to land."""
+    tmp = root / (META_NAME + ".tmp")
+    tmp.write_text(json.dumps(meta, indent=1, sort_keys=True))
+    tmp.replace(root / META_NAME)
 
 
-def _normalize_rows(matrix, eps=1e-12):
-    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    return matrix / np.maximum(norms, eps)
+def _read_meta(root):
+    meta_path = Path(root) / META_NAME
+    if not meta_path.is_file():
+        raise IndexStoreError(
+            f"no fingerprint index at {root} (missing {META_NAME}; "
+            f"run 'gnn4ip index build' first)")
+    try:
+        return json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexStoreError(f"corrupt index metadata: {exc}") from exc
 
 
 class FingerprintIndex:
     """A loaded fingerprint index (see module docstring for the layout)."""
 
-    def __init__(self, root, meta, matrix):
+    def __init__(self, root, meta, shards, ivf=None):
         self.root = Path(root)
         self.meta = meta
-        self.matrix = matrix              # (n_ok, hidden) raw embeddings
-        self._unit = _normalize_rows(matrix) if len(matrix) else matrix
+        self.shards = shards
+        self.ivf = ivf
         self.entries = meta["entries"]
         self._ok_entries = [e for e in self.entries if e["status"] == "ok"]
         self._row_by_key = {}
         for row, entry in enumerate(self._ok_entries):
             self._row_by_key.setdefault(entry["key"], row)
+        self._matrix = None
+        self._engine = None
+        self._frontend = None
+        self._service = None
 
     # -- loading -------------------------------------------------------------
     @classmethod
     def load(cls, root):
-        """Open an existing index; raises IndexStoreError when unusable."""
+        """Open an existing index; raises IndexStoreError when unusable.
+
+        Opening maps the shards read-only and validates their sizes
+        against the metadata (catching partial/truncated writes) but
+        reads no embedding data.
+        """
         root = Path(root)
-        meta_path = root / META_NAME
-        if not meta_path.is_file():
+        meta = _read_meta(root)
+        version = meta.get("version")
+        if version == 2:
             raise IndexStoreError(
-                f"no fingerprint index at {root} (missing {META_NAME}; "
-                f"run 'gnn4ip index build' first)")
-        try:
-            meta = json.loads(meta_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise IndexStoreError(f"corrupt index metadata: {exc}") from exc
-        if meta.get("version") != FORMAT_VERSION:
+                f"index at {root} uses the retired v2 format (compressed "
+                f"float64 embeddings.npz, decompressed and re-normalized "
+                f"on every open); run 'gnn4ip index migrate {root}' to "
+                f"convert it in place without re-embedding, or rebuild "
+                f"with 'gnn4ip index build'")
+        if version != FORMAT_VERSION:
             raise IndexStoreError(
-                f"index version {meta.get('version')!r} is not supported "
-                f"(expected {FORMAT_VERSION})")
-        try:
-            with np.load(root / EMBEDDINGS_NAME, allow_pickle=False) as data:
-                matrix = data["matrix"]
-                keys = [str(k) for k in data["keys"]]
-        except (OSError, KeyError, ValueError) as exc:
-            raise IndexStoreError(f"corrupt embedding store: {exc}") from exc
-        ok_keys = [e["key"] for e in meta["entries"] if e["status"] == "ok"]
-        if keys != ok_keys or matrix.shape[0] != len(ok_keys):
+                f"index version {version!r} is not supported "
+                f"(expected {FORMAT_VERSION}); rebuild the index")
+        store_spec = meta.get("store") or {}
+        shards = ShardStore(root, store_spec.get("hidden", 0),
+                            store_spec.get("shards", []))
+        ok_rows = sum(1 for e in meta["entries"] if e["status"] == "ok")
+        if shards.rows != ok_rows:
             raise IndexStoreError(
-                "embedding store does not match index metadata "
-                "(partial write? rebuild the index)")
-        return cls(root, meta, matrix)
+                f"embedding store has {shards.rows} rows but the "
+                f"metadata lists {ok_rows} embedded entries "
+                f"(partial write? rebuild the index)")
+        shards.open()  # size validation; no data is read
+        # The quantizer is an optional accelerator, never a correctness
+        # dependency: a missing, corrupt, or row-count-stale ivf.npz
+        # (e.g. a crash between the quantizer write and the meta write
+        # during `index add`) degrades to exact serving instead of
+        # refusing an otherwise-intact index.  The next add/build refits
+        # and heals it.
+        ivf = None
+        if meta.get("ivf"):
+            try:
+                ivf = IVFIndex.load(_ivf_path(root, meta))
+            except IndexStoreError:
+                ivf = None
+            if ivf is not None and ivf.rows != ok_rows:
+                ivf = None
+        return cls(root, meta, shards, ivf=ivf)
 
     def model(self, **kwargs):
         """The model persisted with the index."""
@@ -108,9 +160,9 @@ class FingerprintIndex:
     def frontend(self):
         """A frontend configured like the one the index was built with.
 
-        Queries must extract suspects at the same level and with the same
-        options the corpus was extracted with, or scores would compare
-        incomparable graphs.
+        Cached on the index: queries must extract suspects at the same
+        level and with the same options the corpus was extracted with,
+        and a lookup service reuses one frontend across calls.
 
         Raises:
             IndexStoreError: when the current feature schema no longer
@@ -118,6 +170,8 @@ class FingerprintIndex:
                 vocabulary changed in a later version) — stored embeddings
                 would be silently incomparable to fresh ones.
         """
+        if self._frontend is not None:
+            return self._frontend
         frontend = get_frontend(self.level,
                                 do_trim=self.meta["options"].get("do_trim",
                                                                  True))
@@ -127,6 +181,7 @@ class FingerprintIndex:
                 f"the feature schema has changed since this index was "
                 f"built ({stored} -> {frontend.schema_fingerprint()}); "
                 f"rebuild the index")
+        self._frontend = frontend
         return frontend
 
     def pipeline(self):
@@ -143,6 +198,12 @@ class FingerprintIndex:
         """Top-module option the index was built with (usually None)."""
         return self.meta["options"]["top"]
 
+    @property
+    def use_cache(self):
+        """Whether this index keeps a DFG cache (``--no-cache`` builds
+        must not grow one behind the operator's back)."""
+        return self.meta["options"].get("use_cache", True)
+
     # -- queries -------------------------------------------------------------
     def __len__(self):
         return len(self._ok_entries)
@@ -151,42 +212,83 @@ class FingerprintIndex:
     def model_hash(self):
         return self.meta["model_hash"]
 
+    @property
+    def matrix(self):
+        """The stored (unit float32) matrix, materialized on first use.
+
+        The serving path never needs this — the engine scores straight
+        off the memmaps; it exists for rebuild reuse and inspection.
+        """
+        if self._matrix is None:
+            self._matrix = self.shards.matrix()
+        return self._matrix
+
+    @property
+    def engine(self):
+        """The batched :class:`QueryEngine` over the mapped shards."""
+        if self._engine is None:
+            self._engine = QueryEngine(self.shards.blocks(),
+                                       self._ok_entries, ivf=self.ivf)
+        return self._engine
+
     def lookup_key(self, key):
-        """Stored embedding for a content key, or None."""
+        """Stored (unit float32) embedding for a content key, or None."""
         row = self._row_by_key.get(key)
-        return None if row is None else self.matrix[row]
+        return None if row is None else self.shards.row(row)
 
-    def query_vector(self, vector, k=5, delta=0.0):
-        """Top-k entries by cosine similarity to ``vector``."""
-        if not len(self):
-            raise IndexStoreError("the fingerprint index is empty")
-        vector = np.asarray(vector, dtype=np.float64)
-        unit = vector / max(np.linalg.norm(vector), 1e-12)
-        scores = self._unit @ unit
-        order = np.argsort(-scores, kind="stable")[:max(k, 0)]
-        hits = []
-        for row in order:
-            entry = self._ok_entries[row]
-            hits.append(QueryHit(name=entry["name"], path=entry["path"],
-                                 design=entry["design"],
-                                 score=float(scores[row]),
-                                 is_piracy=bool(scores[row] > delta)))
-        return hits
+    def query_vector(self, vector, k=5, delta=0.0, nprobe=None,
+                     exact=False):
+        """Top-k entries by cosine similarity to ``vector``.
 
-    def query_graph(self, graph, model, k=5):
-        """Embed a suspect DFG and rank it against the index.
+        Delegates to :meth:`query_many` with a batch of one, so single
+        and batched queries share one code path (and, in exact mode, are
+        bit-identical).
+        """
+        return self.query_many([vector], k=k, delta=delta, nprobe=nprobe,
+                               exact=exact)[0]
+
+    def query_many(self, vectors, k=5, delta=0.0, nprobe=None,
+                   exact=False):
+        """Top-k hit lists for a whole batch of query vectors."""
+        return self.engine.query_many(vectors, k=k, delta=delta,
+                                      nprobe=nprobe, exact=exact)
+
+    def service_for(self, model, batch_size=64):
+        """A fingerprint-checked :class:`EmbeddingService` for ``model``.
+
+        Cached on the index (keyed by model identity): repeated
+        ``query_graph`` calls stop re-hashing every model weight per
+        call, which used to dominate small-query latency.
+
+        Raises:
+            IndexStoreError: when ``model`` is not the model the index
+                was built with (its embeddings would not be comparable).
+        """
+        if self._service is None or self._service.model is not model:
+            service = EmbeddingService(model, batch_size=batch_size)
+            if service.fingerprint != self.model_hash:
+                raise IndexStoreError(
+                    "model fingerprint does not match the index "
+                    "(rebuild the index or query with its own model)")
+            self._service = service
+        return self._service
+
+    def query_graph(self, graph, model, k=5, nprobe=None, exact=False):
+        """Embed a suspect graph and rank it against the index."""
+        return self.query_graphs([graph], model, k=k, nprobe=nprobe,
+                                 exact=exact)[0]
+
+    def query_graphs(self, graphs, model, k=5, nprobe=None, exact=False):
+        """Embed many suspects in one batched pass and rank each.
 
         Raises:
             IndexStoreError: when ``model`` is not the model the index was
                 built with (its embeddings would not be comparable).
         """
-        service = EmbeddingService(model)
-        if service.fingerprint != self.model_hash:
-            raise IndexStoreError(
-                "model fingerprint does not match the index "
-                "(rebuild the index or query with its own model)")
-        vector = service.embed_one(graph)
-        return self.query_vector(vector, k=k, delta=model.delta)
+        service = self.service_for(model)
+        vectors = service.embed_graphs(graphs)
+        return self.query_many(vectors, k=k, delta=model.delta,
+                               nprobe=nprobe, exact=exact)
 
     def stats(self):
         """Summary dict for reports and the ``index stats`` command."""
@@ -197,31 +299,108 @@ class FingerprintIndex:
                 designs[entry["design"]] = designs.get(entry["design"], 0) + 1
             else:
                 failures += 1
-        cache = DFGCache(self.root / CACHE_DIR)
+        # Probe the cache only when its directory exists: stats on a
+        # --no-cache index must not conjure an empty cache/ directory.
+        cache_entries = cache_bytes = 0
+        if (self.root / CACHE_DIR).is_dir():
+            cache = DFGCache(self.root / CACHE_DIR)
+            cache_entries = cache.entry_count()
+            cache_bytes = cache.disk_bytes()
         return {
             "level": self.level,
             "entries": len(self.entries),
             "embedded": len(self),
             "failures": failures,
             "designs": len(designs),
-            "hidden": int(self.matrix.shape[1]) if len(self) else 0,
+            "hidden": self.shards.hidden if len(self) else 0,
+            "shards": len(self.shards.specs),
+            "ivf_clusters": self.ivf.n_clusters if self.ivf else 0,
             "model_hash": self.model_hash,
-            "cache_entries": cache.entry_count(),
-            "cache_bytes": cache.disk_bytes(),
+            "cache_entries": cache_entries,
+            "cache_bytes": cache_bytes,
             "build": self.meta.get("build", {}),
         }
 
 
-def _unique_names(results):
-    """File stems, suffixed where needed so index names stay unique."""
-    seen = {}
+def _unique_names(results, taken=()):
+    """File stems, suffixed where needed so index names stay unique.
+
+    ``taken`` seeds the reserved set with names already in the index, so
+    incremental adds cannot collide with existing entries.
+    """
+    taken = set(taken)
     names = []
     for result in results:
-        count = seen.get(result.name, 0)
-        seen[result.name] = count + 1
-        names.append(result.name if count == 0
-                     else f"{result.name}#{count + 1}")
+        candidate, suffix = result.name, 1
+        while candidate in taken:
+            suffix += 1
+            candidate = f"{result.name}#{suffix}"
+        taken.add(candidate)
+        names.append(candidate)
     return names
+
+
+def _result_entries(results, names):
+    entries = []
+    for result, name in zip(results, names):
+        entry = {"name": name, "path": result.path, "key": result.key,
+                 "status": "ok" if result.ok else "error"}
+        if result.ok:
+            entry["design"] = result.graph.name
+            entry["nodes"] = len(result.graph)
+            entry["edges"] = result.graph.num_edges
+            entry["cached"] = result.cached
+        else:
+            entry["error"] = result.error
+        entries.append(entry)
+    return entries
+
+
+def _next_ivf_name(root):
+    """Generation-named quantizer file nothing on disk uses yet.
+
+    Like shards, the quantizer is never overwritten in place: a rebuild
+    or add writes a fresh ``ivf-NNNNN.npz`` and the old one is cleaned
+    only after the new ``meta.json`` lands, so a crash in between leaves
+    the previous meta paired with exactly the quantizer it described.
+    """
+    taken = -1
+    for path in Path(root).glob("ivf-*.npz"):
+        stem = path.name[len("ivf-"):-len(".npz")]
+        if stem.isdigit():
+            taken = max(taken, int(stem))
+    return ivf_filename(taken + 1)
+
+
+def _ivf_path(root, meta):
+    return Path(root) / meta["ivf"].get("file", IVF_NAME)
+
+
+def _maybe_fit_ivf(root, unit_matrix, meta):
+    """Fit + persist the coarse quantizer when the corpus is big enough."""
+    if len(unit_matrix) >= IVF_MIN_ROWS:
+        ivf = IVFIndex.fit(unit_matrix)
+        name = _next_ivf_name(root)
+        ivf.save(root / name)
+        meta["ivf"] = {"clusters": ivf.n_clusters, "file": name}
+    else:
+        meta["ivf"] = None
+
+
+def _clean_stale_files(root, meta):
+    """Drop files the just-written meta orphaned (the legacy v2 store,
+    unreferenced shards, superseded quantizers)."""
+    (root / LEGACY_EMBEDDINGS_NAME).unlink(missing_ok=True)
+    live = {spec["file"] for spec in meta["store"]["shards"]}
+    shard_dir = root / "shards"
+    if shard_dir.is_dir():
+        for path in shard_dir.glob("shard-*.f32"):
+            if path.name not in live:
+                path.unlink(missing_ok=True)
+    live_ivf = (meta["ivf"] or {}).get("file") if meta.get("ivf") else None
+    for path in Path(root).glob("ivf*.npz"):
+        if path.name != live_ivf:
+            path.unlink(missing_ok=True)
 
 
 def build_index(root, paths, model, pipeline=None, jobs=None,
@@ -291,32 +470,24 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
             if old.model_hash == service.fingerprint:
                 previous = {entry["key"]: old.matrix[row]
                             for row, entry in enumerate(old._ok_entries)}
+            # .matrix is a materialized copy; drop the old index now so
+            # its shard memmaps are closed before cleanup unlinks the
+            # files (deleting a mapped file fails on some platforms).
+            del old
         except IndexStoreError:
             pass
 
     embed_start = time.perf_counter()
     fresh = [r for r in ok if r.key not in previous]
-    fresh_matrix = (service.embed_graphs([r.graph for r in fresh])
-                    if fresh else np.empty((0, model.encoder.hidden)))
-    fresh_rows = {r.key: fresh_matrix[i] for i, r in enumerate(fresh)}
-    matrix = (np.stack([previous[r.key] if r.key in previous
-                        else fresh_rows[r.key] for r in ok])
-              if ok else np.empty((0, model.encoder.hidden)))
+    fresh_unit = unit_rows_f32(
+        service.embed_graphs([r.graph for r in fresh])
+        if fresh else np.empty((0, model.encoder.hidden)))
+    fresh_rows = {r.key: fresh_unit[i] for i, r in enumerate(fresh)}
+    unit_matrix = (np.stack([previous[r.key] if r.key in previous
+                             else fresh_rows[r.key] for r in ok])
+                   if ok else np.empty((0, model.encoder.hidden),
+                                       dtype=np.float32))
     embed_seconds = time.perf_counter() - embed_start
-
-    entries = []
-    names = _unique_names(results)
-    for result, name in zip(results, names):
-        entry = {"name": name, "path": result.path, "key": result.key,
-                 "status": "ok" if result.ok else "error"}
-        if result.ok:
-            entry["design"] = result.graph.name
-            entry["nodes"] = len(result.graph)
-            entry["edges"] = result.graph.num_edges
-            entry["cached"] = result.cached
-        else:
-            entry["error"] = result.error
-        entries.append(entry)
 
     report = {
         "files": len(results),
@@ -329,6 +500,8 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
         "embed_seconds": embed_seconds,
         "jobs": extractor.last_jobs,
     }
+    specs = ([write_shard(root, next_shard_ordinal(root), unit_matrix)]
+             if len(unit_matrix) else [])
     meta = {
         "version": FORMAT_VERSION,
         "model_hash": service.fingerprint,
@@ -337,17 +510,157 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
             "level": frontend.level,
             "do_trim": getattr(frontend, "do_trim", True),
             "schema": frontend.schema_fingerprint(),
+            "use_cache": use_cache,
         },
-        "entries": entries,
+        "store": {
+            "dtype": "float32",
+            "hidden": int(model.encoder.hidden),
+            "shards": specs,
+        },
+        "entries": _result_entries(results, _unique_names(results)),
         "build": report,
     }
-
-    np.savez(root / EMBEDDINGS_NAME, matrix=matrix,
-             keys=np.array([r.key for r in ok], dtype="U64"))
+    _maybe_fit_ivf(root, unit_matrix, meta)
     save_model(model, root / MODEL_NAME)
-    # meta.json is written last: its presence marks a complete index, and
-    # load() cross-checks it against the embedding store.
-    tmp = root / (META_NAME + ".tmp")
-    tmp.write_text(json.dumps(meta, indent=1, sort_keys=True))
-    tmp.replace(root / META_NAME)
-    return FingerprintIndex(root, meta, matrix), report
+    # meta.json is written before any stale file is removed (and after
+    # everything it references exists): its presence marks a complete
+    # index, and load() cross-checks it against the shard files.
+    _write_meta(root, meta)
+    _clean_stale_files(root, meta)
+    return FingerprintIndex.load(root), report
+
+
+def add_to_index(root, paths, jobs=None, batch_size=64):
+    """Incrementally add files to an existing index.
+
+    Appends exactly one new shard plus meta entries: existing shards,
+    the model, and the quantizer's centroids are left untouched, and
+    files whose content key is already indexed reuse the stored vector
+    instead of re-embedding (the incremental-construction idea — grow
+    the index in place instead of rebuilding).
+
+    Returns:
+        (index, report) — the reloaded index and a build-style dict with
+        ``"mode": "add"``.
+    """
+    root = Path(root)
+    index = FingerprintIndex.load(root)
+    paths = [str(p) for p in paths]
+    if not paths:
+        raise IndexStoreError("no input files to add")
+    model = index.model()
+    frontend = index.frontend()
+
+    start = time.perf_counter()
+    cache = DFGCache(root / CACHE_DIR) if index.use_cache else None
+    extractor = CorpusExtractor(cache=cache, jobs=jobs, frontend=frontend)
+    results = extractor.extract_paths(paths, top=index.top)
+    extract_seconds = time.perf_counter() - start
+
+    ok = [r for r in results if r.ok]
+    embed_start = time.perf_counter()
+    fresh = [r for r in ok if index.lookup_key(r.key) is None]
+    if fresh:
+        service = index.service_for(model, batch_size=batch_size)
+        fresh_unit = unit_rows_f32(
+            service.embed_graphs([r.graph for r in fresh]))
+    else:
+        fresh_unit = np.empty((0, index.shards.hidden), dtype=np.float32)
+    fresh_rows = {r.key: fresh_unit[i] for i, r in enumerate(fresh)}
+    new_unit = (np.stack([fresh_rows[r.key] if r.key in fresh_rows
+                          else index.lookup_key(r.key) for r in ok])
+                if ok else fresh_unit)
+    embed_seconds = time.perf_counter() - embed_start
+
+    meta = index.meta
+    if len(new_unit):
+        ordinal = next_shard_ordinal(root, meta["store"]["shards"])
+        meta["store"]["shards"].append(write_shard(root, ordinal,
+                                                   new_unit))
+        total = index.shards.rows + len(new_unit)
+        if index.ivf is not None:
+            # Grow the quantizer in place: new rows join their nearest
+            # existing centroid; no re-clustering, no reassignment.
+            index.ivf.add(new_unit)
+            name = _next_ivf_name(root)
+            index.ivf.save(root / name)
+            meta["ivf"]["file"] = name
+        elif total >= IVF_MIN_ROWS:
+            # Covers both the first crossing of the size threshold and a
+            # quantizer load() dropped as stale — refit from everything.
+            ivf = IVFIndex.fit(
+                np.concatenate([index.matrix, new_unit], axis=0))
+            name = _next_ivf_name(root)
+            ivf.save(root / name)
+            meta["ivf"] = {"clusters": ivf.n_clusters, "file": name}
+
+    existing_names = [e["name"] for e in meta["entries"]]
+    names = _unique_names(results, taken=existing_names)
+    meta["entries"].extend(_result_entries(results, names))
+    report = {
+        "mode": "add",
+        "files": len(results),
+        "embedded": len(ok),
+        "embedded_fresh": len(fresh),
+        "embeddings_reused": len(ok) - len(fresh),
+        "failures": len(results) - len(ok),
+        "cache": cache.stats.as_dict() if cache else None,
+        "extract_seconds": extract_seconds,
+        "embed_seconds": embed_seconds,
+        "jobs": extractor.last_jobs,
+    }
+    meta["build"] = report
+    _write_meta(root, meta)
+    _clean_stale_files(root, meta)
+    return FingerprintIndex.load(root), report
+
+
+def migrate_v2(root):
+    """Convert a v2 index to v3 in place, without re-embedding.
+
+    Reads the compressed float64 ``embeddings.npz``, unit-normalizes it
+    once, writes the rows as a float32 shard (plus an IVF quantizer when
+    the corpus is large enough), rewrites ``meta.json`` as v3, and
+    removes the legacy store.
+
+    Returns:
+        The migrated, loaded :class:`FingerprintIndex`.
+    """
+    root = Path(root)
+    meta = _read_meta(root)
+    if meta.get("version") == FORMAT_VERSION:
+        return FingerprintIndex.load(root)
+    if meta.get("version") != 2:
+        raise IndexStoreError(
+            f"cannot migrate index version {meta.get('version')!r} "
+            f"(only v2); rebuild the index")
+    try:
+        with np.load(root / LEGACY_EMBEDDINGS_NAME,
+                     allow_pickle=False) as data:
+            matrix = data["matrix"]
+            keys = [str(k) for k in data["keys"]]
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise IndexStoreError(f"corrupt embedding store: {exc}") from exc
+    ok_keys = [e["key"] for e in meta["entries"] if e["status"] == "ok"]
+    if keys != ok_keys or matrix.shape[0] != len(ok_keys):
+        raise IndexStoreError(
+            "embedding store does not match index metadata "
+            "(partial write? rebuild the index)")
+    unit_matrix = unit_rows_f32(matrix)
+    hidden = int(matrix.shape[1]) if matrix.ndim == 2 else 0
+    meta["version"] = FORMAT_VERSION
+    meta["options"].setdefault("use_cache", True)
+    meta["store"] = {
+        "dtype": "float32",
+        "hidden": hidden,
+        "shards": ([write_shard(root, next_shard_ordinal(root),
+                                unit_matrix)]
+                   if len(unit_matrix) else []),
+    }
+    _maybe_fit_ivf(root, unit_matrix, meta)
+    # v3 meta lands atomically first; only then is the legacy store
+    # removed, so a crash mid-migration never strands a half-converted
+    # index (either version's meta always matches its files).
+    _write_meta(root, meta)
+    _clean_stale_files(root, meta)
+    return FingerprintIndex.load(root)

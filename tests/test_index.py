@@ -1,5 +1,7 @@
 """Fingerprint index: cache behavior, parallel extraction, top-k queries."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -236,11 +238,11 @@ class TestFingerprintIndex:
                 brute.append((other.stem, model.similarity(suspect, graph)))
             brute.sort(key=lambda item: -item[1])
             assert [h.name for h in hits] == [name for name, _ in brute]
-            # cosine_similarity_np adds eps inside the norm product while
-            # the index normalizes rows, so scores agree to ~1e-6, not
-            # bit-exactly.
+            # The store keeps unit float32 rows and scores in float32
+            # (~1e-7 relative), and cosine_similarity_np adds eps inside
+            # the norm product, so scores agree to ~1e-6, not bit-exactly.
             for hit, (_, score) in zip(hits, brute):
-                assert hit.score == pytest.approx(score, abs=1e-6)
+                assert hit.score == pytest.approx(score, abs=5e-6)
                 assert hit.is_piracy == (hit.score > model.delta)
 
     def test_query_rejects_foreign_model(self, built):
@@ -256,7 +258,9 @@ class TestFingerprintIndex:
         stored = index.lookup_key(key)
         assert stored is not None
         direct = model.encoder.embed(frontend.extract_file(corpus_paths[0]))
-        np.testing.assert_allclose(stored, direct)
+        # v3 stores unit-normalized float32 rows; direction must match.
+        unit = direct / np.linalg.norm(direct)
+        np.testing.assert_allclose(stored, unit, rtol=1e-6, atol=1e-7)
         assert index.lookup_key("0" * 64) is None
 
     def test_failures_are_recorded(self, tmp_path, corpus_dir):
@@ -274,11 +278,18 @@ class TestFingerprintIndex:
         with pytest.raises(IndexStoreError):
             FingerprintIndex.load(tmp_path / "nothing")
 
-    def test_load_detects_mismatched_store(self, built, tmp_path):
+    def test_load_detects_truncated_shard(self, built, tmp_path):
         root = tmp_path / "idx"
-        matrix = np.zeros((1, 16))
-        np.savez(root / "embeddings.npz", matrix=matrix,
-                 keys=np.array(["0" * 64], dtype="U64"))
+        shard = next((root / "shards").glob("shard-*.f32"))
+        shard.write_bytes(shard.read_bytes()[:-8])
+        with pytest.raises(IndexStoreError, match="truncated"):
+            FingerprintIndex.load(root)
+
+    def test_load_detects_row_count_mismatch(self, built, tmp_path):
+        root = tmp_path / "idx"
+        meta = json.loads((root / "meta.json").read_text())
+        meta["store"]["shards"][0]["rows"] += 1
+        (root / "meta.json").write_text(json.dumps(meta))
         with pytest.raises(IndexStoreError):
             FingerprintIndex.load(root)
 

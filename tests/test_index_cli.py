@@ -53,7 +53,7 @@ class TestIndexBuild:
         out = capsys.readouterr().out
         assert "indexed 3/3 files" in out
         assert (tmp_path / "idx" / "meta.json").is_file()
-        assert (tmp_path / "idx" / "embeddings.npz").is_file()
+        assert (tmp_path / "idx" / "shards" / "shard-00000.f32").is_file()
         assert (tmp_path / "idx" / "model.npz").is_file()
 
     def test_build_warm_cache(self, index_dir, corpus, capsys):
