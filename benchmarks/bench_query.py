@@ -15,6 +15,11 @@ vectors, mimicking design families) and enforced:
 - **IVF vs exact** — the coarse-quantized path (probe the best clusters,
   exactly re-rank the candidates) must be >= 3x faster than exact
   scoring while keeping recall@10 >= 0.95.
+- **Served micro-batching** — 64 concurrent single-suspect queries
+  through the HTTP service (``repro.server``, requests coalesced into
+  shared engine passes) must be >= 3x faster than the same 64 calls
+  issued sequentially; the served-vs-in-process overhead factor is
+  recorded alongside.
 
 Exact-mode ``query_many`` must also match per-vector ``query_vector``
 bit-for-bit (single-row batches are padded so BLAS keeps one kernel).
@@ -217,3 +222,108 @@ def bench_ivf_vs_exact(corpus, entries):
     if _assert_floors():
         assert speedup >= 3.0, \
             f"IVF serving only {speedup:.2f}x faster than exact"
+
+
+def bench_served_vs_inprocess(corpus, entries, tmp_path_factory):
+    """HTTP serving overhead: 64 concurrent suspects, micro-batched into
+    shared BLAS passes, must beat the same 64 suspects issued as
+    sequential single-suspect HTTP calls by >= 3x — and the in-process
+    overhead factor is recorded alongside.
+
+    The server runs in a background thread over a synthetic v3 index
+    (the same clustered corpus, served through the real
+    Session -> Corpus -> QueryEngine path with vector suspects).
+    """
+    import asyncio
+    import threading
+
+    from repro.api import Corpus as ApiCorpus, Session
+    from repro.client import AsyncClient, Client
+    from repro.index.store import FORMAT_VERSION, FingerprintIndex
+    from repro.server import ReproServer
+
+    root = tmp_path_factory.mktemp("served_store")
+    spec = write_shard(root, 0, corpus)
+    served_entries = [dict(entry, key=f"{i:064d}")
+                      for i, entry in enumerate(entries)]
+    meta = {"version": FORMAT_VERSION, "model_hash": "bench",
+            "options": {"top": None, "level": "rtl", "use_cache": False},
+            "store": {"dtype": "float32", "hidden": HIDDEN,
+                      "shards": [spec]},
+            "entries": served_entries}
+    index = FingerprintIndex(root, meta,
+                             ShardStore(root, HIDDEN, [spec]).open())
+    session = Session(corpus=ApiCorpus(index))
+
+    loop = asyncio.new_event_loop()
+    server = ReproServer(session, port=0)
+    started = threading.Event()
+
+    def _serve():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    assert started.wait(10), "server did not start"
+
+    rng = np.random.default_rng(SEED + 3)
+    picks = rng.choice(N, size=SUSPECTS, replace=False)
+    suspects = unit_rows_f32(
+        corpus[picks] + 0.05 * rng.standard_normal((SUSPECTS, HIDDEN)))
+    sync = Client("127.0.0.1", server.port)
+
+    def sequential():
+        for suspect in suspects:
+            sync.query(vectors=[suspect], k=10)
+
+    async def _concurrent():
+        client = AsyncClient("127.0.0.1", server.port)
+        return await asyncio.gather(
+            *[client.query(vectors=[suspect], k=10)
+              for suspect in suspects])
+
+    def concurrent():
+        asyncio.run(_concurrent())
+
+    # Sanity: the served ranking matches the in-process engine.
+    served_top = sync.query(vectors=[suspects[0]], k=1)
+    inproc_top = index.engine.query_many(suspects[:1], k=1)[0][0]
+    assert served_top["results"][0]["matches"][0]["name"] == inproc_top.name
+
+    seq_s = timed(sequential, repeats=3)
+    conc_s = timed(concurrent, repeats=3)
+    inproc_s = timed(lambda: index.engine.query_many(suspects, k=10))
+    stats = sync.stats()
+
+    try:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+    speedup = seq_s / conc_s
+    overhead = conc_s / inproc_s
+    lines = [f"corpus: {N} rows, {SUSPECTS} single-suspect HTTP calls",
+             f"sequential HTTP:    {seq_s * 1000:8.1f} ms",
+             f"concurrent batched: {conc_s * 1000:8.1f} ms",
+             f"in-process engine:  {inproc_s * 1000:8.1f} ms",
+             f"batched speedup:    {speedup:8.2f}x (required: >= 3x)",
+             f"served-vs-in-process overhead: {overhead:8.1f}x",
+             f"mean requests per micro-batch: "
+             f"{stats['mean_requests_per_batch']:.1f}"]
+    report("query_served_vs_inprocess", "\n".join(lines))
+    _merge_json({"served_sequential_seconds": seq_s,
+                 "served_concurrent_seconds": conc_s,
+                 "served_inprocess_seconds": inproc_s,
+                 "served_batched_speedup": speedup,
+                 "served_vs_inprocess_overhead": overhead,
+                 "served_mean_requests_per_batch":
+                     stats["mean_requests_per_batch"]})
+    if _assert_floors():
+        assert speedup >= 3.0, \
+            f"micro-batched serving only {speedup:.2f}x faster than " \
+            f"sequential single-suspect HTTP calls"

@@ -1,0 +1,93 @@
+"""End-to-end smoke check for the HTTP detection service.
+
+Builds a tiny index with the CLI, starts ``gnn4ip serve`` (via
+``python -m repro``) as a real subprocess on an ephemeral port, runs one
+multi-suspect ``/v1/query`` round trip plus a health check through
+:mod:`repro.client`, and shuts the server down cleanly.  CI runs this as
+the server smoke job; it also works standalone::
+
+    python examples/server_smoke.py
+"""
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.client import Client
+
+ADDER = """
+module adder(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = a + b;
+endmodule
+"""
+
+MUX = """
+module mux(input [7:0] d, input [2:0] sel, output q);
+  assign q = d[sel];
+endmodule
+"""
+
+
+def main():
+    from repro.cli import main as cli
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        corpus = tmp / "corpus"
+        corpus.mkdir()
+        (corpus / "adder.v").write_text(ADDER)
+        (corpus / "mux.v").write_text(MUX)
+        index_dir = tmp / "idx"
+        code = cli(["index", "build", str(index_dir), str(corpus),
+                    "--allow-untrained", "--jobs", "1"])
+        assert code == 0, f"index build failed with exit code {code}"
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(index_dir),
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            port = None
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                line = server.stdout.readline()
+                if not line:
+                    break
+                print(f"[serve] {line.rstrip()}")
+                match = re.search(r"http://[^:]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port, "server never announced its port"
+
+            client = Client("127.0.0.1", port)
+            health = client.healthz()
+            assert health["status"] == "ok", health
+            assert health["designs"] == 2, health
+
+            out = client.query(sources=[ADDER, MUX],
+                               labels=["adder.v", "mux.v"], k=2)
+            adder_result, mux_result = out["results"]
+            top = adder_result["matches"][0]
+            assert top["design"] == "adder" and top["rank"] == 1, out
+            assert top["is_piracy"], out
+            assert mux_result["matches"][0]["design"] == "mux", out
+            print(f"round trip ok: {len(out['results'])} suspects ranked "
+                  f"({out['serving']})")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                code = server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                raise AssertionError("server ignored SIGTERM")
+        assert code == 0, f"server exited with code {code}"
+        print("clean shutdown ok")
+
+
+if __name__ == "__main__":
+    main()

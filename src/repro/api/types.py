@@ -1,0 +1,133 @@
+"""Typed results returned by the public facade.
+
+Every result object carries an ``as_dict()`` serializer producing plain
+JSON-compatible data.  These serializers are the single wire format for
+the whole surface: the HTTP server's response bodies, the CLI's
+``--json`` output, and library consumers all read the same shapes, so a
+script that parses ``gnn4ip compare --json`` also parses a
+``POST /v1/compare`` response.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Where a fingerprint's embedding came from (cheapest first): reused
+#: straight from the index's stored rows, rebuilt from the on-disk graph
+#: cache, or extracted + embedded from scratch.
+ORIGIN_INDEX = "index"
+ORIGIN_CACHE = "cache"
+ORIGIN_EXTRACTED = "extracted"
+
+
+@dataclass
+class Fingerprint:
+    """One design's embedding under a fixed model.
+
+    Attributes:
+        vector: the embedding row (numpy float array).
+        key: content-address of the preprocessed source under the
+            frontend that extracted it (``None`` for raw-graph inputs).
+        design: the design (module) name, when known.
+        level: extraction level (``rtl`` / ``netlist``).
+        origin: :data:`ORIGIN_INDEX`, :data:`ORIGIN_CACHE`, or
+            :data:`ORIGIN_EXTRACTED`.
+        label: caller-supplied label (usually the source path).
+    """
+
+    vector: np.ndarray
+    key: str = None
+    design: str = None
+    level: str = None
+    origin: str = ORIGIN_EXTRACTED
+    label: str = None
+
+    def as_dict(self):
+        return {
+            "vector": [float(v) for v in np.asarray(self.vector).ravel()],
+            "key": self.key,
+            "design": self.design,
+            "level": self.level,
+            "origin": self.origin,
+            "label": self.label,
+        }
+
+
+@dataclass
+class Comparison:
+    """A pairwise piracy check (paper Algorithm 1)."""
+
+    score: float
+    delta: float
+    is_piracy: bool
+    #: Embedding origins for the two sides, when the comparison ran
+    #: through a :class:`~repro.api.facade.Session` with an index bound.
+    origins: tuple = None
+
+    @property
+    def verdict(self):
+        """Human-readable verdict string (the CLI's wording)."""
+        return "PIRACY" if self.is_piracy else "no piracy"
+
+    def as_dict(self):
+        return {
+            "score": float(self.score),
+            "delta": float(self.delta),
+            "is_piracy": bool(self.is_piracy),
+            "verdict": self.verdict,
+            "origins": list(self.origins) if self.origins else None,
+        }
+
+
+@dataclass
+class Match:
+    """One ranked corpus hit for a query design."""
+
+    rank: int
+    name: str
+    path: str
+    design: str
+    score: float
+    is_piracy: bool
+
+    def as_dict(self):
+        return {
+            "rank": int(self.rank),
+            "name": self.name,
+            "path": self.path,
+            "design": self.design,
+            "score": float(self.score),
+            "is_piracy": bool(self.is_piracy),
+        }
+
+
+@dataclass
+class QueryResult:
+    """Ranked matches for one suspect in a query batch."""
+
+    label: str
+    matches: list = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self):
+        return len(self.matches)
+
+    def __getitem__(self, item):
+        return self.matches[item]
+
+    def as_dict(self):
+        return {
+            "label": self.label,
+            "matches": [m.as_dict() for m in self.matches],
+        }
+
+
+def matches_from_hits(hits):
+    """Convert engine :class:`~repro.index.engine.QueryHit` rows to
+    ranked :class:`Match` objects (ranks are 1-based)."""
+    return [Match(rank=rank, name=hit.name, path=hit.path,
+                  design=hit.design, score=hit.score,
+                  is_piracy=hit.is_piracy)
+            for rank, hit in enumerate(hits, 1)]

@@ -1,9 +1,20 @@
-"""Command-line interface: ``gnn4ip`` with extract / train / compare / index.
+"""Command-line interface: ``gnn4ip`` with extract / train / compare /
+index / serve.
+
+Every detection subcommand is a thin argparse shim over the public
+facade (:mod:`repro.api`): the CLI parses flags, builds
+``Detector`` / ``Corpus`` / ``Session`` objects, and formats their typed
+results — all wiring (model loading, embedding reuse, caching, batched
+queries) lives behind the facade, so library consumers and the HTTP
+server share exactly the code paths exercised here.
 
 Detection commands work at two levels: ``rtl`` (the paper's data-flow
 graphs) and ``netlist`` (gate-level graphs, synthesized from the input when
 it is not already structural).  ``--level`` selects the frontend; models
 remember the level they were trained for and refuse the other one.
+Running without ``--model`` requires an explicit ``--allow-untrained``
+opt-in — an untrained model scores with random weights, which is never a
+silent default.
 
 Examples::
 
@@ -11,23 +22,28 @@ Examples::
     gnn4ip train --families adder8 cmp8 alu --epochs 40 --save model.npz
     gnn4ip train --level netlist --epochs 40 --save netmodel.npz
     gnn4ip compare a.v b.v --model model.npz
+    gnn4ip compare a.v b.v --model model.npz --json
     gnn4ip compare a.v b.v --level netlist --model netmodel.npz
     gnn4ip corpus --instances 3
     gnn4ip index build my.index --families --instances 4 --model model.npz
-    gnn4ip index build net.index --level netlist --families
+    gnn4ip index build net.index --level netlist --families --model net.npz
     gnn4ip index add my.index new_designs/
     gnn4ip index query my.index suspect.v -k 5
-    gnn4ip index query my.index s1.v s2.v s3.v --nprobe 8
+    gnn4ip index query my.index s1.v s2.v s3.v --nprobe 8 --json
     gnn4ip index query my.index suspect.v --exact
     gnn4ip index migrate old.index
     gnn4ip index stats my.index
     gnn4ip compare a.v b.v --index my.index
+    gnn4ip serve my.index --port 8000
 """
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import __version__
+from repro.api import Corpus, Detector, IndexConfig, Session
 from repro.core import GNN4IP, Trainer, build_pair_dataset
 from repro.core.persist import load_model, save_model  # noqa: F401 - re-export
 from repro.dataflow import dfg_from_verilog
@@ -39,16 +55,6 @@ from repro.designs import (
     rtl_records,
 )
 from repro.errors import ReproError
-from repro.index import (
-    DFGCache,
-    EmbeddingService,
-    FingerprintIndex,
-    add_to_index,
-    build_index,
-    migrate_v2,
-)
-from repro.index.store import CACHE_DIR
-from repro.ir.frontends import get_frontend
 
 
 def _cmd_extract(args):
@@ -104,75 +110,57 @@ def _cmd_train(args):
     return 0
 
 
-def _load_or_warn(model_path, seed=0, level="rtl"):
-    """Model from ``--model``, or a fresh (untrained) one with a warning."""
-    if model_path:
-        return load_model(model_path)
-    print("warning: comparing with an untrained model", file=sys.stderr)
-    return GNN4IP(seed=seed, featurizer=level or "rtl")
+def _cli_detector(model_path, args, level=None):
+    """Detector from ``--model``, or an untrained one behind the explicit
+    ``--allow-untrained`` opt-in (the facade itself always refuses).
 
-
-def _indexed_embedding(index, service, path):
-    """Embedding for a file, reusing the index store/cache when possible.
-
-    Extraction runs through the frontend (level + options) the index was
-    built with, so the suspect's embedding is comparable to the stored
-    ones and its content key can hit the index and the graph cache.
+    Returns ``None`` (after printing the error) when neither is given.
     """
-    frontend = index.frontend()
-    with open(path) as handle:
-        cleaned = frontend.preprocess_text(handle.read())
-    key = frontend.content_key(cleaned, top=index.top)
-    if service.fingerprint == index.model_hash:
-        stored = index.lookup_key(key)
-        if stored is not None:
-            return stored, "index"
-    # Respect the index's cache policy: a --no-cache index must not grow
-    # a cache/ directory as a side effect of compare.
-    cache = DFGCache(index.root / CACHE_DIR) if index.use_cache else None
-    graph = cache.load(key) if cache is not None else None
-    source = "cache" if graph is not None else "extracted"
-    if graph is None:
-        graph = frontend.extract_preprocessed(cleaned, top=index.top)
-        if cache is not None:
-            cache.store(key, graph)
-    return service.embed_one(graph), source
+    if model_path:
+        return Detector.load(model_path, level=level)
+    if not getattr(args, "allow_untrained", False):
+        print("error: no --model given (pass --allow-untrained to run "
+              "with an untrained model)", file=sys.stderr)
+        return None
+    print("warning: comparing with an untrained model", file=sys.stderr)
+    return Detector.untrained(level=level or "rtl",
+                              seed=getattr(args, "seed", 0))
 
 
 def _cmd_compare(args):
-    index = FingerprintIndex.load(args.index) if args.index else None
-    if index is not None and args.level and args.level != index.level:
-        print(f"error: index was built at --level {index.level}, "
+    corpus = Corpus.open(args.index) if args.index else None
+    if corpus is not None and args.level and args.level != corpus.level:
+        print(f"error: index was built at --level {corpus.level}, "
               f"not {args.level}", file=sys.stderr)
         return 1
     if args.model:
-        model = load_model(args.model)
-    elif index is not None:
-        model = index.model()
+        detector = Detector.load(args.model, level=args.level)
+    elif corpus is not None:
+        detector = corpus.detector()
     else:
-        model = _load_or_warn(None, seed=args.seed, level=args.level)
+        detector = _cli_detector(None, args, level=args.level)
+        if detector is None:
+            return 1
     if args.delta is not None:
-        model.delta = args.delta
+        detector.delta = args.delta
 
-    if index is not None:
-        service = EmbeddingService(model)
-        embeddings = []
+    if corpus is not None:
+        session = Session(detector=detector, corpus=corpus)
+        fingerprints = []
         for path in (args.file_a, args.file_b):
-            embedding, source = _indexed_embedding(index, service, path)
-            embeddings.append(embedding)
-            print(f"{path}: embedding from {source}", file=sys.stderr)
-        score = model.similarity_from_embeddings(*embeddings)
+            fingerprint = session.fingerprint(Path(path))
+            fingerprints.append(fingerprint)
+            print(f"{path}: embedding from {fingerprint.origin}",
+                  file=sys.stderr)
+        comparison = detector.compare_fingerprints(*fingerprints)
     else:
-        level = args.level or model.encoder.featurizer.level
-        frontend = get_frontend(level)
-        graphs = []
-        for path in (args.file_a, args.file_b):
-            with open(path) as handle:
-                graphs.append(frontend.extract(handle.read()))
-        score = model.similarity(graphs[0], graphs[1])
-    verdict = "PIRACY" if score > model.delta else "no piracy"
-    print(f"similarity: {score:+.4f} (delta {model.delta:+.4f}) -> {verdict}")
-    return 0 if score <= model.delta else 2
+        comparison = detector.compare(Path(args.file_a), Path(args.file_b))
+    if args.json:
+        print(json.dumps(comparison.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"similarity: {comparison.score:+.4f} "
+              f"(delta {comparison.delta:+.4f}) -> {comparison.verdict}")
+    return 2 if comparison.is_piracy else 0
 
 
 def _cmd_corpus(args):
@@ -219,12 +207,15 @@ def _cmd_index_build(args):
         print("error: no input files (pass sources or --families)",
               file=sys.stderr)
         return 1
-    model = _load_or_warn(args.model, seed=args.seed, level=args.level)
-    index, report = build_index(args.index_dir, paths, model,
-                                jobs=args.jobs, level=args.level,
-                                use_cache=not args.no_cache)
+    detector = _cli_detector(args.model, args, level=args.level)
+    if detector is None:
+        return 1
+    corpus, report = Corpus.build(args.index_dir, paths, detector,
+                                  IndexConfig(level=args.level,
+                                              jobs=args.jobs,
+                                              use_cache=not args.no_cache))
     print(f"indexed {report['embedded']}/{report['files']} files "
-          f"at level {index.level} "
+          f"at level {corpus.level} "
           f"({report['failures']} failures) with {report['jobs']} workers")
     if report["embeddings_reused"]:
         print(f"embeddings: {report['embedded_fresh']} fresh, "
@@ -235,7 +226,7 @@ def _cmd_index_build(args):
               f"({cache['store_bytes']} bytes written)")
     print(f"extract: {report['extract_seconds']:.3f}s  "
           f"embed: {report['embed_seconds']:.3f}s")
-    for entry in index.entries:
+    for entry in corpus.entries:
         if entry["status"] == "error":
             print(f"  FAILED {entry['path']}: {entry['error']}",
                   file=sys.stderr)
@@ -247,16 +238,17 @@ def _cmd_index_add(args):
     if not paths:
         print("error: no input files to add", file=sys.stderr)
         return 1
-    index, report = add_to_index(args.index_dir, paths, jobs=args.jobs)
+    corpus = Corpus.open(args.index_dir)
+    report = corpus.add(paths, jobs=args.jobs)
     print(f"added {report['embedded']}/{report['files']} files "
           f"({report['embedded_fresh']} embedded fresh, "
           f"{report['embeddings_reused']} reused, "
           f"{report['failures']} failures)")
-    print(f"index now: {len(index)} designs in "
-          f"{len(index.shards.specs)} shard(s)")
+    print(f"index now: {len(corpus)} designs in "
+          f"{corpus.shard_count} shard(s)")
     # Only this run's entries (appended last) — earlier failure entries
     # in the index must not be re-reported as this add's failures.
-    for entry in index.entries[-report["files"]:]:
+    for entry in corpus.entries[-report["files"]:]:
         if entry["status"] == "error":
             print(f"  FAILED {entry['path']}: {entry['error']}",
                   file=sys.stderr)
@@ -266,15 +258,14 @@ def _cmd_index_add(args):
 
 
 def _cmd_index_query(args):
-    index = FingerprintIndex.load(args.index_dir)
-    model = load_model(args.model) if args.model else index.model()
-    top = args.top if args.top is not None else index.top
-    frontend = index.frontend()
+    corpus = Corpus.open(args.index_dir)
+    detector = (Detector.load(args.model) if args.model
+                else corpus.detector())
+    session = Session(detector=detector, corpus=corpus)
     graphs, labels, failures = [], [], 0
     for path in args.files:
         try:
-            with open(path) as handle:
-                graphs.append(frontend.extract(handle.read(), top=top))
+            graphs.append(session.extract(Path(path), top=args.top))
             labels.append(path)
         except (ReproError, OSError) as exc:
             failures += 1
@@ -282,25 +273,30 @@ def _cmd_index_query(args):
     if not graphs:
         return 1
     # One batched embed for every suspect, one engine pass for the batch.
-    results = index.query_graphs(graphs, model, k=args.k,
-                                 nprobe=args.nprobe, exact=args.exact)
-    if args.exact or index.ivf is None:
-        serving = "exact"
-    else:
-        # Report the probe count the engine actually uses, via the same
-        # clamp the quantizer applies — not the raw flag value.
-        serving = f"ivf:{index.ivf.effective_nprobe(args.nprobe)} probes"
+    results = session.query(graphs, k=args.k, nprobe=args.nprobe,
+                            exact=args.exact, labels=labels)
+    serving = corpus.serving_description(nprobe=args.nprobe,
+                                         exact=args.exact)
     piracy = 0
-    for label, hits in zip(labels, results):
-        if len(labels) > 1:
-            print(f"== {label}")
-        print(f"top {len(hits)} of {len(index)} indexed designs "
-              f"({serving}, delta {model.delta:+.4f}):")
-        for rank, hit in enumerate(hits, 1):
-            flag = "PIRACY" if hit.is_piracy else "      "
-            piracy += hit.is_piracy
-            print(f"  {rank:2d}. {hit.score:+.4f} {flag} "
-                  f"{hit.design:16s} {hit.name}")
+    if args.json:
+        piracy = sum(match.is_piracy
+                     for result in results for match in result)
+        payload = {"index": str(args.index_dir), "designs": len(corpus),
+                   "serving": serving, "delta": detector.delta,
+                   "failures": failures,
+                   "results": [result.as_dict() for result in results]}
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        for result in results:
+            if len(labels) > 1:
+                print(f"== {result.label}")
+            print(f"top {len(result)} of {len(corpus)} indexed designs "
+                  f"({serving}, delta {detector.delta:+.4f}):")
+            for match in result:
+                flag = "PIRACY" if match.is_piracy else "      "
+                piracy += match.is_piracy
+                print(f"  {match.rank:2d}. {match.score:+.4f} {flag} "
+                      f"{match.design:16s} {match.name}")
     if piracy:
         return 2
     return 1 if failures else 0
@@ -308,22 +304,22 @@ def _cmd_index_query(args):
 
 def _cmd_index_migrate(args):
     try:
-        FingerprintIndex.load(args.index_dir)
+        Corpus.open(args.index_dir)
     except ReproError:
         pass  # not loadable as v3 — attempt the actual migration
     else:
         print(f"{args.index_dir} is already format v3; nothing to do")
         return 0
-    index = migrate_v2(args.index_dir)
-    ivf = (f", ivf quantizer with {index.ivf.n_clusters} clusters"
-           if index.ivf else "")
-    print(f"migrated {args.index_dir} to format v3: {len(index)} "
-          f"embeddings in {len(index.shards.specs)} shard(s){ivf}")
+    corpus = Corpus.migrate(args.index_dir)
+    ivf = (f", ivf quantizer with {corpus.ivf_clusters} clusters"
+           if corpus.ivf_clusters else "")
+    print(f"migrated {args.index_dir} to format v3: {len(corpus)} "
+          f"embeddings in {corpus.shard_count} shard(s){ivf}")
     return 0
 
 
 def _cmd_index_stats(args):
-    stats = FingerprintIndex.load(args.index_dir).stats()
+    stats = Corpus.open(args.index_dir).stats()
     build = stats.pop("build", {})
     for key in ("level", "entries", "embedded", "failures", "designs",
                 "hidden", "shards", "ivf_clusters", "cache_entries",
@@ -339,10 +335,26 @@ def _cmd_index_stats(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.server import run
+
+    corpus = Corpus.open(args.index_dir)
+    detector = (Detector.load(args.model) if args.model
+                else corpus.detector())
+    if args.delta is not None:
+        detector.delta = args.delta
+    session = Session(detector=detector, corpus=corpus)
+    return run(session, host=args.host, port=args.port,
+               max_batch=args.max_batch,
+               batch_window_s=args.batch_window_ms / 1000.0)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="gnn4ip",
         description="GNN4IP: hardware IP piracy detection (DAC'21 repro)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_extract = sub.add_parser("extract-dfg",
@@ -383,6 +395,12 @@ def build_parser():
                            help="compare RTL dataflow graphs (default) or "
                                 "synthesized gate-level netlists; must "
                                 "match the model/index level")
+    p_compare.add_argument("--allow-untrained", action="store_true",
+                           help="permit running without --model/--index "
+                                "(untrained weights; scores are noise)")
+    p_compare.add_argument("--json", action="store_true",
+                           help="machine-readable output (same shape as "
+                                "the server's /v1/compare response)")
     p_compare.set_defaults(func=_cmd_compare)
 
     p_corpus = sub.add_parser("corpus", help="list design families")
@@ -404,7 +422,10 @@ def build_parser():
     p_build.add_argument("--instances", type=int, default=4,
                          help="instances per generated family")
     p_build.add_argument("--model", default=None,
-                         help=".npz model; untrained if omitted")
+                         help=".npz model (or --allow-untrained)")
+    p_build.add_argument("--allow-untrained", action="store_true",
+                         help="permit building without --model "
+                              "(untrained weights; scores are noise)")
     p_build.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: auto)")
     p_build.add_argument("--no-cache", action="store_true",
@@ -444,6 +465,9 @@ def build_parser():
     p_query.add_argument("--exact", action="store_true",
                          help="score every stored fingerprint, bypassing "
                               "the IVF pre-filter")
+    p_query.add_argument("--json", action="store_true",
+                         help="machine-readable output (same match shape "
+                              "as the server's /v1/query response)")
     p_query.set_defaults(func=_cmd_index_query)
 
     p_migrate = index_sub.add_parser(
@@ -455,6 +479,25 @@ def build_parser():
     p_stats = index_sub.add_parser("stats", help="index + cache statistics")
     p_stats.add_argument("index_dir")
     p_stats.set_defaults(func=_cmd_index_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async HTTP detection service over an index")
+    p_serve.add_argument("index_dir", help="fingerprint index to serve")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="listen port (0 = ephemeral; the real port "
+                              "is announced on stdout)")
+    p_serve.add_argument("--model", default=None,
+                         help="override model (fingerprint must match "
+                              "for stored-embedding reuse)")
+    p_serve.add_argument("--delta", type=float, default=None,
+                         help="decision-boundary override")
+    p_serve.add_argument("--max-batch", type=int, default=256,
+                         help="max concurrent requests per micro-batch")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="how long a request waits for concurrent "
+                              "arrivals to coalesce")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

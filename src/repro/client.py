@@ -1,0 +1,149 @@
+"""Thin HTTP clients for the detection service (stdlib only).
+
+Two flavors share one request/response protocol:
+
+- :class:`Client` — synchronous, built on :mod:`http.client`; the right
+  tool for scripts and CI smoke checks.
+- :class:`AsyncClient` — asyncio streams; the right tool for tests and
+  benchmarks that fire concurrent requests at the micro-batching queue.
+
+Both raise :class:`ServerError` (a :class:`~repro.errors.ReproError`)
+when the server answers with a JSON error envelope, exposing the
+envelope's ``status`` and ``error_type``.
+"""
+
+import asyncio
+import http.client
+import json
+
+from repro.errors import ReproError
+
+
+class ServerError(ReproError):
+    """An error envelope returned by the detection service."""
+
+    def __init__(self, status, error_type, message):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+def _result_of(status, body):
+    """Decode a response body; raise :class:`ServerError` for envelopes."""
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServerError(status, "BadResponse",
+                          f"server returned non-JSON body: {exc}") from exc
+    if status >= 400 or "error" in payload:
+        error = payload.get("error", {})
+        raise ServerError(error.get("status", status),
+                          error.get("type", "ServerError"),
+                          error.get("message", f"HTTP {status}"))
+    return payload
+
+
+def _suspect_payloads(sources=None, vectors=None, labels=None):
+    if (sources is None) == (vectors is None):
+        raise ValueError("pass exactly one of sources= or vectors=")
+    items = sources if sources is not None else vectors
+    key = "source" if sources is not None else "vector"
+    suspects = []
+    for i, item in enumerate(items):
+        entry = {key: item if key == "source"
+                 else [float(v) for v in item]}
+        if labels is not None:
+            entry["label"] = labels[i]
+        suspects.append(entry)
+    return suspects
+
+
+class _Protocol:
+    """Endpoint helpers shared by both client flavors; subclasses
+    implement ``request(method, path, payload)``."""
+
+    def healthz(self):
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self):
+        return self.request("GET", "/v1/stats")
+
+    def fingerprint(self, source, top=None, label=None):
+        return self.request("POST", "/v1/fingerprint",
+                            {"source": source, "top": top, "label": label})
+
+    def compare(self, a, b, top=None):
+        return self.request("POST", "/v1/compare",
+                            {"a": a, "b": b, "top": top})
+
+    def query(self, sources=None, vectors=None, labels=None, k=5,
+              nprobe=None, exact=False):
+        payload = {"suspects": _suspect_payloads(sources, vectors, labels),
+                   "k": k, "exact": exact}
+        if nprobe is not None:
+            payload["nprobe"] = nprobe
+        return self.request("POST", "/v1/query", payload)
+
+
+class Client(_Protocol):
+    """Synchronous client (one connection per request)."""
+
+    def __init__(self, host="127.0.0.1", port=8000, timeout=30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method, path, payload=None):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return _result_of(response.status, response.read())
+        finally:
+            connection.close()
+
+
+class AsyncClient(_Protocol):
+    """Asyncio client (one connection per request).
+
+    Every endpoint helper returns a coroutine::
+
+        results = await AsyncClient("127.0.0.1", port).query(sources=[...])
+    """
+
+    def __init__(self, host="127.0.0.1", port=8000):
+        self.host = host
+        self.port = port
+
+    async def request(self, method, path, payload=None):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = (json.dumps(payload).encode("utf-8")
+                    if payload is not None else b"")
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, response_body = raw.partition(b"\r\n\r\n")
+        try:
+            status = int(head.split(b"\r\n", 1)[0].split(b" ")[1])
+        except (IndexError, ValueError) as exc:
+            raise ServerError(0, "BadResponse",
+                              "malformed response head") from exc
+        return _result_of(status, response_body)

@@ -236,6 +236,12 @@ class FingerprintIndex:
         row = self._row_by_key.get(key)
         return None if row is None else self.shards.row(row)
 
+    def entry_for_key(self, key):
+        """The ok-entry dict whose embedding ``lookup_key`` would return,
+        or None when the content key is not indexed."""
+        row = self._row_by_key.get(key)
+        return None if row is None else self._ok_entries[row]
+
     def query_vector(self, vector, k=5, delta=0.0, nprobe=None,
                      exact=False):
         """Top-k entries by cosine similarity to ``vector``.

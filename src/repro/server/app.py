@@ -1,0 +1,355 @@
+"""The asyncio detection service: routes, batching, error envelopes.
+
+``ReproServer`` exposes a :class:`~repro.api.facade.Session` over HTTP
+(stdlib only — no web framework):
+
+- ``POST /v1/fingerprint`` — embed one design.
+- ``POST /v1/query`` — rank the corpus against suspects (multi-suspect
+  per request; concurrent requests micro-batched into one embedding
+  pass + one BLAS matmul per parameter group).
+- ``POST /v1/compare`` — pairwise piracy check.
+- ``GET /v1/healthz`` / ``GET /v1/stats`` — liveness and counters.
+
+Failures map to JSON error envelopes
+``{"error": {"type", "message", "status"}}``:
+:class:`~repro.errors.ModelError` and other library errors are 400s,
+:class:`~repro.errors.IndexStoreError` (fingerprint mismatch, empty or
+corrupt index) is 409, protocol problems keep their HTTP status, and
+anything unexpected is a 500 that names the exception type only.
+
+The model, featurizer, frontend, and memory-mapped engine stay hot in
+the bound session across requests — the whole point of running a
+long-lived process instead of a CLI call per suspect.
+"""
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import __version__
+from repro.api.types import QueryResult, matches_from_hits
+from repro.errors import IndexStoreError, ReproError
+from repro.server.batcher import MicroBatcher
+from repro.server.http import (
+    HttpError,
+    Request,  # noqa: F401  (re-export for tests/tooling)
+    read_request,
+    response_bytes,
+)
+
+
+def error_envelope(exc, status=None):
+    """(payload, status) for an exception, per the mapping above."""
+    if status is None:
+        if isinstance(exc, HttpError):
+            status = exc.status
+        elif isinstance(exc, IndexStoreError):
+            status = 409
+        elif isinstance(exc, (ReproError, OSError)):
+            status = 400
+        else:
+            status = 500
+    if status >= 500 and not isinstance(exc, HttpError):
+        # Never leak internal state through a 500 message.
+        message = f"internal error ({type(exc).__name__})"
+    else:
+        message = str(exc)
+    return {"error": {"type": type(exc).__name__, "message": message,
+                      "status": status}}, status
+
+
+@dataclass
+class _QueryJob:
+    """One ``/v1/query`` request queued for micro-batched processing."""
+
+    sources: list = None       # Verilog source strings (exclusive with
+    vectors: object = None     # a (n, hidden) float array)
+    labels: list = field(default_factory=list)
+    k: int = 5
+    nprobe: int = None
+    exact: bool = False
+    top: str = None
+
+
+def _parse_suspects(payload):
+    """Split a request's suspect list into sources/vectors + labels."""
+    suspects = payload.get("suspects")
+    if not isinstance(suspects, list) or not suspects:
+        raise HttpError(400, "body must carry a non-empty 'suspects' list")
+    sources, vectors, labels = [], [], []
+    for i, suspect in enumerate(suspects):
+        if isinstance(suspect, str):
+            suspect = {"source": suspect}
+        if not isinstance(suspect, dict):
+            raise HttpError(400, f"suspects[{i}] must be an object or a "
+                                 f"source string")
+        labels.append(suspect.get("label") or f"suspect[{i}]")
+        if "vector" in suspect:
+            vectors.append(suspect["vector"])
+        elif "source" in suspect:
+            sources.append(suspect["source"])
+        else:
+            raise HttpError(400, f"suspects[{i}] needs a 'source' or a "
+                                 f"'vector'")
+    if sources and vectors:
+        raise HttpError(400, "cannot mix 'source' and 'vector' suspects "
+                             "in one request")
+    return sources or None, vectors or None, labels
+
+
+class ReproServer:
+    """The async detection service over one bound session."""
+
+    def __init__(self, session, host="127.0.0.1", port=0, max_batch=256,
+                 batch_window_s=0.002):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.batcher = MicroBatcher(self._process_query_jobs,
+                                    max_batch=max_batch,
+                                    max_delay_s=batch_window_s)
+        self.requests = 0
+        self.errors = 0
+        self.started_at = None
+        self._server = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self):
+        """Bind the socket and start the batch worker.  With ``port=0``
+        the OS picks an ephemeral port; ``self.port`` holds the real one."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        return self
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    async def serve_forever(self):
+        await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle(self, reader, writer):
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                payload, status = await self._dispatch(request)
+            except Exception as exc:  # every failure becomes an envelope
+                payload, status = error_envelope(exc)
+            self.requests += 1
+            if status >= 400:
+                self.errors += 1
+            writer.write(response_bytes(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request):
+        route = (request.method, request.path)
+        if route == ("GET", "/v1/healthz"):
+            return self._healthz(), 200
+        if route == ("GET", "/v1/stats"):
+            return self._stats(), 200
+        if route == ("POST", "/v1/fingerprint"):
+            return await self._fingerprint(request.json()), 200
+        if route == ("POST", "/v1/compare"):
+            return await self._compare(request.json()), 200
+        if route == ("POST", "/v1/query"):
+            return await self._query(request.json()), 200
+        known_paths = {"/v1/fingerprint", "/v1/compare", "/v1/query",
+                       "/v1/healthz", "/v1/stats"}
+        if request.path in known_paths:
+            raise HttpError(405, f"{request.method} is not allowed on "
+                                 f"{request.path}")
+        raise HttpError(404, f"no route for {request.path}")
+
+    # -- endpoints -----------------------------------------------------------
+    def _healthz(self):
+        corpus = self.session.corpus
+        return {
+            "status": "ok",
+            "version": __version__,
+            "designs": len(corpus) if corpus is not None else 0,
+            "level": corpus.level if corpus is not None else None,
+        }
+
+    def _stats(self):
+        corpus = self.session.corpus
+        index = {}
+        if corpus is not None:
+            index = corpus.stats()
+            index.pop("build", None)
+        batches = self.batcher.batches
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": self.requests,
+            "errors": self.errors,
+            "query_batches": batches,
+            "batched_requests": self.batcher.jobs,
+            "mean_requests_per_batch": (self.batcher.jobs / batches
+                                        if batches else 0.0),
+            "index": index,
+        }
+
+    async def _fingerprint(self, payload):
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise HttpError(400, "body must carry Verilog text in 'source'")
+        loop = asyncio.get_running_loop()
+        fingerprint = await loop.run_in_executor(
+            None, lambda: self.session.fingerprint(
+                source, top=payload.get("top"),
+                label=payload.get("label"), allow_paths=False))
+        return fingerprint.as_dict()
+
+    async def _compare(self, payload):
+        sides = []
+        for side in ("a", "b"):
+            suspect = payload.get(side)
+            if isinstance(suspect, dict):
+                suspect = suspect.get("source")
+            if not isinstance(suspect, str):
+                raise HttpError(400, f"body must carry Verilog text in "
+                                     f"'{side}' (string or "
+                                     f"{{'source': ...}})")
+            sides.append(suspect)
+        loop = asyncio.get_running_loop()
+        comparison = await loop.run_in_executor(
+            None, lambda: self.session.compare(sides[0], sides[1],
+                                               top=payload.get("top"),
+                                               allow_paths=False))
+        return comparison.as_dict()
+
+    async def _query(self, payload):
+        if self.session.corpus is None:
+            raise HttpError(400, "this server has no corpus bound")
+        sources, vectors, labels = _parse_suspects(payload)
+        k = payload.get("k", 5)
+        nprobe = payload.get("nprobe")
+        exact = bool(payload.get("exact", False))
+        if not isinstance(k, int) or k < 0:
+            raise HttpError(400, "'k' must be a non-negative integer")
+        if nprobe is not None and (not isinstance(nprobe, int)
+                                   or nprobe < 1):
+            raise HttpError(400, "'nprobe' must be a positive integer")
+        if vectors is not None:
+            try:
+                vectors = np.asarray(vectors, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"malformed vector suspects: {exc}") \
+                    from exc
+        job = _QueryJob(sources=sources, vectors=vectors, labels=labels,
+                        k=k, nprobe=nprobe, exact=exact,
+                        top=payload.get("top"))
+        results = await self.batcher.submit(job)
+        return {
+            "results": [result.as_dict() for result in results],
+            "serving": self.session.serving_description(nprobe=nprobe,
+                                                        exact=exact),
+        }
+
+    # -- the batch processor (runs in the executor) --------------------------
+    def _process_query_jobs(self, jobs):
+        """Serve a gulp of query jobs with shared heavy passes.
+
+        All source suspects across the gulp are embedded in **one**
+        packed forward pass, and all suspects sharing (k, nprobe, exact)
+        are scored with **one** engine call — the micro-batching win.
+        Per-job failures (bad Verilog, wrong vector width) become that
+        job's error without failing the gulp.
+        """
+        session = self.session
+        corpus = session.corpus
+        out = [None] * len(jobs)
+        vectors_by_job = {}
+
+        # Phase 1: extract every source suspect (pure-python, per job so
+        # one broken design only fails its own request) ...
+        graphs_by_job = {}
+        detector = None
+        for idx, job in enumerate(jobs):
+            if job.sources is None:
+                continue
+            try:
+                detector = session.detector
+                graphs_by_job[idx] = [
+                    session.extract(src, top=job.top, allow_paths=False)
+                    for src in job.sources]
+            except (ReproError, OSError) as exc:
+                out[idx] = exc
+        # ... then embed them all in one batched pass.
+        if graphs_by_job:
+            flat = [g for graphs in graphs_by_job.values() for g in graphs]
+            try:
+                service = corpus.index.service_for(detector.model)
+                embedded = service.embed_graphs(flat)
+            except ReproError as exc:
+                for idx in graphs_by_job:
+                    out[idx] = exc
+            else:
+                cursor = 0
+                for idx, graphs in graphs_by_job.items():
+                    vectors_by_job[idx] = embedded[cursor:cursor
+                                                   + len(graphs)]
+                    cursor += len(graphs)
+
+        # Phase 2: validate vector suspects against the store width.
+        hidden = corpus.index.engine.hidden
+        for idx, job in enumerate(jobs):
+            if job.vectors is None or out[idx] is not None:
+                continue
+            rows = np.atleast_2d(np.asarray(job.vectors, dtype=np.float64))
+            if rows.ndim != 2 or rows.shape[1] != hidden:
+                out[idx] = IndexStoreError(
+                    f"query vectors have shape {rows.shape}, expected "
+                    f"(n, {hidden})")
+                continue
+            vectors_by_job[idx] = rows
+
+        # Phase 3: one engine pass per distinct parameter group.
+        # Session.default_delta keeps verdicts call-order independent
+        # (model-less synthetic stores fall back to 0.0).
+        delta = session.default_delta
+        groups = {}
+        for idx, job in enumerate(jobs):
+            if out[idx] is None:
+                groups.setdefault((job.k, job.nprobe, job.exact),
+                                  []).append(idx)
+        for (k, nprobe, exact), members in groups.items():
+            stacked = np.concatenate([vectors_by_job[idx]
+                                      for idx in members])
+            try:
+                hit_lists = corpus.index.query_many(stacked, k=k,
+                                                    delta=delta,
+                                                    nprobe=nprobe,
+                                                    exact=exact)
+            except ReproError as exc:
+                for idx in members:
+                    out[idx] = exc
+                continue
+            cursor = 0
+            for idx in members:
+                count = len(vectors_by_job[idx])
+                per_suspect = hit_lists[cursor:cursor + count]
+                cursor += count
+                out[idx] = [
+                    QueryResult(label=label,
+                                matches=matches_from_hits(hits))
+                    for label, hits in zip(jobs[idx].labels, per_suspect)]
+        return out

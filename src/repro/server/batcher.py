@@ -1,0 +1,88 @@
+"""Micro-batching request queue.
+
+Concurrent requests land in one queue; a single worker drains it in
+gulps and hands each gulp to a batch processor, so suspects that arrive
+together are embedded in one packed forward pass and scored with one
+BLAS matmul instead of one pass per request.
+
+The price is a small collection window (``max_delay_s``, default 2 ms)
+added to a lone request's latency; the payoff is that 64 concurrent
+single-suspect requests cost roughly one 64-row batch instead of 64
+1-row batches (see ``benchmarks/bench_query.py``'s served-vs-in-process
+floor).
+"""
+
+import asyncio
+
+
+class MicroBatcher:
+    """Coalesce concurrently submitted jobs into batched processing.
+
+    Args:
+        process: ``callable(list[job]) -> list[result]`` run in the
+            default executor (numpy work releases the GIL inside BLAS,
+            so the event loop keeps accepting connections).  Must return
+            one result per job, in order; a returned ``Exception``
+            instance fails only that job's waiter, while an exception
+            *raised* by the callable fails the whole gulp.
+        max_batch: hard cap on jobs per gulp.
+        max_delay_s: how long the worker lingers after the first job to
+            let concurrent arrivals join the batch.
+    """
+
+    def __init__(self, process, max_batch=256, max_delay_s=0.002):
+        self._process = process
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._queue = None
+        self._worker = None
+        #: Gulps processed / jobs processed — served via ``/v1/stats`` so
+        #: operators (and the benchmark) can see coalescing happen.
+        self.batches = 0
+        self.jobs = 0
+
+    async def start(self):
+        self._queue = asyncio.Queue()
+        self._worker = asyncio.create_task(self._run())
+
+    async def stop(self):
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+
+    async def submit(self, job):
+        """Enqueue one job and wait for its result."""
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((job, future))
+        return await future
+
+    async def _run(self):
+        while True:
+            batch = [await self._queue.get()]
+            if self.max_delay_s > 0:
+                await asyncio.sleep(self.max_delay_s)
+            while len(batch) < self.max_batch and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            jobs = [job for job, _ in batch]
+            loop = asyncio.get_running_loop()
+            try:
+                results = await loop.run_in_executor(None, self._process,
+                                                     jobs)
+            except Exception as exc:
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            self.batches += 1
+            self.jobs += len(jobs)
+            for (_, future), result in zip(batch, results):
+                if future.done():
+                    continue
+                if isinstance(result, Exception):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)

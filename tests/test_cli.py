@@ -68,9 +68,17 @@ class TestExtract:
 
 
 class TestCompareAndModelIO:
-    def test_untrained_compare_warns(self, verilog_files, capsys):
+    def test_untrained_compare_needs_opt_in(self, verilog_files, capsys):
         code = main(["compare", verilog_files["adder.v"],
                      verilog_files["mux.v"]])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "allow-untrained" in captured.err
+        assert "similarity:" not in captured.out
+
+    def test_untrained_compare_warns(self, verilog_files, capsys):
+        code = main(["compare", verilog_files["adder.v"],
+                     verilog_files["mux.v"], "--allow-untrained"])
         captured = capsys.readouterr()
         assert "similarity:" in captured.out
         assert "untrained" in captured.err
@@ -78,7 +86,8 @@ class TestCompareAndModelIO:
 
     def test_identical_files_are_piracy(self, verilog_files, capsys):
         code = main(["compare", verilog_files["adder.v"],
-                     verilog_files["adder.v"], "--delta", "0.9"])
+                     verilog_files["adder.v"], "--delta", "0.9",
+                     "--allow-untrained"])
         assert code == 2  # piracy detected -> exit code 2
         assert "PIRACY" in capsys.readouterr().out
 
@@ -139,6 +148,30 @@ class TestCompareAndModelIO:
         main(["compare", verilog_files["adder.v"], verilog_files["adder2.v"],
               "--model", path])
         assert "similarity:" in capsys.readouterr().out
+
+
+class TestVersionAndJson:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_compare_json_output(self, verilog_files, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "model.npz")
+        save_model(GNN4IP(seed=0, delta=0.5), path)
+        code = main(["compare", verilog_files["adder.v"],
+                     verilog_files["adder.v"], "--model", path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_piracy"] is True
+        assert payload["verdict"] == "PIRACY"
+        assert payload["score"] == pytest.approx(1.0)
+        assert payload["delta"] == pytest.approx(0.5)
+        assert code == 2
 
 
 class TestCorpusCommand:

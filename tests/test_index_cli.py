@@ -41,14 +41,16 @@ def corpus(tmp_path):
 @pytest.fixture
 def index_dir(corpus, tmp_path, capsys):
     path = tmp_path / "idx"
-    assert main(["index", "build", str(path), str(corpus)]) == 0
+    assert main(["index", "build", str(path), str(corpus),
+                 "--allow-untrained"]) == 0
     capsys.readouterr()
     return path
 
 
 class TestIndexBuild:
     def test_build_from_directory(self, corpus, tmp_path, capsys):
-        code = main(["index", "build", str(tmp_path / "idx"), str(corpus)])
+        code = main(["index", "build", str(tmp_path / "idx"), str(corpus),
+                     "--allow-untrained"])
         assert code == 0
         out = capsys.readouterr().out
         assert "indexed 3/3 files" in out
@@ -57,17 +59,25 @@ class TestIndexBuild:
         assert (tmp_path / "idx" / "model.npz").is_file()
 
     def test_build_warm_cache(self, index_dir, corpus, capsys):
-        assert main(["index", "build", str(index_dir), str(corpus)]) == 0
+        assert main(["index", "build", str(index_dir), str(corpus),
+                     "--allow-untrained"]) == 0
         assert "cache: 3 hits / 0 misses" in capsys.readouterr().out
 
     def test_build_no_cache(self, index_dir, corpus, capsys):
         assert main(["index", "build", str(index_dir), str(corpus),
-                     "--no-cache"]) == 0
+                     "--no-cache", "--allow-untrained"]) == 0
         assert "cache:" not in capsys.readouterr().out
+
+    def test_build_without_model_needs_opt_in(self, corpus, tmp_path,
+                                              capsys):
+        code = main(["index", "build", str(tmp_path / "idx"), str(corpus)])
+        assert code == 1
+        assert "allow-untrained" in capsys.readouterr().err
+        assert not (tmp_path / "idx" / "meta.json").exists()
 
     def test_build_generated_families(self, tmp_path, capsys):
         path = tmp_path / "gen_idx"
-        code = main(["index", "build", str(path),
+        code = main(["index", "build", str(path), "--allow-untrained",
                      "--families", "adder8", "cmp8", "--instances", "2"])
         assert code == 0
         out = capsys.readouterr().out
@@ -81,7 +91,8 @@ class TestIndexBuild:
 
     def test_build_records_failures(self, corpus, tmp_path, capsys):
         (corpus / "broken.v").write_text("module oops(endmodule")
-        code = main(["index", "build", str(tmp_path / "idx"), str(corpus)])
+        code = main(["index", "build", str(tmp_path / "idx"), str(corpus),
+                     "--allow-untrained"])
         assert code == 0
         captured = capsys.readouterr()
         assert "1 failures" in captured.out

@@ -71,7 +71,7 @@ class TestNetlistCli:
         index_dir = tmp_path / "idx"
         code = main(["index", "build", str(index_dir)]
                     + [str(p) for p in corpus_paths]
-                    + ["--level", "netlist"])
+                    + ["--level", "netlist", "--allow-untrained"])
         assert code == 0
         assert "level netlist" in capsys.readouterr().out
 
@@ -83,7 +83,7 @@ class TestNetlistCli:
 
     def test_compare_level_netlist(self, corpus_paths, capsys):
         code = main(["compare", str(corpus_paths[0]), str(corpus_paths[0]),
-                     "--level", "netlist"])
+                     "--level", "netlist", "--allow-untrained"])
         assert code == 2
         assert "+1.0000" in capsys.readouterr().out
 
@@ -91,7 +91,7 @@ class TestNetlistCli:
                                                     corpus_paths, capsys):
         index_dir = tmp_path / "rtl_idx"
         assert main(["index", "build", str(index_dir),
-                     str(corpus_paths[0])]) == 0
+                     str(corpus_paths[0]), "--allow-untrained"]) == 0
         capsys.readouterr()
         code = main(["compare", str(corpus_paths[0]), str(corpus_paths[0]),
                      "--index", str(index_dir), "--level", "netlist"])

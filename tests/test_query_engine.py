@@ -399,7 +399,8 @@ class TestIncrementalAdd:
                                                      corpus_dir, capsys):
         (corpus_dir / "broken.v").write_text("module oops(input a endmodule")
         root = tmp_path / "idx_fail"
-        assert main(["index", "build", str(root), str(corpus_dir)]) == 0
+        assert main(["index", "build", str(root), str(corpus_dir),
+                     "--allow-untrained"]) == 0
         capsys.readouterr()
         good = tmp_path / "xchain.v"
         good.write_text(XOR_CHAIN)

@@ -1,0 +1,273 @@
+"""HTTP service round trips: endpoints, envelopes, micro-batching.
+
+Each test drives a real ``ReproServer`` on an ephemeral port and the
+stdlib clients from :mod:`repro.client` inside one ``asyncio.run`` —
+no external processes, no third-party test plugins.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Corpus, Detector, IndexConfig, Session
+from repro.client import AsyncClient, Client, ServerError
+from repro.core import GNN4IP
+from repro.server import ReproServer
+
+ADDER = """
+module adder(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = a + b;
+endmodule
+"""
+
+MUX = """
+module mux(input [7:0] d, input [2:0] sel, output q);
+  assign q = d[sel];
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    root = tmp_path_factory.mktemp("served_corpus")
+    (root / "adder.v").write_text(ADDER)
+    (root / "mux.v").write_text(MUX)
+    detector = Detector.from_model(GNN4IP(seed=0))
+    corpus, _ = Corpus.build(tmp_path_factory.mktemp("srv") / "idx",
+                             sorted(root.glob("*.v")), detector,
+                             IndexConfig(jobs=1))
+    return Session(detector=detector, corpus=corpus)
+
+
+def serve(session, scenario, **server_kwargs):
+    """Run ``scenario(server, async_client)`` against a live server."""
+    server_kwargs.setdefault("batch_window_s", 0.005)
+
+    async def runner():
+        server = ReproServer(session, port=0, **server_kwargs)
+        await server.start()
+        try:
+            await scenario(server, AsyncClient("127.0.0.1", server.port))
+        finally:
+            await server.stop()
+
+    asyncio.run(runner())
+
+
+async def expect_error(coro, status, error_type=None):
+    with pytest.raises(ServerError) as excinfo:
+        await coro
+    assert excinfo.value.status == status
+    if error_type is not None:
+        assert excinfo.value.error_type == error_type
+    return excinfo.value
+
+
+class TestEndpoints:
+    def test_healthz(self, session):
+        async def scenario(server, client):
+            health = await client.healthz()
+            assert health["status"] == "ok"
+            assert health["designs"] == 2
+            assert health["level"] == "rtl"
+
+        serve(session, scenario)
+
+    def test_query_two_suspects_ranked(self, session):
+        """The acceptance round trip: >= 2 suspects in one request,
+        embedded as one batch, each answered with ranked matches."""
+
+        async def scenario(server, client):
+            out = await client.query(sources=[ADDER, MUX],
+                                     labels=["adder.v", "mux.v"], k=2)
+            assert out["serving"] == "exact"
+            adder_result, mux_result = out["results"]
+            assert adder_result["label"] == "adder.v"
+            assert [m["rank"] for m in adder_result["matches"]] == [1, 2]
+            assert adder_result["matches"][0]["design"] == "adder"
+            assert adder_result["matches"][0]["score"] == \
+                pytest.approx(1.0, abs=1e-6)
+            assert adder_result["matches"][0]["is_piracy"] is True
+            assert mux_result["matches"][0]["design"] == "mux"
+            # The whole request was served as one micro-batch.
+            assert server.batcher.batches == 1
+            assert server.batcher.jobs == 1
+
+        serve(session, scenario)
+
+    def test_query_vector_suspects(self, session):
+        vector = session.fingerprint(ADDER).vector
+
+        async def scenario(server, client):
+            out = await client.query(vectors=[vector], k=1)
+            assert out["results"][0]["matches"][0]["design"] == "adder"
+
+        serve(session, scenario)
+
+    def test_fingerprint_and_compare(self, session):
+        async def scenario(server, client):
+            fingerprint = await client.fingerprint(ADDER, label="a.v")
+            assert fingerprint["design"] == "adder"
+            assert fingerprint["label"] == "a.v"
+            assert len(fingerprint["vector"]) == 16
+            comparison = await client.compare(ADDER, ADDER)
+            assert comparison["verdict"] == "PIRACY"
+            assert comparison["score"] == pytest.approx(1.0)
+
+        serve(session, scenario)
+
+    def test_sync_client(self, session):
+        async def scenario(server, client):
+            sync = Client("127.0.0.1", server.port)
+            loop = asyncio.get_running_loop()
+            health = await loop.run_in_executor(None, sync.healthz)
+            assert health["status"] == "ok"
+            out = await loop.run_in_executor(
+                None, lambda: sync.query(sources=[ADDER], k=1))
+            assert out["results"][0]["matches"][0]["design"] == "adder"
+
+        serve(session, scenario)
+
+    def test_stats_counts_requests(self, session):
+        async def scenario(server, client):
+            await client.query(sources=[ADDER], k=1)
+            stats = await client.stats()
+            assert stats["requests"] >= 1
+            assert stats["query_batches"] >= 1
+            assert stats["index"]["embedded"] == 2
+
+        serve(session, scenario)
+
+
+class TestMicroBatching:
+    def test_concurrent_queries_coalesce(self, session):
+        vector = session.fingerprint(ADDER).vector
+
+        async def scenario(server, client):
+            outs = await asyncio.gather(
+                *[client.query(vectors=[vector], k=1) for _ in range(16)])
+            for out in outs:
+                assert out["results"][0]["matches"][0]["design"] == "adder"
+            stats = await client.stats()
+            assert stats["batched_requests"] == 16
+            # Coalescing happened: far fewer engine gulps than requests.
+            assert stats["query_batches"] <= 8
+
+        serve(session, scenario, batch_window_s=0.05)
+
+    def test_one_bad_suspect_fails_only_its_request(self, session):
+        async def scenario(server, client):
+            good, bad = await asyncio.gather(
+                client.query(sources=[ADDER], k=1),
+                expect_error(client.query(sources=["module oops("]),
+                             400))
+            assert good["results"][0]["matches"][0]["design"] == "adder"
+            assert bad.status == 400
+
+        serve(session, scenario, batch_window_s=0.05)
+
+
+class TestErrorEnvelopes:
+    def test_unknown_route_404(self, session):
+        async def scenario(server, client):
+            error = await expect_error(client.request("GET", "/nope"), 404)
+            assert "no route" in str(error)
+
+        serve(session, scenario)
+
+    def test_wrong_method_405(self, session):
+        async def scenario(server, client):
+            await expect_error(client.request("GET", "/v1/query"), 405)
+
+        serve(session, scenario)
+
+    def test_malformed_json_400(self, session):
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            body = b"{not json"
+            writer.write(b"POST /v1/query HTTP/1.1\r\n"
+                         b"Host: x\r\n"
+                         b"Content-Length: %d\r\n"
+                         b"Connection: close\r\n\r\n" % len(body) + body)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            assert b"400" in head.split(b"\r\n")[0]
+            envelope = json.loads(payload)
+            assert envelope["error"]["status"] == 400
+            assert "JSON" in envelope["error"]["message"]
+
+        serve(session, scenario)
+
+    def test_empty_suspects_400(self, session):
+        async def scenario(server, client):
+            await expect_error(
+                client.request("POST", "/v1/query", {"suspects": []}), 400)
+
+        serve(session, scenario)
+
+    def test_source_strings_are_never_paths(self, session, tmp_path):
+        """A remote 'source' naming a readable local file must be parsed
+        as (broken) Verilog text, not read off the server's disk."""
+        secret = tmp_path / "secret.v"
+        secret.write_text(ADDER)
+
+        async def scenario(server, client):
+            error = await expect_error(client.fingerprint(str(secret)),
+                                       400)
+            assert "secret" not in str(error)  # no existence oracle
+            await expect_error(client.query(sources=[str(secret)]), 400)
+            await expect_error(client.compare(str(secret), ADDER), 400)
+
+        serve(session, scenario)
+
+    def test_negative_content_length_400(self, session):
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            writer.write(b"POST /v1/query HTTP/1.1\r\n"
+                         b"Host: x\r\n"
+                         b"Content-Length: -5\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            envelope = json.loads(raw.partition(b"\r\n\r\n")[2])
+            assert envelope["error"]["status"] == 400
+
+        serve(session, scenario)
+
+    def test_bad_verilog_400(self, session):
+        async def scenario(server, client):
+            error = await expect_error(
+                client.query(sources=["module oops(endmodule"]), 400)
+            assert error.error_type in ("ParseError", "LexerError")
+
+        serve(session, scenario)
+
+    def test_wrong_vector_width_409(self, session):
+        async def scenario(server, client):
+            await expect_error(
+                client.query(vectors=[np.zeros(3)]), 409,
+                "IndexStoreError")
+
+        serve(session, scenario)
+
+    def test_internal_error_500_hides_details(self, session,
+                                              monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("secret internal state")
+
+        monkeypatch.setattr(session, "fingerprint", boom)
+
+        async def scenario(server, client):
+            error = await expect_error(client.fingerprint(ADDER), 500,
+                                       "RuntimeError")
+            assert "secret" not in str(error)
+
+        serve(session, scenario)
