@@ -1,0 +1,88 @@
+"""Detection-quality floor: the adversarial evaluation harness in CI.
+
+Every PR so far could prove it made the pipeline *faster*; this
+benchmark is the regression signal for whether it still *detects*.  It
+runs the small default evaluation configuration (``repro.eval``: train a
+netlist-level model, index the synthesized-plus-obfuscated corpus,
+generate every attack scenario, one batched query pass) and enforces the
+paper-level claim:
+
+- **recall@10 >= 0.9 for strength-2 netlist obfuscation** — a thief who
+  applies two structural transforms plus a rename pass must still rank
+  the stolen design in the top 10 of the corpus.
+
+The partial-theft scenario (stolen block grafted into a holdout host)
+must be present in the per-scenario breakdown; its recall is recorded
+but not floored — it is the documented hardest case.  Wall-clock numbers
+are likewise recorded, never enforced (this is a quality benchmark, not
+a timing one).
+
+``REPRO_BENCH_FULL=1`` scales instances and epochs up; the default is
+the CI smoke configuration.  Results land in
+``benchmarks/out/bench_eval.json`` and the full evaluation report in
+``benchmarks/out/eval_report.json`` (uploaded as CI artifacts).
+"""
+
+import json
+import time
+
+from conftest import FULL, OUT_DIR, report
+from repro.eval import EvalConfig, run_evaluation
+
+#: The enforced claim: recall@10 on strength-2 netlist obfuscation.
+FLOOR_SCENARIO = "netlist_obfuscate_s2"
+FLOOR_RECALL_AT_10 = 0.9
+
+
+def bench_eval_detection_floor():
+    config = (EvalConfig(corpus_instances=5, suspects_per_design=3,
+                         train_instances=6, epochs=120)
+              if FULL else EvalConfig())
+    start = time.time()
+    result = run_evaluation(config)
+    total_seconds = time.time() - start
+
+    data = result.as_dict()
+    recalls = {name: metrics.get("recall_at_k", {}).get("10")
+               for name, metrics in data["scenarios"].items()}
+    floor_recall = recalls[FLOOR_SCENARIO]
+
+    OUT_DIR.mkdir(exist_ok=True)
+    with open(OUT_DIR / "eval_report.json", "w") as handle:
+        handle.write(result.to_json() + "\n")
+    payload = {
+        "floor_scenario": FLOOR_SCENARIO,
+        "floor_recall_at_10": FLOOR_RECALL_AT_10,
+        "measured_recall_at_10": floor_recall,
+        "recalls_at_10": recalls,
+        "overall": {k: data["overall"][k] for k in ("auc", "confusion")},
+        "total_seconds": total_seconds,
+        "timings": data["timings"],
+        "full": FULL,
+    }
+    with open(OUT_DIR / "bench_eval.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    lines = [f"{name:24s} recall@10 = "
+             + (f"{value:.3f}" if value is not None else "n/a")
+             for name, value in sorted(recalls.items())]
+    lines.append(f"floor: {FLOOR_SCENARIO} >= {FLOOR_RECALL_AT_10} "
+                 f"(measured {floor_recall:.3f})")
+    lines.append(f"total {total_seconds:.1f}s "
+                 f"(train {data['timings'].get('train_seconds', 0):.1f}s, "
+                 f"query {data['timings'].get('query_seconds', 0):.1f}s)")
+    report("bench_eval", "\n".join(lines))
+
+    # The hardest case must be measured, even though it has no floor.
+    assert "partial_theft" in data["scenarios"], \
+        "partial-theft scenario missing from the breakdown"
+    equivalence_failures = [
+        name for name, metrics in data["scenarios"].items()
+        if metrics.get("equivalence")
+        and metrics["equivalence"]["passed"] != metrics["equivalence"]["checked"]]
+    assert not equivalence_failures, \
+        f"semantics-preserving scenarios failed equivalence: " \
+        f"{equivalence_failures}"
+    assert floor_recall is not None and floor_recall >= FLOOR_RECALL_AT_10, \
+        f"detection floor broken: {FLOOR_SCENARIO} recall@10 = " \
+        f"{floor_recall} < {FLOOR_RECALL_AT_10}"

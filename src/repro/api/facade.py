@@ -536,6 +536,37 @@ class Session:
                 return 0.0
         return 0.0
 
+    def evaluate(self, config=None, **overrides):
+        """Run the adversarial piracy-scenario evaluation on this session.
+
+        Generates the attack suite from :mod:`repro.eval.scenarios` for
+        every configured design family present in the bound corpus,
+        pushes all suspects through one batched :meth:`query` pass, and
+        scores detection quality per scenario and overall.
+
+        Args:
+            config: an :class:`~repro.eval.runner.EvalConfig` (defaults
+                to the small default corpus configuration).
+            **overrides: field overrides applied on top of ``config``
+                (e.g. ``scenarios=("netlist_obfuscate_s2",)``, ``seed=7``).
+
+        Returns:
+            :class:`~repro.eval.report.EvalReport`
+
+        Raises:
+            EvalError: no corpus bound, level mismatch, or no
+                configured family present in the corpus.
+        """
+        from dataclasses import replace
+
+        from repro.eval.runner import EvalConfig, evaluate_session
+
+        config = config if config is not None else EvalConfig(
+            level=self.corpus.level if self.corpus is not None else "rtl")
+        if overrides:
+            config = replace(config, **overrides)
+        return evaluate_session(self, config)
+
     def query(self, suspects, k=5, nprobe=None, exact=False, top=None,
               labels=None, allow_paths=True):
         """Rank the corpus against a batch of suspects.

@@ -335,6 +335,52 @@ def _cmd_index_stats(args):
     return 0
 
 
+def _cmd_eval(args):
+    from repro.eval import EvalConfig, run_evaluation
+
+    # Flags default to None and fall back to the EvalConfig defaults, so
+    # the CLI, Session.evaluate, and bench_eval can never disagree on
+    # what "the small default corpus" is.
+    def fallback(value, default):
+        return value if value is not None else default
+
+    config = EvalConfig(
+        level=args.level,
+        families=tuple(fallback(args.families, EvalConfig.families)),
+        holdouts=tuple(fallback(args.holdouts, EvalConfig.holdouts)),
+        corpus_instances=fallback(args.instances,
+                                  EvalConfig.corpus_instances),
+        suspects_per_design=fallback(args.suspects,
+                                     EvalConfig.suspects_per_design),
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        recall_ks=tuple(fallback(args.recall_at, EvalConfig.recall_ks)),
+        seed=fallback(args.seed, EvalConfig.seed),
+        # No explicit --epochs: train unless untrained was asked for.
+        epochs=fallback(args.epochs,
+                        0 if args.allow_untrained else EvalConfig.epochs),
+        train_instances=fallback(args.train_instances,
+                                 EvalConfig.train_instances),
+        theft_fraction=fallback(args.theft_fraction,
+                                EvalConfig.theft_fraction),
+        check_equivalence=not args.no_equivalence,
+        baselines=tuple(args.baselines) if args.baselines else (),
+        allow_untrained=args.allow_untrained,
+        jobs=args.jobs)
+    if not args.model and config.epochs > 0 and not args.json:
+        print(f"training a {config.level}-level model "
+              f"({config.epochs} epochs) ...", file=sys.stderr)
+    report = run_evaluation(config, workdir=args.workdir,
+                            model=args.model)
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0
+
+
 def _cmd_serve(args):
     from repro.server import run
 
@@ -479,6 +525,57 @@ def build_parser():
     p_stats = index_sub.add_parser("stats", help="index + cache statistics")
     p_stats.add_argument("index_dir")
     p_stats.set_defaults(func=_cmd_index_stats)
+
+    p_eval = sub.add_parser(
+        "eval", help="adversarial piracy-scenario evaluation "
+                     "(recall@k, confusion at delta, AUC per scenario)")
+    p_eval.add_argument("--model", default=None,
+                        help=".npz model to evaluate (default: train one "
+                             "on the evaluation families)")
+    p_eval.add_argument("--level", choices=("rtl", "netlist"),
+                        default="netlist",
+                        help="corpus and detection level")
+    p_eval.add_argument("--families", nargs="*", default=None,
+                        help="corpus design families (default: the small "
+                             "default corpus)")
+    p_eval.add_argument("--holdouts", nargs="*", default=None,
+                        help="held-out families for negatives and graft "
+                             "hosts (never indexed)")
+    p_eval.add_argument("--instances", type=int, default=None,
+                        help="corpus instances per design")
+    p_eval.add_argument("--suspects", type=int, default=None,
+                        help="suspects per design per scenario")
+    p_eval.add_argument("--scenarios", nargs="*", default=None,
+                        help="scenario subset (default: all; see "
+                             "docs/evaluation.md)")
+    p_eval.add_argument("--recall-at", nargs="*", type=int, default=None,
+                        help="k values for recall@k (default: 1 5 10)")
+    p_eval.add_argument("--epochs", type=int, default=None,
+                        help="training epochs when no --model is given")
+    p_eval.add_argument("--train-instances", type=int, default=None,
+                        help="training instances per design")
+    p_eval.add_argument("--theft-fraction", type=float, default=None,
+                        help="fraction of stolen logic grafted in the "
+                             "partial-theft scenario")
+    p_eval.add_argument("--baselines", nargs="*", default=None,
+                        help="also score classical baselines "
+                             "(wl_kernel, spectral)")
+    p_eval.add_argument("--no-equivalence", action="store_true",
+                        help="skip the functional-equivalence spot checks")
+    p_eval.add_argument("--allow-untrained", action="store_true",
+                        help="evaluate an untrained model (scores are "
+                             "noise; smoke runs only)")
+    p_eval.add_argument("--seed", type=int, default=None)
+    p_eval.add_argument("--jobs", type=int, default=None,
+                        help="index-build worker processes")
+    p_eval.add_argument("--workdir", default=None,
+                        help="directory for the materialized corpus and "
+                             "index (default: a temporary directory)")
+    p_eval.add_argument("--out", default=None,
+                        help="also write the JSON report to this path")
+    p_eval.add_argument("--json", action="store_true",
+                        help="print the machine-readable report")
+    p_eval.set_defaults(func=_cmd_eval)
 
     p_serve = sub.add_parser(
         "serve", help="run the async HTTP detection service over an index")

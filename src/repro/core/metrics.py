@@ -44,11 +44,64 @@ class ConfusionMatrix:
         positives = self.tp + self.fn
         return self.tp / positives if positives else 0.0
 
+    @property
+    def f1(self):
+        """Harmonic mean of precision and recall."""
+        denominator = self.precision + self.recall
+        if not denominator:
+            return 0.0
+        return 2.0 * self.precision * self.recall / denominator
+
+    def as_dict(self):
+        """JSON-ready counts + derived rates (the eval report's shape)."""
+        return {
+            "tp": self.tp, "fp": self.fp, "fn": self.fn, "tn": self.tn,
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "false_negative_rate": self.false_negative_rate,
+            "false_positive_rate": self.false_positive_rate,
+        }
+
     def as_text(self):
         """Render in the layout of Fig. 4(a)."""
         return (f"            Actual +   Actual -\n"
                 f"Pred +   TP: {self.tp:6d}  FP: {self.fp:6d}\n"
                 f"Pred -   FN: {self.fn:6d}  TN: {self.tn:6d}")
+
+
+def roc_auc(scores, labels):
+    """Area under the ROC curve by the rank statistic (Mann-Whitney U).
+
+    Ties between scores contribute half, so thresholded integer-ish
+    scores still give the exact AUC.  Returns ``None`` when either class
+    is empty (AUC is undefined there, and the evaluation report must not
+    silently coerce that to 0.5 or 0.0).
+    """
+    scores = np.asarray(list(scores), dtype=np.float64)
+    truth = (np.asarray(list(labels)) > 0)
+    positives = int(truth.sum())
+    negatives = int(truth.size - positives)
+    if not positives or not negatives:
+        return None
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # Average the ranks of tied scores (midrank method).
+    sorted_scores = scores[order]
+    index = 0
+    while index < scores.size:
+        end = index
+        while (end + 1 < scores.size
+               and sorted_scores[end + 1] == sorted_scores[index]):
+            end += 1
+        if end > index:
+            ranks[order[index:end + 1]] = (index + end) / 2.0 + 1.0
+        index = end + 1
+    rank_sum = float(ranks[truth].sum())
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
 
 
 def confusion_from_scores(similarities, labels, delta):

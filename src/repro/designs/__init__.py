@@ -11,10 +11,12 @@ from repro.designs.base import (
 )
 from repro.designs.corpus import (
     SYNTHESIZABLE_FAMILIES,
+    canonical_variant,
     corpus_statistics,
     default_rtl_families,
     iscas_records,
     materialize_corpus,
+    materialize_netlist_corpus,
     mips_visualization_records,
     netlist_ir_records,
     netlist_records,
@@ -25,8 +27,10 @@ from repro.designs.iscas import ISCAS_BENCHMARKS, iscas_names, iscas_netlist
 __all__ = [
     "DesignFamily", "DesignVariant", "all_families", "family_names",
     "generate_corpus", "get_family", "register",
-    "SYNTHESIZABLE_FAMILIES", "corpus_statistics", "default_rtl_families",
-    "iscas_records", "materialize_corpus", "mips_visualization_records",
+    "SYNTHESIZABLE_FAMILIES", "canonical_variant", "corpus_statistics",
+    "default_rtl_families",
+    "iscas_records", "materialize_corpus", "materialize_netlist_corpus",
+    "mips_visualization_records",
     "netlist_ir_records", "netlist_records", "rtl_records",
     "ISCAS_BENCHMARKS", "iscas_names", "iscas_netlist",
 ]

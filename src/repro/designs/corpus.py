@@ -51,6 +51,19 @@ def _netlist_graph(netlist, instance_name):
     return graph
 
 
+def canonical_variant(name, offset=0, seed=0):
+    """The canonical (unrewritten) RTL instance of a family under the
+    netlist-corpus seeding scheme.
+
+    ``offset`` is the family's position in its corpus list.  The netlist
+    corpus builders and the evaluation harness's scenario generator both
+    derive their base designs here, so an attack suspect is produced from
+    exactly the IP instance the corpus indexed.
+    """
+    family = get_family(name)
+    return family.generate(seed=seed + 31 * offset, rewrite=False)
+
+
 def _netlist_variants(families, instances_per_design, seed):
     """Yield ``(design, index, netlist)`` synthesized-variant triples.
 
@@ -63,8 +76,7 @@ def _netlist_variants(families, instances_per_design, seed):
     if families is None:
         families = [n for n in SYNTHESIZABLE_FAMILIES if n in family_names()]
     for offset, name in enumerate(families):
-        family = get_family(name)
-        variant = family.generate(seed=seed + 31 * offset, rewrite=False)
+        variant = canonical_variant(name, offset=offset, seed=seed)
         base = synthesize_verilog(variant.verilog, top=variant.top)
         for index in range(instances_per_design):
             if index == 0:
@@ -205,6 +217,33 @@ def materialize_corpus(directory, families=None, instances_per_design=4,
                                    seed=seed):
         path = directory / f"{variant.instance}.v"
         path.write_text(variant.verilog)
+        paths.append(path)
+    return paths
+
+
+def materialize_netlist_corpus(directory, families=None,
+                               instances_per_design=3, seed=0):
+    """Write synthesized-plus-obfuscated netlists as ``.v`` files.
+
+    The gate-level sibling of :func:`materialize_corpus`, sharing the
+    variant scheme of :func:`netlist_records` (instance 0 is the plain
+    synthesized netlist, the rest are behaviour-preserving obfuscations):
+    each instance becomes a self-contained structural
+    ``<design>_net<i>.v`` that flows through either extraction frontend.
+    The evaluation harness indexes these as the defender's IP library.
+    Returns the written paths in generation order.
+    """
+    from pathlib import Path
+
+    from repro.netlist.verilog_io import write_netlist
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, index, net in _netlist_variants(families, instances_per_design,
+                                              seed):
+        path = directory / f"{name}_net{index}.v"
+        path.write_text(write_netlist(net))
         paths.append(path)
     return paths
 

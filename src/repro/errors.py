@@ -71,3 +71,7 @@ class ModelError(ReproError):
 class IndexStoreError(ReproError):
     """Raised for missing, corrupt, or incompatible fingerprint indexes."""
 
+
+class EvalError(ReproError):
+    """Raised when an evaluation run cannot be configured or executed."""
+

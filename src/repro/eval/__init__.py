@@ -1,0 +1,43 @@
+"""Adversarial piracy-scenario evaluation harness.
+
+Turns the repo's raw parts — obfuscation transforms, RTL variants, the
+synthesizer, the equivalence checker, the fingerprint index — into
+claim-level evidence: named attack scenarios mirroring the paper's
+threat model, scored end-to-end (recall@k, δ-threshold confusion, AUC)
+through one batched query pass.  See ``docs/evaluation.md``.
+
+>>> from repro.eval import EvalConfig, run_evaluation       # doctest: +SKIP
+>>> report = run_evaluation(EvalConfig())                   # doctest: +SKIP
+>>> report.recall_at(10, "netlist_obfuscate_s2")            # doctest: +SKIP
+1.0
+"""
+
+from repro.eval.report import FLOAT_DIGITS, SCHEMA_VERSION, EvalReport
+from repro.eval.runner import (
+    DEFAULT_EVAL_FAMILIES,
+    DEFAULT_HOLDOUT_FAMILIES,
+    EvalConfig,
+    build_eval_corpus,
+    evaluate_session,
+    run_evaluation,
+    scenario_suite,
+    train_eval_model,
+)
+from repro.eval.scenarios import (
+    SCENARIOS,
+    ScenarioContext,
+    ScenarioSpec,
+    Suspect,
+    generate_scenarios,
+    graft_netlists,
+    scenario_names,
+)
+
+__all__ = [
+    "EvalConfig", "EvalReport", "run_evaluation", "evaluate_session",
+    "scenario_suite", "train_eval_model", "build_eval_corpus",
+    "DEFAULT_EVAL_FAMILIES", "DEFAULT_HOLDOUT_FAMILIES",
+    "SCENARIOS", "ScenarioContext", "ScenarioSpec", "Suspect",
+    "generate_scenarios", "graft_netlists", "scenario_names",
+    "SCHEMA_VERSION", "FLOAT_DIGITS",
+]

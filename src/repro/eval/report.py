@@ -1,0 +1,128 @@
+"""The evaluation report: one stable, JSON-serializable result object.
+
+``EvalReport.as_dict()`` is the wire format: the CLI's ``--json`` output,
+the benchmark artifact, and the golden-file regression fixture are all
+this exact shape.  Floats are rounded (:data:`FLOAT_DIGITS` places) so
+reports are stable across BLAS rounding noise, and every mapping is
+emitted with sorted keys — a metric drift shows up as a clean one-line
+diff against the checked-in golden file.
+
+``timings`` is the one deliberately non-deterministic section (wall-clock
+seconds); regression comparisons must exclude it.
+"""
+
+import json
+
+#: Bump when the report shape changes; consumers key on this.
+SCHEMA_VERSION = 1
+
+#: Rounding applied to every float in the serialized report.
+FLOAT_DIGITS = 6
+
+
+def _stable(value):
+    """Recursively round floats and sort mappings for stable output."""
+    if isinstance(value, float):
+        return round(value, FLOAT_DIGITS)
+    if isinstance(value, dict):
+        return {str(k): _stable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_stable(v) for v in value]
+    return value
+
+
+class EvalReport:
+    """Results of one evaluation run (see :mod:`repro.eval.runner`).
+
+    Attributes:
+        config: the :class:`~repro.eval.runner.EvalConfig` as a dict.
+        corpus: indexed-corpus summary (designs, entries, level...).
+        model: detector summary (delta, fingerprint hash, trained flag).
+        scenarios: per-scenario metric dicts, keyed by scenario name.
+        overall: corpus-wide metrics (confusion at delta, AUC, recall@k).
+        baselines: optional classical-baseline comparisons.
+        timings: wall-clock seconds per phase (non-deterministic).
+    """
+
+    def __init__(self, config, corpus, model, scenarios, overall,
+                 baselines=None, timings=None):
+        self.config = config
+        self.corpus = corpus
+        self.model = model
+        self.scenarios = scenarios
+        self.overall = overall
+        self.baselines = baselines or {}
+        self.timings = timings or {}
+
+    def as_dict(self):
+        """The stable JSON shape (rounded floats, sorted keys)."""
+        return _stable({
+            "schema_version": SCHEMA_VERSION,
+            "config": self.config,
+            "corpus": self.corpus,
+            "model": self.model,
+            "scenarios": self.scenarios,
+            "overall": self.overall,
+            "baselines": self.baselines,
+            "timings": self.timings,
+        })
+
+    def to_json(self, indent=1):
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    # -- convenience accessors -------------------------------------------
+    def recall_at(self, k, scenario=None):
+        """Recall@k for one scenario (or overall); ``None`` when absent."""
+        section = (self.scenarios.get(scenario, {}) if scenario
+                   else self.overall)
+        return section.get("recall_at_k", {}).get(str(k))
+
+    def render_text(self):
+        """Human-readable summary (the CLI's non-JSON output)."""
+        lines = []
+        corpus = self.corpus
+        trained = self.model.get("trained")
+        lines.append(f"corpus: {corpus.get('designs', '?')} designs / "
+                     f"{corpus.get('entries', '?')} entries at level "
+                     f"{corpus.get('level', '?')}   "
+                     f"delta {self.model.get('delta', 0.0):+.4f}"
+                     f"{'  (UNTRAINED)' if trained is False else ''}")
+        ks = sorted(int(k) for k in
+                    self.overall.get("recall_at_k", {}))
+        header = (f"{'scenario':22s} {'n':>4s} "
+                  + " ".join(f"r@{k:<3d}" for k in ks)
+                  + f" {'det@delta':>9s} {'auc':>6s} {'equiv':>7s}")
+        lines.append(header)
+        for name, metrics in self.scenarios.items():
+            recalls = " ".join(
+                self._cell(metrics.get("recall_at_k", {}).get(str(k)))
+                for k in ks)
+            equivalence = metrics.get("equivalence")
+            equiv = (f"{equivalence['passed']}/{equivalence['checked']}"
+                     if equivalence else "-")
+            lines.append(
+                f"{name:22s} {metrics.get('suspects', 0):4d} {recalls} "
+                f"{self._cell(metrics.get('detection_rate'), 9)} "
+                f"{self._cell(metrics.get('auc'), 6)} {equiv:>7s}")
+        overall = self.overall
+        confusion = overall.get("confusion", {})
+        lines.append(
+            f"overall: accuracy {self._cell(confusion.get('accuracy'))}  "
+            f"precision {self._cell(confusion.get('precision'))}  "
+            f"recall {self._cell(confusion.get('recall'))}  "
+            f"f1 {self._cell(confusion.get('f1'))}  "
+            f"auc {self._cell(overall.get('auc'))}")
+        for name, metrics in self.baselines.items():
+            if "error" in metrics:
+                lines.append(f"baseline {name}: skipped ({metrics['error']})")
+                continue
+            recalls = " ".join(
+                f"r@{k}={self._cell(metrics.get('recall_at_k', {}).get(str(k)))}"
+                for k in ks)
+            lines.append(f"baseline {name}: {recalls} "
+                         f"auc {self._cell(metrics.get('auc'))}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _cell(value, width=5):
+        return f"{value:{width}.3f}" if value is not None else "-" * width

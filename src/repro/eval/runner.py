@@ -1,0 +1,446 @@
+"""End-to-end detection-quality evaluation over the scenario suite.
+
+This is the claim-level harness: it builds (or reuses) a fingerprint
+index over a design corpus, generates every adversarial scenario from
+:mod:`repro.eval.scenarios`, pushes **all** suspects through one batched
+:meth:`~repro.api.facade.Session.query` pass, and scores detection
+quality — recall@k, the paper's δ-threshold confusion matrix, AUC — per
+scenario and overall, into a stable :class:`~repro.eval.report.EvalReport`.
+
+Three entry points, outermost first:
+
+- :func:`run_evaluation` — everything from a config: train (or load) a
+  model, materialize and index the corpus in a work directory, evaluate.
+- :func:`evaluate_session` — score an existing
+  :class:`~repro.api.facade.Session` (this is what
+  ``Session.evaluate(...)`` delegates to).
+- :func:`scenario_suite` — just the suspects, for callers that bring
+  their own scoring.
+"""
+
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.api import Detector, IndexConfig, Session
+from repro.api import Corpus as ApiCorpus
+from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.core.metrics import confusion_from_scores, roc_auc
+from repro.designs import (
+    get_family,
+    materialize_corpus,
+    materialize_netlist_corpus,
+    netlist_ir_records,
+    rtl_records,
+)
+from repro.errors import EvalError
+from repro.eval.report import EvalReport
+from repro.eval.scenarios import SCENARIOS, ScenarioContext, generate_scenarios
+
+#: The small default corpus: synthesizable families, bench-scale.
+DEFAULT_EVAL_FAMILIES = (
+    "adder8", "mult4", "cmp8", "prienc8", "barrel8", "counter8",
+    "lfsr8", "crc8", "popcount8", "hamdec74", "mux8", "updown4",
+)
+
+#: Synthesizable families kept out of the corpus: negatives + graft hosts.
+DEFAULT_HOLDOUT_FAMILIES = ("satadd8", "bin2gray8", "dec3to8")
+
+
+@dataclass
+class EvalConfig:
+    """Scale and threat-model knobs for one evaluation run.
+
+    The defaults are the "small default corpus" configuration: the one
+    ``gnn4ip eval`` runs out of the box, ``benchmarks/bench_eval.py``
+    enforces the detection floor on, and CI's eval-smoke job executes.
+    """
+
+    level: str = "netlist"
+    families: tuple = DEFAULT_EVAL_FAMILIES
+    holdouts: tuple = DEFAULT_HOLDOUT_FAMILIES
+    corpus_instances: int = 4
+    suspects_per_design: int = 2
+    scenarios: tuple = None          # None -> every registered scenario
+    recall_ks: tuple = (1, 5, 10)
+    seed: int = 2
+    epochs: int = 80                 # 0 -> untrained (needs allow_untrained)
+    train_instances: int = 5
+    theft_fraction: float = 0.6
+    check_equivalence: bool = True
+    equivalence_checks: int = 2
+    equivalence_vectors: int = 24
+    baselines: tuple = ()            # e.g. ("wl_kernel", "spectral")
+    allow_untrained: bool = False
+    jobs: int = None
+
+    def __post_init__(self):
+        if self.level not in ("rtl", "netlist"):
+            raise EvalError(f"unknown evaluation level {self.level!r}")
+        self.families = tuple(self.families)
+        self.holdouts = tuple(self.holdouts)
+        if self.scenarios is not None:
+            self.scenarios = tuple(self.scenarios)
+        self.recall_ks = tuple(sorted(int(k) for k in self.recall_ks))
+        self.baselines = tuple(self.baselines)
+
+    def as_dict(self):
+        data = asdict(self)
+        data["scenarios"] = (list(self.scenarios)
+                             if self.scenarios is not None else None)
+        for key in ("families", "holdouts", "recall_ks", "baselines"):
+            data[key] = list(data[key])
+        return data
+
+
+def train_eval_model(config, verbose=False):
+    """Train a detection model on the evaluation families.
+
+    Returns a :class:`~repro.core.gnn4ip.GNN4IP` at ``config.level``;
+    with ``epochs=0`` the untrained model is returned only behind the
+    explicit ``allow_untrained`` opt-in (scores are noise otherwise).
+    """
+    if config.epochs <= 0 and not config.allow_untrained:
+        raise EvalError("epochs=0 means an untrained model; opt in with "
+                        "allow_untrained=True (or pass a trained model)")
+    model = GNN4IP(seed=config.seed, featurizer=config.level)
+    if config.epochs <= 0:
+        return model
+    if config.level == "netlist":
+        records = netlist_ir_records(
+            families=list(config.families),
+            instances_per_design=config.train_instances, seed=config.seed)
+    else:
+        records = rtl_records(
+            families=list(config.families),
+            instances_per_design=config.train_instances, seed=config.seed)
+    dataset = build_pair_dataset(records, seed=config.seed)
+    Trainer(model, seed=config.seed).fit(dataset, epochs=config.epochs,
+                                         verbose=verbose)
+    return model
+
+
+def build_eval_corpus(workdir, config, detector):
+    """Materialize the IP library under ``workdir`` and index it.
+
+    RTL-level corpora are the rewritten RTL instances
+    (:func:`~repro.designs.corpus.materialize_corpus`); netlist-level
+    corpora are synthesized-plus-obfuscated structural netlists
+    (:func:`~repro.designs.corpus.materialize_netlist_corpus`).
+
+    Returns:
+        (corpus, build_report)
+    """
+    workdir = Path(workdir)
+    if config.level == "netlist":
+        paths = materialize_netlist_corpus(
+            workdir / "corpus", families=list(config.families),
+            instances_per_design=config.corpus_instances, seed=config.seed)
+    else:
+        paths = materialize_corpus(
+            workdir / "corpus", families=list(config.families),
+            instances_per_design=config.corpus_instances, seed=config.seed)
+    return ApiCorpus.build(workdir / "index", paths, detector,
+                           IndexConfig(level=config.level,
+                                       jobs=config.jobs))
+
+
+def scenario_suite(config, families=None):
+    """Generate the full suspect list for a config (no scoring).
+
+    Args:
+        families: restrict to these corpus families (default:
+            ``config.families``).  Offsets into the corpus seeding
+            scheme always come from ``config.families``' original
+            positions, so a filtered subset still regenerates exactly
+            the design instances the corpus indexed.
+    """
+    families = tuple(families if families is not None
+                     else config.families)
+    configured = list(config.families)
+    offsets = {name: configured.index(name) for name in families
+               if name in configured}
+    offsets.update({name: len(configured) + i
+                    for i, name in enumerate(config.holdouts)})
+    # Families outside the configured list (direct callers) go after.
+    for name in families:
+        offsets.setdefault(name, len(configured) + len(config.holdouts)
+                           + len(offsets))
+    ctx = ScenarioContext(
+        families=families,
+        holdouts=config.holdouts, seed=config.seed,
+        suspects_per_design=config.suspects_per_design,
+        theft_fraction=config.theft_fraction,
+        check_equivalence=config.check_equivalence,
+        equivalence_checks=config.equivalence_checks,
+        equivalence_vectors=config.equivalence_vectors,
+        corpus_scheme=config.level,
+        offsets=offsets)
+    return generate_scenarios(ctx, config.scenarios)
+
+
+# -- metric assembly ----------------------------------------------------------
+def _truth_rank(result, true_design):
+    """1-based rank of the first hit for the true design, or ``None``."""
+    for rank, match in enumerate(result, 1):
+        if match.design == true_design:
+            return rank
+    return None
+
+
+def _recall_at_k(rows, ks):
+    """{str(k): fraction of pirated rows whose truth ranked <= k}."""
+    pirated = [row for row in rows if row["pirated"]]
+    if not pirated:
+        return {str(k): None for k in ks}
+    return {str(k): sum(1 for row in pirated
+                        if row["rank"] is not None and row["rank"] <= k)
+            / len(pirated)
+            for k in ks}
+
+
+def _scenario_metrics(name, rows, negative_scores, delta, ks):
+    """Metric block for one scenario's result rows."""
+    scores = [row["score"] for row in rows]
+    pirated = [row for row in rows if row["pirated"]]
+    metrics = {
+        "description": SCENARIOS[name].description,
+        "semantics_preserving": SCENARIOS[name].semantics_preserving,
+        "suspects": len(rows),
+        "pirated": len(pirated),
+        "recall_at_k": _recall_at_k(rows, ks),
+        "mean_top1_score": (sum(scores) / len(scores) if scores else None),
+        "suspect_results": [
+            {"name": row["name"], "true_design": row["true_design"],
+             "pirated": row["pirated"], "rank": row["rank"],
+             "top1_score": row["score"], "top1_design": row["top1_design"],
+             "provenance": row["provenance"]}
+            for row in rows],
+    }
+    if pirated:
+        metrics["detection_rate"] = (
+            sum(1 for row in pirated if row["score"] > delta) / len(pirated))
+        metrics["identification_rate"] = (
+            sum(1 for row in pirated if row["rank"] == 1) / len(pirated))
+        # AUC of this scenario's positives against the shared negatives.
+        metrics["auc"] = roc_auc(
+            [row["score"] for row in pirated] + negative_scores,
+            [1] * len(pirated) + [0] * len(negative_scores))
+    else:
+        metrics["false_alarm_rate"] = (
+            sum(1 for row in rows if row["score"] > delta) / len(rows)
+            if rows else None)
+    checks = [row["provenance"].get("equivalence") for row in rows]
+    checks = [c for c in checks if c]
+    if checks:
+        metrics["equivalence"] = {
+            "checked": len(checks),
+            "passed": sum(1 for c in checks if c["equivalent"]),
+            "vectors": checks[0]["vectors"],
+        }
+    return metrics
+
+
+def _baseline_metrics(name, suspects, rows, corpus_graphs, delta, ks):
+    """Score one classical baseline over the same suspects and corpus.
+
+    The baseline ranks every corpus graph per suspect with its own
+    similarity; failures (missing optional deps) are reported, not
+    raised.
+    """
+    try:
+        if name == "wl_kernel":
+            from repro.baselines.wl_kernel import wl_similarity as similarity
+        elif name == "spectral":
+            from repro.baselines.spectral import (
+                spectral_similarity as similarity,
+            )
+        else:
+            raise EvalError(f"unknown baseline {name!r}; "
+                            f"known: wl_kernel, spectral")
+    except ImportError as exc:
+        return {"error": f"unavailable ({exc})"}
+    out_rows = []
+    for suspect, row in zip(suspects, rows):
+        scored = sorted(
+            ((similarity(row["graph"], graph), design)
+             for design, graph in corpus_graphs),
+            key=lambda pair: -pair[0])
+        rank = None
+        for position, (_, design) in enumerate(scored, 1):
+            if design == suspect.true_design:
+                rank = position
+                break
+        out_rows.append({"score": scored[0][0] if scored else 0.0,
+                         "rank": rank, "pirated": suspect.pirated})
+    pirated = [row for row in out_rows if row["pirated"]]
+    return {
+        "recall_at_k": _recall_at_k(out_rows, ks),
+        "auc": roc_auc([row["score"] for row in out_rows],
+                       [row["pirated"] for row in out_rows]),
+        "identification_rate": (
+            sum(1 for row in pirated if row["rank"] == 1) / len(pirated)
+            if pirated else None),
+    }
+
+
+def evaluate_session(session, config=None):
+    """Score an existing session against the adversarial scenario suite.
+
+    The session's corpus decides which configured families are evaluable
+    (their top modules must appear among the indexed designs); suspects
+    are embedded in **one** batched query pass.
+
+    Returns:
+        :class:`~repro.eval.report.EvalReport`
+
+    Raises:
+        EvalError: no corpus bound, level mismatch, or no configured
+            family present in the corpus.
+    """
+    config = config if config is not None else EvalConfig()
+    if session.corpus is None:
+        raise EvalError("evaluation needs a session with a corpus bound")
+    if session.corpus.level != config.level:
+        raise EvalError(
+            f"config evaluates at level {config.level!r} but the corpus "
+            f"was built at {session.corpus.level!r}")
+    indexed = {entry["design"] for entry in session.corpus.entries
+               if entry["status"] == "ok"}
+    families = [name for name in config.families
+                if get_family(name).top in indexed]
+    if not families:
+        raise EvalError(
+            "none of the configured families appear in the corpus; "
+            "evaluation scenarios are generated from registered design "
+            "families (see repro.designs)")
+
+    generate_start = time.perf_counter()
+    suspects = scenario_suite(config, families=families)
+    generate_seconds = time.perf_counter() - generate_start
+
+    k_max = max(config.recall_ks)
+    query_start = time.perf_counter()
+    results = session.query([s.source for s in suspects], k=k_max,
+                            labels=[s.name for s in suspects])
+    query_seconds = time.perf_counter() - query_start
+
+    delta = session.delta
+    rows_by_scenario = {}
+    all_rows = []
+    for suspect, result in zip(suspects, results):
+        row = {
+            "name": suspect.name,
+            "scenario": suspect.scenario,
+            "true_design": suspect.true_design,
+            "pirated": suspect.pirated,
+            "score": (result[0].score if len(result) else -1.0),
+            "top1_design": (result[0].design if len(result) else None),
+            "rank": _truth_rank(result, suspect.true_design),
+            "provenance": suspect.provenance,
+        }
+        rows_by_scenario.setdefault(suspect.scenario, []).append(row)
+        all_rows.append(row)
+
+    negative_scores = [row["score"] for row in all_rows
+                       if not row["pirated"]]
+    scenarios = {
+        name: _scenario_metrics(name, rows, negative_scores, delta,
+                                config.recall_ks)
+        for name, rows in rows_by_scenario.items()}
+    overall = {
+        "suspects": len(all_rows),
+        "pirated": sum(1 for row in all_rows if row["pirated"]),
+        "recall_at_k": _recall_at_k(all_rows, config.recall_ks),
+        "confusion": confusion_from_scores(
+            [row["score"] for row in all_rows],
+            [row["pirated"] for row in all_rows], delta).as_dict(),
+        "auc": roc_auc([row["score"] for row in all_rows],
+                       [row["pirated"] for row in all_rows]),
+    }
+
+    baselines = {}
+    baseline_seconds = 0.0
+    if config.baselines:
+        baseline_start = time.perf_counter()
+        frontend = session.corpus.frontend()
+        corpus_graphs = []
+        for entry in session.corpus.entries:
+            if entry["status"] != "ok":
+                continue
+            graph = frontend.extract_file(entry["path"])
+            corpus_graphs.append((graph.name, graph))
+        for row, suspect in zip(all_rows, suspects):
+            row["graph"] = session.extract(suspect.source)
+        baselines = {
+            name: _baseline_metrics(name, suspects, all_rows,
+                                    corpus_graphs, delta, config.recall_ks)
+            for name in config.baselines}
+        baseline_seconds = time.perf_counter() - baseline_start
+
+    detector = session.bound_detector
+    model_info = {
+        "delta": delta,
+        "level": session.corpus.level,
+        "hash": session.corpus.model_hash,
+        # Whether the session's model was actually trained is unknowable
+        # here; run_evaluation (which trained or loaded it) overwrites
+        # this, and render_text only flags an explicit False.
+        "trained": None,
+    }
+    if detector is not None:
+        model_info["hash"] = detector.fingerprint_hash
+    corpus_info = {
+        "designs": len(indexed),
+        "entries": len(session.corpus),
+        "level": session.corpus.level,
+        "families": families,
+        "holdouts": list(config.holdouts),
+    }
+    return EvalReport(
+        config=config.as_dict(), corpus=corpus_info, model=model_info,
+        scenarios=scenarios, overall=overall, baselines=baselines,
+        timings={"generate_seconds": generate_seconds,
+                 "query_seconds": query_seconds,
+                 "baseline_seconds": baseline_seconds})
+
+
+def run_evaluation(config=None, workdir=None, model=None, verbose=False):
+    """The one-call evaluation: model + corpus + scenario suite + report.
+
+    Args:
+        config: an :class:`EvalConfig` (default: the small default
+            corpus configuration).
+        workdir: directory for the materialized corpus and index
+            (reused when it already holds a matching index); a
+            temporary directory when ``None``.
+        model: path to a trained ``.npz`` model; when ``None`` a model
+            is trained per ``config.epochs`` / ``config.seed``.
+        verbose: print per-epoch training progress.
+
+    Returns:
+        :class:`~repro.eval.report.EvalReport`
+    """
+    config = config if config is not None else EvalConfig()
+    timings = {}
+    if model is not None:
+        detector = Detector.load(model, level=config.level)
+        trained = True
+    else:
+        train_start = time.perf_counter()
+        detector = Detector.from_model(train_eval_model(config,
+                                                        verbose=verbose))
+        timings["train_seconds"] = time.perf_counter() - train_start
+        trained = config.epochs > 0
+
+    with tempfile.TemporaryDirectory(prefix="gnn4ip-eval-") as scratch:
+        build_start = time.perf_counter()
+        corpus, _ = build_eval_corpus(workdir if workdir is not None
+                                      else scratch, config, detector)
+        timings["build_seconds"] = time.perf_counter() - build_start
+        session = Session(detector=detector, corpus=corpus)
+        report = evaluate_session(session, config)
+    report.model["trained"] = trained
+    report.timings.update(timings)
+    return report

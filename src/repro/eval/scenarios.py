@@ -1,0 +1,430 @@
+"""Adversarial piracy scenarios: named, seeded attack pipelines.
+
+The paper's threat model (§II) is a thief who takes an IP from the
+defender's library and hides the theft before taping out: restyling the
+RTL, obfuscating the gate-level netlist, resynthesizing, or burying the
+stolen block inside a larger design of their own.  Each scenario here
+composes the repo's existing transforms (:mod:`repro.obfuscate`,
+:mod:`repro.synth`) into one such attack and emits
+:class:`Suspect` records — Verilog source plus ground truth plus
+provenance — that the evaluation runner pushes through one batched
+:meth:`~repro.api.facade.Session.query` pass.
+
+Every scenario is deterministic per ``(scenario, design, variant, seed)``:
+the same context always generates byte-identical suspects, which is what
+makes the golden-report regression test possible.  Scenarios marked
+``semantics_preserving`` are spot-checked with random-vector equivalence
+(:mod:`repro.sim.equivalence`) at generation time; ``partial_theft`` is
+intentionally lossy (only a fraction of the stolen logic survives) and is
+excluded from those checks.
+"""
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.designs.base import get_family
+from repro.designs.corpus import canonical_variant
+from repro.errors import EvalError
+from repro.netlist.cells import DFF
+from repro.netlist.netlist import CONST0, CONST1
+from repro.netlist.verilog_io import write_netlist
+from repro.obfuscate.rtl_variants import make_rtl_variant
+from repro.obfuscate.transforms import obfuscate
+from repro.sim.equivalence import check_netlists_equivalent
+from repro.synth.synthesize import synthesize_verilog
+
+
+@dataclass
+class Suspect:
+    """One attack instance handed to the detector.
+
+    Attributes:
+        name: unique suspect id (``scenario/design.variant``).
+        scenario: the generating scenario's name.
+        source: Verilog text (behavioral RTL or structural netlist —
+            both extraction frontends accept either).
+        true_design: top-module name of the stolen design (``None`` for
+            non-pirated suspects).
+        pirated: ground-truth label.
+        provenance: seeds, transform parameters, equivalence-check
+            outcome — everything needed to regenerate or audit the
+            suspect.
+    """
+
+    name: str
+    scenario: str
+    source: str
+    true_design: str
+    pirated: bool
+    provenance: dict = field(default_factory=dict)
+    #: Transient ``(base_netlist, suspect_netlist)`` pair used by the
+    #: generation-time equivalence spot check; never serialized.
+    check_pair: tuple = None
+
+    def as_dict(self):
+        """JSON-ready record (the source text is deliberately omitted)."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "true_design": self.true_design,
+            "pirated": bool(self.pirated),
+            "provenance": self.provenance,
+        }
+
+
+@dataclass
+class ScenarioContext:
+    """Everything a scenario needs to generate suspects deterministically.
+
+    ``families`` are the designs present in the corpus (the thief steals
+    these); ``holdouts`` are synthesizable families *not* in the corpus —
+    they provide the non-pirated negatives and the host designs that
+    stolen blocks are grafted into.
+    """
+
+    families: tuple
+    holdouts: tuple
+    seed: int = 0
+    suspects_per_design: int = 1
+    theft_fraction: float = 0.6
+    check_equivalence: bool = True
+    equivalence_checks: int = 2
+    equivalence_vectors: int = 24
+    #: Which corpus builder's seeding scheme the base designs follow:
+    #: ``netlist`` (``materialize_netlist_corpus`` / ``canonical_variant``)
+    #: or ``rtl`` (``materialize_corpus`` / ``generate_corpus`` instance 0).
+    corpus_scheme: str = "netlist"
+    #: Family -> position in the corpus builder's *original* family list.
+    #: Must be supplied when ``families`` is a filtered subset — offsets
+    #: derived from a shrunken list would regenerate different design
+    #: instances than the corpus indexed.
+    offsets: dict = None
+
+    def __post_init__(self):
+        self.families = tuple(self.families)
+        self.holdouts = tuple(self.holdouts)
+        if self.corpus_scheme not in ("netlist", "rtl"):
+            raise EvalError(f"unknown corpus scheme {self.corpus_scheme!r}")
+        overlap = set(self.families) & set(self.holdouts)
+        if overlap:
+            raise EvalError(f"holdout families must not be in the corpus: "
+                            f"{sorted(overlap)}")
+        if self.offsets is None:
+            self.offsets = {name: i for i, name in enumerate(self.families)}
+            self.offsets.update(
+                {name: len(self.families) + i
+                 for i, name in enumerate(self.holdouts)})
+        self._rtl = {}
+        self._netlists = {}
+
+    # -- deterministic seeds -------------------------------------------------
+    def suspect_seed(self, scenario, design, variant):
+        """A stable per-suspect seed, independent of generation order."""
+        tag = zlib.crc32(f"{scenario}:{design}".encode()) % 99991
+        return self.seed * 1000003 + tag * 101 + variant
+
+    # -- cached base designs -------------------------------------------------
+    def base_rtl(self, name):
+        """The RTL instance the corpus indexed as this family's instance 0
+        (per the corpus scheme's seeding), cached."""
+        if name not in self._rtl:
+            offset = self.offsets[name]
+            if self.corpus_scheme == "rtl":
+                # generate_corpus / materialize_corpus instance 0.
+                family = get_family(name)
+                self._rtl[name] = family.variants(
+                    1, seed=self.seed + 1000 * offset)[0]
+            else:
+                self._rtl[name] = canonical_variant(name, offset=offset,
+                                                    seed=self.seed)
+        return self._rtl[name]
+
+    def base_netlist(self, name):
+        """Synthesized netlist of :meth:`base_rtl` (cached)."""
+        if name not in self._netlists:
+            variant = self.base_rtl(name)
+            self._netlists[name] = synthesize_verilog(variant.verilog,
+                                                      top=variant.top)
+        return self._netlists[name]
+
+
+# -- partial-theft grafting ---------------------------------------------------
+def graft_netlists(host, stolen, fraction=1.0, seed=0, name=None):
+    """Splice a fraction of a stolen netlist's logic into a host design.
+
+    Models the paper's hardest piracy case: the thief embeds (part of)
+    the stolen block inside a larger design of their own.  The host is
+    kept fully intact; ``fraction`` of the stolen gates (a prefix of the
+    levelized order, flip-flops last) are copied in under fresh names,
+    their dangling inputs are driven by randomly chosen host nets, and
+    any surviving stolen primary output becomes an extra output of the
+    graft so the logic stays observable.
+
+    The graft is deliberately **not** equivalent to either parent — it is
+    a third design containing stolen logic.
+
+    Args:
+        host: the thief's own :class:`~repro.netlist.Netlist` (unchanged
+            ports; gains gates and outputs).
+        stolen: the victim netlist.
+        fraction: fraction of the stolen gates to keep, in ``(0, 1]``.
+        seed: drives the host-net hookup choices.
+        name: module name of the grafted design.
+
+    Returns:
+        A new validated :class:`~repro.netlist.Netlist`.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise EvalError(f"theft fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    out = host.copy(name if name is not None else f"{host.name}_graft")
+    prefix = "st_"
+    host_names = out.nets() | set(out.clocks)
+    while any(net.startswith(prefix) for net in host_names):
+        prefix = "s" + prefix
+
+    combinational = stolen.levelize()
+    flops = [g for g in stolen.gates if g.cell == DFF]
+    ordered = combinational + flops
+    keep = max(1, int(round(fraction * len(ordered))))
+    kept = ordered[:keep]
+    kept_outputs = {g.output for g in kept}
+
+    # Data nets the kept slice reads but does not drive are wired to the
+    # host; stolen clocks collapse onto the host clock (or a new input).
+    candidates = sorted(host_names - set(out.clocks))
+    clock = out.clocks[0] if out.clocks else None
+    mapping = {}
+
+    def mapped(net, is_clock=False):
+        nonlocal clock
+        if net in (CONST0, CONST1):
+            return net
+        if net in kept_outputs:
+            return prefix + net
+        if net not in mapping:
+            if is_clock or net in stolen.clocks:
+                if clock is None:
+                    clock = out.add_input(prefix + "clk")
+                mapping[net] = clock
+            else:
+                mapping[net] = candidates[int(rng.integers(0,
+                                                           len(candidates)))]
+        return mapping[net]
+
+    for gate in kept:
+        if gate.cell == DFF:
+            inputs = [mapped(gate.inputs[0]), mapped(gate.inputs[1],
+                                                     is_clock=True)]
+        else:
+            inputs = [mapped(net) for net in gate.inputs]
+        out.add_gate(gate.cell, prefix + gate.output, inputs,
+                     name=f"{prefix}g{len(out.gates)}")
+
+    exposed = [net for net in stolen.outputs if net in kept_outputs]
+    if not exposed:
+        exposed = [kept[-1].output]
+    for net in exposed:
+        out.add_output(prefix + net)
+    out.validate()
+    return out
+
+
+# -- scenario generators ------------------------------------------------------
+def _per_design(ctx, scenario):
+    """Yield ``(offset, design_name, variant_index, seed)`` tuples."""
+    for offset, name in enumerate(ctx.families):
+        for variant in range(ctx.suspects_per_design):
+            yield offset, name, variant, ctx.suspect_seed(scenario, name,
+                                                          variant)
+
+
+def _scenario_rtl_variant(ctx):
+    """RTL restyling: rename signals, shuffle items, swap commutative
+    operands — the second-engineer / code-laundering attack."""
+    for _, name, variant, seed in _per_design(ctx, "rtl_variant"):
+        base = ctx.base_rtl(name)
+        text = make_rtl_variant(base.verilog, seed=seed)
+        suspect_net = synthesize_verilog(text, top=base.top)
+        yield Suspect(
+            name=f"rtl_variant/{name}.{variant}",
+            scenario="rtl_variant", source=text,
+            true_design=base.top, pirated=True,
+            provenance={"seed": seed,
+                        "transforms": ["rename", "swap_commutative",
+                                       "shuffle"]},
+            check_pair=(ctx.base_netlist(name), suspect_net))
+
+
+def _scenario_obfuscate(strength):
+    def generate(ctx):
+        scenario = f"netlist_obfuscate_s{strength}"
+        for _, name, variant, seed in _per_design(ctx, scenario):
+            base = ctx.base_netlist(name)
+            net = obfuscate(base, seed=seed, strength=strength,
+                            name=f"{name}_s{strength}v{variant}")
+            yield Suspect(
+                name=f"{scenario}/{name}.{variant}",
+                scenario=scenario, source=write_netlist(net),
+                true_design=ctx.base_rtl(name).top, pirated=True,
+                provenance={"seed": seed, "strength": strength,
+                            "gates": net.num_gates,
+                            "base_gates": base.num_gates},
+                check_pair=(base, net))
+    return generate
+
+
+def _scenario_resynthesis(ctx):
+    """Cross-level attack: restyle the stolen RTL, then resynthesize it —
+    the suspect arrives as a gate-level netlist of an RTL theft."""
+    for _, name, variant, seed in _per_design(ctx, "resynthesis"):
+        base = ctx.base_rtl(name)
+        restyled = make_rtl_variant(base.verilog, seed=seed)
+        net = synthesize_verilog(restyled, top=base.top)
+        net.name = f"{name}_rs{variant}"
+        yield Suspect(
+            name=f"resynthesis/{name}.{variant}",
+            scenario="resynthesis", source=write_netlist(net),
+            true_design=base.top, pirated=True,
+            provenance={"seed": seed, "gates": net.num_gates},
+            check_pair=(ctx.base_netlist(name), net))
+
+
+def _scenario_partial_theft(ctx):
+    """Graft a stolen block into a host design from a holdout family."""
+    if not ctx.holdouts:
+        raise EvalError("partial_theft needs at least one holdout family "
+                        "to host the stolen logic")
+    for _, name, variant, seed in _per_design(ctx, "partial_theft"):
+        host_name = ctx.holdouts[(ctx.offsets[name] + variant)
+                                 % len(ctx.holdouts)]
+        graft = graft_netlists(ctx.base_netlist(host_name),
+                               ctx.base_netlist(name),
+                               fraction=ctx.theft_fraction, seed=seed,
+                               name=f"{host_name}_pt{variant}")
+        yield Suspect(
+            name=f"partial_theft/{name}.{variant}",
+            scenario="partial_theft", source=write_netlist(graft),
+            true_design=ctx.base_rtl(name).top, pirated=True,
+            provenance={"seed": seed, "host": host_name,
+                        "fraction": ctx.theft_fraction,
+                        "gates": graft.num_gates})
+
+
+def _scenario_unrelated(ctx):
+    """Negatives: designs from families the corpus has never seen, both
+    as restyled RTL and as obfuscated netlists."""
+    for offset, name in enumerate(ctx.holdouts):
+        base = ctx.base_rtl(name)
+        for variant in range(ctx.suspects_per_design):
+            seed = ctx.suspect_seed("unrelated", name, variant)
+            yield Suspect(
+                name=f"unrelated/{name}.rtl{variant}",
+                scenario="unrelated",
+                source=make_rtl_variant(base.verilog, seed=seed),
+                true_design=None, pirated=False,
+                provenance={"seed": seed, "form": "rtl"})
+            net = obfuscate(ctx.base_netlist(name), seed=seed + 1,
+                            strength=2, name=f"{name}_u{variant}")
+            yield Suspect(
+                name=f"unrelated/{name}.net{variant}",
+                scenario="unrelated", source=write_netlist(net),
+                true_design=None, pirated=False,
+                provenance={"seed": seed + 1, "form": "netlist"})
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named attack pipeline in the registry."""
+
+    name: str
+    generate: object
+    pirated: bool
+    semantics_preserving: bool
+    description: str
+
+
+#: The registry, in report order.  ``semantics_preserving`` scenarios are
+#: spot-checked with random-vector equivalence at generation time;
+#: ``partial_theft`` is intentionally lossy and therefore excluded.
+SCENARIOS = {spec.name: spec for spec in (
+    ScenarioSpec("rtl_variant", _scenario_rtl_variant, True, True,
+                 "RTL restyling: rename / reorder / operand swaps"),
+    ScenarioSpec("netlist_obfuscate_s1", _scenario_obfuscate(1), True, True,
+                 "netlist obfuscation, strength 1"),
+    ScenarioSpec("netlist_obfuscate_s2", _scenario_obfuscate(2), True, True,
+                 "netlist obfuscation, strength 2"),
+    ScenarioSpec("netlist_obfuscate_s3", _scenario_obfuscate(3), True, True,
+                 "netlist obfuscation, strength 3"),
+    ScenarioSpec("resynthesis", _scenario_resynthesis, True, True,
+                 "RTL restyle, then resynthesize to a netlist"),
+    ScenarioSpec("partial_theft", _scenario_partial_theft, True, False,
+                 "stolen block grafted into a holdout host design"),
+    ScenarioSpec("unrelated", _scenario_unrelated, False, False,
+                 "designs from families the corpus has never seen"),
+)}
+
+
+def scenario_names():
+    """All registered scenario names, in report order."""
+    return list(SCENARIOS)
+
+
+def _spot_check(ctx, suspects):
+    """Equivalence-check the first few suspects of a preserving scenario.
+
+    Records the outcome on each checked suspect's provenance as
+    ``{"vectors": n, "equivalent": bool}`` (plus the counterexample on a
+    failure); unchecked suspects carry ``None``.
+    """
+    checked = 0
+    for suspect in suspects:
+        if suspect.check_pair is None or checked >= ctx.equivalence_checks:
+            suspect.provenance.setdefault("equivalence", None)
+            continue
+        base, transformed = suspect.check_pair
+        report = check_netlists_equivalent(base, transformed,
+                                           vectors=ctx.equivalence_vectors,
+                                           seed=ctx.suspect_seed(
+                                               "equivalence",
+                                               suspect.name, 0) % (2 ** 31))
+        outcome = {"vectors": report.vectors,
+                   "equivalent": bool(report.equivalent)}
+        if not report.equivalent:
+            outcome["counterexample"] = repr(report.counterexample)
+        suspect.provenance["equivalence"] = outcome
+        checked += 1
+
+
+def generate_scenarios(ctx, names=None):
+    """Generate every suspect for the requested scenarios.
+
+    Args:
+        ctx: a :class:`ScenarioContext`.
+        names: scenario subset (default: all registered, in order).
+
+    Returns:
+        list of :class:`Suspect`, grouped by scenario in registry order.
+        Deterministic: the same context and names always produce the
+        same suspects, byte for byte.
+    """
+    if names is None:
+        names = scenario_names()
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise EvalError(f"unknown scenarios {unknown}; "
+                        f"known: {scenario_names()}")
+    suspects = []
+    for name in scenario_names():
+        if name not in names:
+            continue
+        spec = SCENARIOS[name]
+        generated = list(spec.generate(ctx))
+        if ctx.check_equivalence and spec.semantics_preserving:
+            _spot_check(ctx, generated)
+        for suspect in generated:
+            suspect.check_pair = None  # drop netlists; keep records light
+        suspects.extend(generated)
+    return suspects

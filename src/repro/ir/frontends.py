@@ -128,7 +128,9 @@ class NetlistFrontend(_Frontend):
         return netlist_to_ir(synthesize(module))
 
     def options_fingerprint(self):
-        return f"level={self.level}"
+        from repro.synth.synthesize import SYNTH_VERSION
+
+        return f"level={self.level}:synth-v{SYNTH_VERSION}"
 
 
 def get_frontend(level, do_trim=True, featurizer=None):

@@ -180,12 +180,30 @@ class NetlistBuilder:
         self.netlist = Netlist(name)
         self._prefix = prefix
         self._counter = 0
+        self._reserved = set()
+
+    def reserve(self, names):
+        """Mark net names as taken so :meth:`net` never hands them out.
+
+        The synthesizer reserves every declared signal (and its blasted
+        ``name_i`` bits) up front: structural sources may already contain
+        wires named like the builder's fresh nets (``xor_0``, ``and_3``
+        ...), e.g. when re-synthesizing a netlist this builder produced.
+        """
+        self._reserved.update(names)
+
+    def is_reserved(self, name):
+        """Whether ``name`` was reserved (i.e. is a declared signal)."""
+        return name in self._reserved
 
     def net(self, hint=None):
         """A fresh unique net name."""
         base = hint if hint else self._prefix
         name = f"{base}_{self._counter}"
         self._counter += 1
+        while name in self._reserved:
+            name = f"{base}_{self._counter}"
+            self._counter += 1
         return name
 
     def inputs(self, *names):

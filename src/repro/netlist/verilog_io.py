@@ -1,9 +1,12 @@
 """Structural-Verilog writer/reader for gate-level netlists.
 
-The writer emits one flat module using gate primitives; ``mux`` and ``dff``
-cells become instances of library modules (``MUX2``, ``DFF_POS``) whose
-definitions are appended, so the emitted file is self-contained and flows
-straight through the DFG pipeline.
+The writer emits one flat module using gate primitives; ``mux`` cells
+become ternary assigns (which the synthesizer lowers straight back to a
+mux cell) and ``dff`` cells become instances of a ``DFF_POS`` library
+module whose definition is appended, so the emitted file is
+self-contained, flows straight through the DFG pipeline, and
+re-synthesizes gate-for-gate.  The reader also accepts the retired
+``MUX2`` library-instance form older files used for mux cells.
 """
 
 from repro.errors import NetlistError
@@ -11,20 +14,6 @@ from repro.netlist.cells import DFF, PRIMITIVE_GATES
 from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
 from repro.verilog import ast_nodes as ast
 from repro.verilog.parser import parse
-
-_MUX_MODULE = """module MUX2(input d0, input d1, input sel, output y);
-  wire nsel, t0, t1;
-  not (nsel, sel);
-  and (t0, d0, nsel);
-  and (t1, d1, sel);
-  or (y, t0, t1);
-endmodule"""
-
-_DFF_MODULE = """module DFF_POS(input d, input clk, output reg q);
-  always @(posedge clk)
-    q <= d;
-endmodule"""
-
 
 def _net_text(net):
     if net == CONST0:
@@ -40,37 +29,45 @@ def write_netlist(netlist):
     ports += [f"output {name}" for name in netlist.outputs]
     lines = [f"module {netlist.name} ({', '.join(ports)});"]
     io_nets = set(netlist.inputs) | set(netlist.outputs)
+    flop_outputs = [g.output for g in netlist.gates if g.cell == DFF]
     internal = sorted(netlist.nets() - io_nets)
+    registered = set(flop_outputs)
     for net in internal:
-        lines.append(f"  wire {net};")
-    uses_mux = False
-    uses_dff = False
+        if net not in registered:
+            lines.append(f"  wire {net};")
+    for net in flop_outputs:
+        lines.append(f"  reg {net};")
+    flops_by_clock = {}
     for gate in netlist.gates:
         if gate.cell in PRIMITIVE_GATES:
             args = ", ".join([_net_text(gate.output)]
                              + [_net_text(n) for n in gate.inputs])
             lines.append(f"  {gate.cell} {gate.name} ({args});")
         elif gate.cell == "mux":
-            uses_mux = True
+            # A ternary assign, not a library-module instance: the
+            # synthesizer lowers ternaries back to a single mux cell, so
+            # write -> parse -> synthesize round-trips gate-for-gate (a
+            # mux library module would be flattened into and/or/not
+            # gates and round-tripped graphs would stop matching fresh
+            # ones).
             d0, d1, sel = (_net_text(n) for n in gate.inputs)
-            lines.append(
-                f"  MUX2 {gate.name} (.d0({d0}), .d1({d1}), .sel({sel}), "
-                f".y({_net_text(gate.output)}));")
+            lines.append(f"  assign {_net_text(gate.output)} = "
+                         f"{sel} ? {d1} : {d0};")
         elif gate.cell == DFF:
-            uses_dff = True
-            d, clk = (_net_text(n) for n in gate.inputs)
-            lines.append(
-                f"  DFF_POS {gate.name} (.d({d}), .clk({clk}), "
-                f".q({_net_text(gate.output)}));")
+            # Collected into one native always block per clock: module
+            # instances would be flattened with port-glue buffers on
+            # re-synthesis, inflating round-tripped graphs.
+            flops_by_clock.setdefault(gate.inputs[1], []).append(gate)
         else:
             raise NetlistError(f"cannot write cell {gate.cell!r}")
+    for clock in sorted(flops_by_clock):
+        lines.append(f"  always @(posedge {clock}) begin")
+        for gate in flops_by_clock[clock]:
+            lines.append(f"    {_net_text(gate.output)} <= "
+                         f"{_net_text(gate.inputs[0])};")
+        lines.append("  end")
     lines.append("endmodule")
-    text = "\n".join(lines)
-    if uses_mux:
-        text += "\n\n" + _MUX_MODULE
-    if uses_dff:
-        text += "\n\n" + _DFF_MODULE
-    return text + "\n"
+    return "\n".join(lines) + "\n"
 
 
 def _expr_net(expr):
@@ -113,7 +110,34 @@ def read_netlist(text, name=None):
     for item in module.items:
         if isinstance(item, ast.NetDecl):
             continue
-        if isinstance(item, ast.GateInstance):
+        if isinstance(item, ast.Assign):
+            # The writer's mux form: ``assign y = sel ? d1 : d0;``.
+            if not isinstance(item.rhs, ast.Ternary):
+                raise NetlistError(
+                    f"netlist reader expects only ternary assigns, "
+                    f"got {item.rhs}")
+            netlist.add_gate("mux", _expr_net(item.lhs),
+                             [_expr_net(item.rhs.false_value),
+                              _expr_net(item.rhs.true_value),
+                              _expr_net(item.rhs.cond)])
+        elif isinstance(item, ast.Always):
+            # The writer's flop form: one always block per clock of
+            # plain ``q <= d;`` nonblocking assigns.
+            if (len(item.sens_list) != 1
+                    or item.sens_list[0].edge != "posedge"):
+                raise NetlistError("netlist reader expects a single "
+                                   "posedge clock per always block")
+            clock = _expr_net(item.sens_list[0].signal)
+            statements = (item.statement.statements
+                          if isinstance(item.statement, ast.Block)
+                          else [item.statement])
+            for statement in statements:
+                if not isinstance(statement, ast.NonblockingAssign):
+                    raise NetlistError("netlist reader expects only "
+                                       "nonblocking flop assigns")
+                netlist.add_gate(DFF, _expr_net(statement.lhs),
+                                 [_expr_net(statement.rhs), clock])
+        elif isinstance(item, ast.GateInstance):
             output = _expr_net(item.args[0])
             inputs = [_expr_net(a) for a in item.args[1:]]
             netlist.add_gate(item.gate, output, inputs, name=item.name)

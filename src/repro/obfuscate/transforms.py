@@ -44,14 +44,25 @@ def rename_wires(netlist, rng):
     return out
 
 
+def _wirable_inputs(netlist):
+    """(gate_index, pin_index) pairs safe to rewire through extra logic.
+
+    Constants stay put, and DFF clock pins are off limits: a real
+    obfuscator never routes the clock tree through logic, and doing so
+    here would turn an internal net into a clock on re-synthesis.
+    """
+    return [(gi, pi)
+            for gi, gate in enumerate(netlist.gates)
+            for pi, net in enumerate(gate.inputs)
+            if net not in _PROTECTED
+            and not (gate.cell == DFF and pi == 1)]
+
+
 def insert_inverter_pairs(netlist, rng, fraction=0.3):
     """Route random gate inputs through double inverters."""
     out = netlist.copy()
     used = out.nets() | _PROTECTED
-    candidates = [(gi, pi)
-                  for gi, gate in enumerate(out.gates)
-                  for pi, net in enumerate(gate.inputs)
-                  if net not in _PROTECTED]
+    candidates = _wirable_inputs(out)
     if not candidates:
         return out
     count = max(1, int(len(candidates) * fraction))
@@ -75,10 +86,7 @@ def insert_buffer_chains(netlist, rng, fraction=0.2, max_length=3):
     """Insert buffer chains on random gate input connections."""
     out = netlist.copy()
     used = out.nets() | _PROTECTED
-    candidates = [(gi, pi)
-                  for gi, gate in enumerate(out.gates)
-                  for pi, net in enumerate(gate.inputs)
-                  if net not in _PROTECTED]
+    candidates = _wirable_inputs(out)
     if not candidates:
         return out
     count = max(1, int(len(candidates) * fraction))

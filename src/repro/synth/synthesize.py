@@ -16,9 +16,16 @@ the graphs are large relative to their RTL source.
 
 from repro.errors import SynthesisError
 from repro.dataflow.consteval import try_evaluate_const
-from repro.netlist.netlist import CONST0, NetlistBuilder
+from repro.netlist.netlist import CONST0, CONST1, NetlistBuilder
 from repro.synth.bitblast import BitLowering, const_bits, fit
 from repro.verilog import ast_nodes as ast
+
+#: Bumped when the synthesizer's *output structure* changes for the same
+#: source (folded into the netlist frontend's options fingerprint, so
+#: content-addressed caches and index keys can never reuse graphs from an
+#: older lowering).  v2: structural gate instances drive their output
+#: nets directly instead of through a per-gate buffer.
+SYNTH_VERSION = 2
 
 _MAX_UNROLL = 4096
 
@@ -89,6 +96,15 @@ class Synthesizer:
                 width = self._width_of_decl(item.width)
                 for name in item.names:
                     self._widths.setdefault(name, width)
+        # Fresh intermediate nets must never collide with declared
+        # signals: a structural source can legitimately contain wires
+        # named like the builder's fresh-net scheme (``xor_0`` ...),
+        # e.g. when a netlist this synthesizer emitted is re-synthesized.
+        for name, width in self._widths.items():
+            if width == 1:
+                self._builder.reserve((name,))
+            else:
+                self._builder.reserve(f"{name}_{i}" for i in range(width))
 
     def _signal_bits(self, name):
         width = self._widths.get(name)
@@ -104,11 +120,31 @@ class Synthesizer:
             self._builder.buf_(bit, out=net)
 
     # -- module items ----------------------------------------------------
+    def _adopt_output(self, bit, target):
+        """Try to rename a just-created gate's output onto ``target``.
+
+        Succeeds only when ``bit`` is the expression's freshly allocated
+        root net — the output of the last gate added and not a declared
+        signal — so no other reader can exist.  The gate then drives the
+        assign target directly instead of through a buffer, keeping
+        write -> parse -> synthesize round-trips gate-for-gate.
+        """
+        gates = self._builder.netlist.gates
+        if not gates or gates[-1].output != bit:
+            return False
+        if bit in (CONST0, CONST1) or self._builder.is_reserved(bit):
+            return False
+        gates[-1].output = target
+        return True
+
     def _synth_assign(self, item):
         env = {}
         lhs_nets, width = self._lhs_nets(item.lhs, env)
-        bits = self._eval(item.rhs, env, width_hint=width)
-        self._drive(lhs_nets, fit(bits, width))
+        bits = fit(self._eval(item.rhs, env, width_hint=width), width)
+        if len(lhs_nets) == 1 and len(bits) == 1 \
+                and self._adopt_output(bits[0], lhs_nets[0]):
+            return
+        self._drive(lhs_nets, bits)
 
     def _synth_gate(self, item):
         inputs = []
@@ -117,12 +153,19 @@ class Synthesizer:
             inputs.append(self._logic.logic_value(bits))
         lhs_nets, _ = self._lhs_nets(item.args[0], {})
         gate = item.gate
-        if gate == "not":
-            value = self._logic.bit_not(inputs[0])
-        elif gate == "buf":
-            value = inputs[0]
-        else:
-            value = self._builder.gate(gate, inputs)
+        if gate == "buf":
+            self._drive(lhs_nets, [inputs[0]])
+            return
+        if len(lhs_nets) == 1:
+            # A structural gate instance drives its output net directly.
+            # Routing it through _drive would add a buffer per gate, so
+            # re-synthesizing a netlist (the evaluation harness's
+            # round-trip treatment) would inflate it ~2x and the graph
+            # would stop resembling a freshly synthesized one.
+            self._builder.gate(gate, inputs, output=lhs_nets[0])
+            return
+        value = (self._logic.bit_not(inputs[0]) if gate == "not"
+                 else self._builder.gate(gate, inputs))
         self._drive(lhs_nets, [value])
 
     def _synth_always(self, item):

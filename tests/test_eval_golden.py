@@ -1,0 +1,65 @@
+"""Golden-file regression test for the evaluation report.
+
+``tests/data/eval_report_golden.json`` is the full report (minus the
+wall-clock ``timings`` section) of a tiny, fully seeded evaluation run
+with an untrained model.  The runner must reproduce it **field for
+field**: any metric drift — a transform emitting different structure, a
+featurizer change, a scoring change, a serialization change — shows up
+as a reviewable diff against the fixture instead of silently shifting
+the numbers.
+
+When a change is *intentional*, regenerate the fixture and commit the
+diff alongside the change::
+
+    PYTHONPATH=src python tests/test_eval_golden.py regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.eval import EvalConfig, run_evaluation
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "eval_report_golden.json"
+
+#: The fixture's exact configuration — fully seeded, untrained (model
+#: weights come from the seed alone), single-process extraction.
+GOLDEN_CONFIG = dict(
+    families=("adder8", "cmp8"), holdouts=("satadd8",),
+    corpus_instances=2, suspects_per_design=1,
+    epochs=0, allow_untrained=True,
+    equivalence_checks=1, equivalence_vectors=8,
+    seed=1, jobs=1)
+
+
+def current_report_dict():
+    report = run_evaluation(EvalConfig(**GOLDEN_CONFIG))
+    data = report.as_dict()
+    data.pop("timings")  # the one legitimately non-deterministic section
+    return data
+
+
+def test_report_matches_golden_field_for_field():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = current_report_dict()
+    assert current == golden, (
+        "evaluation report drifted from tests/data/eval_report_golden.json"
+        " — if the change is intentional, regenerate with:\n"
+        "  PYTHONPATH=src python tests/test_eval_golden.py regenerate")
+
+
+def test_golden_serialization_is_canonical():
+    """The checked-in fixture is byte-stable under its own dump rules."""
+    golden_text = GOLDEN_PATH.read_text()
+    reserialized = json.dumps(json.loads(golden_text), indent=1,
+                              sort_keys=True) + "\n"
+    assert golden_text == reserialized
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "regenerate":
+        GOLDEN_PATH.write_text(json.dumps(current_report_dict(), indent=1,
+                                          sort_keys=True) + "\n")
+        print(f"regenerated {GOLDEN_PATH}")
+    else:
+        print(__doc__)

@@ -1,0 +1,160 @@
+"""Property tests for the obfuscation transforms (ISSUE 5 hardening).
+
+Two properties back the whole evaluation harness:
+
+1. **Semantics preservation** — every registered transform, and the
+   composed :func:`~repro.obfuscate.transforms.obfuscate` pipeline, must
+   keep the netlist functionally equivalent across multiple seeds, on
+   combinational *and* sequential designs.  (All registered transforms
+   are semantics-preserving; an intentionally lossy transform would be
+   excluded from ``SEMANTICS_PRESERVING`` scenario pipelines and marked
+   in its docstring.)
+2. **Per-seed determinism** — ``obfuscate(netlist, seed=s)`` must return
+   a byte-identical netlist every time for the same seed: the corpus
+   builders, the scenario generator, and the golden-report test all rely
+   on it.
+
+Plus the structural properties the evaluation's round-trip treatment
+needs: transforms never touch a flip-flop's clock pin, and obfuscated
+netlists survive write -> parse -> synthesize unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.cells import DFF
+from repro.netlist.verilog_io import write_netlist
+from repro.obfuscate import TRANSFORMS, obfuscate
+from repro.sim import check_netlists_equivalent
+from repro.synth import synthesize_verilog
+
+COMB_SOURCE = """
+module comb(input [3:0] a, input [3:0] b, input sel,
+            output [4:0] y, output p);
+  wire [3:0] m;
+  assign m = sel ? (a ^ b) : (a & b);
+  assign y = {1'b0, m} + {1'b0, b};
+  assign p = ^a;
+endmodule
+"""
+
+SEQ_SOURCE = """
+module seq(input clk, input rst, input en, input d, output reg [3:0] q,
+           output any);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (en) q <= {q[2:0], d ^ q[3]};
+  end
+  assign any = |q;
+endmodule
+"""
+
+SEEDS = (11, 12, 13)
+
+
+@pytest.fixture(scope="module")
+def comb_netlist():
+    return synthesize_verilog(COMB_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def seq_netlist():
+    return synthesize_verilog(SEQ_SOURCE)
+
+
+def netlist_signature(netlist):
+    """A byte-precise structural identity for determinism checks."""
+    return (netlist.name, tuple(netlist.inputs), tuple(netlist.outputs),
+            tuple(netlist.clocks),
+            tuple((g.cell, g.name, g.output, tuple(g.inputs))
+                  for g in netlist.gates))
+
+
+class TestSemanticsPreserved:
+    """Round-trip property: transform(netlist) === netlist, >= 3 seeds."""
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transform_combinational(self, comb_netlist, name, seed):
+        transformed = TRANSFORMS[name](comb_netlist.copy(),
+                                       np.random.default_rng(seed))
+        transformed.validate()
+        report = check_netlists_equivalent(comb_netlist, transformed,
+                                           vectors=32, seed=seed)
+        assert report.equivalent, \
+            f"{name} seed={seed}: {report.counterexample}"
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transform_sequential(self, seq_netlist, name, seed):
+        transformed = TRANSFORMS[name](seq_netlist.copy(),
+                                       np.random.default_rng(seed))
+        transformed.validate()
+        report = check_netlists_equivalent(seq_netlist, transformed,
+                                           vectors=10, seed=seed)
+        assert report.equivalent, \
+            f"{name} seed={seed}: {report.counterexample}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("strength", (1, 2, 3))
+    def test_pipeline_sequential(self, seq_netlist, seed, strength):
+        transformed = obfuscate(seq_netlist, seed=seed, strength=strength)
+        report = check_netlists_equivalent(seq_netlist, transformed,
+                                           vectors=10, seed=seed)
+        assert report.equivalent, f"strength={strength} seed={seed}"
+
+
+class TestDeterminism:
+    """Same seed -> byte-identical netlist, different seed -> different."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_obfuscate_deterministic_per_seed(self, comb_netlist, seed):
+        first = obfuscate(comb_netlist, seed=seed, strength=3)
+        second = obfuscate(comb_netlist, seed=seed, strength=3)
+        assert netlist_signature(first) == netlist_signature(second)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_obfuscate_deterministic_sequential(self, seq_netlist, seed):
+        first = obfuscate(seq_netlist, seed=seed, strength=2)
+        second = obfuscate(seq_netlist, seed=seed, strength=2)
+        assert netlist_signature(first) == netlist_signature(second)
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_each_transform_deterministic(self, comb_netlist, name):
+        first = TRANSFORMS[name](comb_netlist.copy(),
+                                 np.random.default_rng(5))
+        second = TRANSFORMS[name](comb_netlist.copy(),
+                                  np.random.default_rng(5))
+        assert netlist_signature(first) == netlist_signature(second)
+
+    def test_different_seeds_differ(self, comb_netlist):
+        signatures = {netlist_signature(obfuscate(comb_netlist, seed=s,
+                                                  strength=2))
+                      for s in SEEDS}
+        assert len(signatures) == len(SEEDS)
+
+
+class TestStructuralProperties:
+    """Invariants the evaluation round-trip treatment relies on."""
+
+    @pytest.mark.parametrize("name", sorted(TRANSFORMS))
+    def test_clock_pins_untouched(self, seq_netlist, name):
+        """No transform may route a flip-flop clock through logic."""
+        transformed = TRANSFORMS[name](seq_netlist.copy(),
+                                       np.random.default_rng(3))
+        clocks = set(transformed.clocks)
+        driven = {g.output for g in transformed.gates}
+        for gate in transformed.gates:
+            if gate.cell == DFF:
+                assert gate.inputs[1] in clocks
+                assert gate.inputs[1] not in driven
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_obfuscated_netlist_resynthesizes_equivalent(self, seq_netlist,
+                                                         seed):
+        """write -> parse -> synthesize keeps the obfuscated behaviour."""
+        transformed = obfuscate(seq_netlist, seed=seed, strength=2)
+        resynthesized = synthesize_verilog(write_netlist(transformed))
+        report = check_netlists_equivalent(transformed, resynthesized,
+                                           vectors=10, seed=seed)
+        assert report.equivalent

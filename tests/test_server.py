@@ -41,6 +41,18 @@ def session(tmp_path_factory):
     return Session(detector=detector, corpus=corpus)
 
 
+@pytest.fixture(scope="module")
+def netlist_session(tmp_path_factory):
+    root = tmp_path_factory.mktemp("served_netlist_corpus")
+    (root / "adder.v").write_text(ADDER)
+    (root / "mux.v").write_text(MUX)
+    detector = Detector.from_model(GNN4IP(seed=0, featurizer="netlist"))
+    corpus, _ = Corpus.build(tmp_path_factory.mktemp("srvn") / "idx",
+                             sorted(root.glob("*.v")), detector,
+                             IndexConfig(level="netlist", jobs=1))
+    return Session(detector=detector, corpus=corpus)
+
+
 def serve(session, scenario, **server_kwargs):
     """Run ``scenario(server, async_client)`` against a live server."""
     server_kwargs.setdefault("batch_window_s", 0.005)
@@ -257,6 +269,68 @@ class TestErrorEnvelopes:
                 "IndexStoreError")
 
         serve(session, scenario)
+
+    def test_oversized_payload_413(self, session):
+        """A Content-Length beyond the body cap is refused up front
+        (no buffering of the body) with the 413 envelope."""
+        from repro.server.http import MAX_BODY_BYTES
+
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            writer.write(b"POST /v1/query HTTP/1.1\r\n"
+                         b"Host: x\r\n"
+                         b"Content-Length: %d\r\n"
+                         b"Connection: close\r\n\r\n"
+                         % (MAX_BODY_BYTES + 1))
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b"413" in raw.split(b"\r\n", 1)[0]
+            envelope = json.loads(raw.partition(b"\r\n\r\n")[2])
+            assert envelope["error"]["status"] == 413
+            assert "too large" in envelope["error"]["message"]
+
+        serve(session, scenario)
+
+    def test_unknown_v1_route_404(self, session):
+        """An unknown path under the /v1/ prefix is a 404 envelope,
+        not a 405 (it matches no known endpoint at all)."""
+        async def scenario(server, client):
+            error = await expect_error(
+                client.request("POST", "/v1/evaluate", {}), 404)
+            assert "no route" in str(error)
+
+        serve(session, scenario)
+
+    def test_level_mismatched_suspect_400(self, netlist_session):
+        """Source a netlist-level corpus cannot synthesize (non-constant
+        part-select) is that request's 400, never a 500."""
+        bad = ("module odd(input [7:0] a, input [2:0] i, output [1:0] y);\n"
+               "  assign y = a[i +: 2];\nendmodule\n")
+
+        async def scenario(server, client):
+            error = await expect_error(client.query(sources=[bad]), 400,
+                                       "SynthesisError")
+            assert "const" in str(error)
+            # The server stays healthy for well-formed suspects.
+            health = await client.healthz()
+            assert health["level"] == "netlist"
+
+        serve(netlist_session, scenario)
+
+    def test_mismatched_model_query_409(self, session):
+        """Serving with a detector that is not the index's model is a
+        409 fingerprint conflict, not a 500."""
+        mismatched = Session(
+            detector=Detector.from_model(GNN4IP(seed=99)),
+            corpus=session.corpus)
+
+        async def scenario(server, client):
+            await expect_error(client.query(sources=[ADDER]), 409,
+                               "IndexStoreError")
+
+        serve(mismatched, scenario)
 
     def test_internal_error_500_hides_details(self, session,
                                               monkeypatch):
