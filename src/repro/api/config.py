@@ -49,6 +49,13 @@ class IndexConfig:
 
     Mirrors :func:`repro.index.store.build_index` keyword-for-keyword;
     see that docstring for semantics.
+
+    Attributes:
+        chunks: also index each design's subgraph chunks (format v4
+            multi-granularity rows) so partial theft matches; disable
+            for whole-design-only indexes.
+        chunk_config: optional
+            :class:`~repro.index.chunks.ChunkConfig` override.
     """
 
     level: str = None
@@ -56,3 +63,5 @@ class IndexConfig:
     jobs: int = None
     use_cache: bool = True
     batch_size: int = 64
+    chunks: bool = True
+    chunk_config: object = None

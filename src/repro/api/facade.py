@@ -49,7 +49,7 @@ from repro.index.store import (
     FingerprintIndex,
     add_to_index,
     build_index,
-    migrate_v2,
+    migrate_index,
 )
 from repro.ir.frontends import get_frontend
 from repro.ir.graphir import GraphIR
@@ -256,13 +256,16 @@ class Corpus:
                                     use_cache=config.use_cache,
                                     top=config.top,
                                     batch_size=config.batch_size,
-                                    level=config.level)
+                                    level=config.level,
+                                    chunks=config.chunks,
+                                    chunk_config=config.chunk_config)
         return cls(index), report
 
     @classmethod
     def migrate(cls, root):
-        """Convert a v2 index to v3 in place; returns the opened corpus."""
-        return cls(migrate_v2(root))
+        """Convert a v2/v3 index to v4 in place; returns the opened
+        corpus (no re-embedding; rebuild to also index chunks)."""
+        return cls(migrate_index(root))
 
     def add(self, paths, jobs=None, batch_size=64):
         """Append designs in place (no re-embedding); returns the report."""

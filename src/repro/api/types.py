@@ -81,7 +81,16 @@ class Comparison:
 
 @dataclass
 class Match:
-    """One ranked corpus hit for a query design."""
+    """One ranked corpus hit for a query design.
+
+    The last four fields are locality evidence from chunk-level
+    aggregation (format-v4 indexes): *which region* of the stored
+    design matched (``region``), which region of the suspect matched it
+    (``query_region``), whether the winning row was a whole design or a
+    chunk (``via``), and the fraction of the design's stored rows
+    scoring above delta (``coverage``).  They keep their defaults on a
+    chunk-less index.
+    """
 
     rank: int
     name: str
@@ -89,6 +98,10 @@ class Match:
     design: str
     score: float
     is_piracy: bool
+    via: str = "design"
+    region: dict = None
+    query_region: dict = None
+    coverage: float = None
 
     def as_dict(self):
         return {
@@ -98,6 +111,11 @@ class Match:
             "design": self.design,
             "score": float(self.score),
             "is_piracy": bool(self.is_piracy),
+            "via": self.via,
+            "region": self.region,
+            "query_region": self.query_region,
+            "coverage": (None if self.coverage is None
+                         else float(self.coverage)),
         }
 
 
@@ -129,5 +147,7 @@ def matches_from_hits(hits):
     ranked :class:`Match` objects (ranks are 1-based)."""
     return [Match(rank=rank, name=hit.name, path=hit.path,
                   design=hit.design, score=hit.score,
-                  is_piracy=hit.is_piracy)
+                  is_piracy=hit.is_piracy, via=hit.via,
+                  region=hit.region, query_region=hit.query_region,
+                  coverage=hit.coverage)
             for rank, hit in enumerate(hits, 1)]

@@ -213,10 +213,14 @@ def _cmd_index_build(args):
     corpus, report = Corpus.build(args.index_dir, paths, detector,
                                   IndexConfig(level=args.level,
                                               jobs=args.jobs,
-                                              use_cache=not args.no_cache))
+                                              use_cache=not args.no_cache,
+                                              chunks=not args.no_chunks))
     print(f"indexed {report['embedded']}/{report['files']} files "
           f"at level {corpus.level} "
           f"({report['failures']} failures) with {report['jobs']} workers")
+    if report.get("chunk_rows"):
+        print(f"chunks: {report['chunk_rows']} subgraph rows for "
+              f"partial-theft locality")
     if report["embeddings_reused"]:
         print(f"embeddings: {report['embedded_fresh']} fresh, "
               f"{report['embeddings_reused']} reused from previous build")
@@ -306,15 +310,17 @@ def _cmd_index_migrate(args):
     try:
         Corpus.open(args.index_dir)
     except ReproError:
-        pass  # not loadable as v3 — attempt the actual migration
+        pass  # not loadable as v4 — attempt the actual migration
     else:
-        print(f"{args.index_dir} is already format v3; nothing to do")
+        print(f"{args.index_dir} is already format v4; nothing to do")
         return 0
     corpus = Corpus.migrate(args.index_dir)
     ivf = (f", ivf quantizer with {corpus.ivf_clusters} clusters"
            if corpus.ivf_clusters else "")
-    print(f"migrated {args.index_dir} to format v3: {len(corpus)} "
+    print(f"migrated {args.index_dir} to format v4: {len(corpus)} "
           f"embeddings in {corpus.shard_count} shard(s){ivf}")
+    print("note: migrated indexes carry no chunk rows; rebuild to "
+          "index subgraph chunks for partial-theft locality")
     return 0
 
 
@@ -322,8 +328,8 @@ def _cmd_index_stats(args):
     stats = Corpus.open(args.index_dir).stats()
     build = stats.pop("build", {})
     for key in ("level", "entries", "embedded", "failures", "designs",
-                "hidden", "shards", "ivf_clusters", "cache_entries",
-                "cache_bytes"):
+                "design_rows", "chunk_rows", "signed_entries", "hidden",
+                "shards", "ivf_clusters", "cache_entries", "cache_bytes"):
         print(f"{key:14s} {stats[key]}")
     print(f"{'model_hash':14s} {stats['model_hash'][:16]}...")
     if build:
@@ -360,8 +366,8 @@ def _cmd_eval(args):
                         0 if args.allow_untrained else EvalConfig.epochs),
         train_instances=fallback(args.train_instances,
                                  EvalConfig.train_instances),
-        theft_fraction=fallback(args.theft_fraction,
-                                EvalConfig.theft_fraction),
+        theft_fractions=tuple(args.theft_fraction)
+        if args.theft_fraction else EvalConfig.theft_fractions,
         check_equivalence=not args.no_equivalence,
         baselines=tuple(args.baselines) if args.baselines else (),
         allow_untrained=args.allow_untrained,
@@ -476,6 +482,10 @@ def build_parser():
                          help="worker processes (default: auto)")
     p_build.add_argument("--no-cache", action="store_true",
                          help="bypass the content-addressed graph cache")
+    p_build.add_argument("--no-chunks", action="store_true",
+                         help="index whole designs only (skip the "
+                              "subgraph-chunk rows that power "
+                              "partial-theft locality)")
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("--level", choices=("rtl", "netlist"),
                          default=None,
@@ -517,8 +527,8 @@ def build_parser():
     p_query.set_defaults(func=_cmd_index_query)
 
     p_migrate = index_sub.add_parser(
-        "migrate", help="convert a v2 index to the memory-mapped v3 "
-                        "format in place (no re-embedding)")
+        "migrate", help="convert a v2/v3 index to the multi-granularity "
+                        "v4 format in place (no re-embedding)")
     p_migrate.add_argument("index_dir")
     p_migrate.set_defaults(func=_cmd_index_migrate)
 
@@ -554,9 +564,11 @@ def build_parser():
                         help="training epochs when no --model is given")
     p_eval.add_argument("--train-instances", type=int, default=None,
                         help="training instances per design")
-    p_eval.add_argument("--theft-fraction", type=float, default=None,
-                        help="fraction of stolen logic grafted in the "
-                             "partial-theft scenario")
+    p_eval.add_argument("--theft-fraction", nargs="+", type=float,
+                        default=None,
+                        help="fraction(s) of stolen logic grafted in the "
+                             "partial-theft scenario (each fraction gets "
+                             "its own suspect sweep)")
     p_eval.add_argument("--baselines", nargs="*", default=None,
                         help="also score classical baselines "
                              "(wl_kernel, spectral)")

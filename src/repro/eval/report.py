@@ -104,6 +104,12 @@ class EvalReport:
                 f"{name:22s} {metrics.get('suspects', 0):4d} {recalls} "
                 f"{self._cell(metrics.get('detection_rate'), 9)} "
                 f"{self._cell(metrics.get('auc'), 6)} {equiv:>7s}")
+            for fraction, by_k in sorted(
+                    metrics.get("recall_by_fraction", {}).items()):
+                cells = " ".join(self._cell(by_k.get(str(k)))
+                                 for k in ks)
+                lines.append(f"  {'at fraction ' + fraction:20s} "
+                             f"{'':4s} {cells}")
         overall = self.overall
         confusion = overall.get("confusion", {})
         lines.append(

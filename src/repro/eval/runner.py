@@ -23,9 +23,12 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro.api import Detector, IndexConfig, Session
 from repro.api import Corpus as ApiCorpus
 from repro.core import GNN4IP, Trainer, build_pair_dataset
+from repro.core.dataset import GraphRecord
 from repro.core.metrics import confusion_from_scores, roc_auc
 from repro.designs import (
     get_family,
@@ -36,6 +39,7 @@ from repro.designs import (
 )
 from repro.errors import EvalError
 from repro.eval.report import EvalReport
+from repro.index.chunks import ChunkConfig, extract_chunks
 from repro.eval.scenarios import SCENARIOS, ScenarioContext, generate_scenarios
 
 #: The small default corpus: synthesizable families, bench-scale.
@@ -67,7 +71,13 @@ class EvalConfig:
     seed: int = 2
     epochs: int = 80                 # 0 -> untrained (needs allow_untrained)
     train_instances: int = 5
-    theft_fraction: float = 0.6
+    #: Theft fractions swept by partial_theft (one suspect grid each).
+    #: A bare float is accepted and normalized to a 1-tuple.
+    theft_fractions: tuple = (0.3, 0.6)
+    #: Augment training with (subgraph chunk, whole design) pairs so the
+    #: encoder embeds a design's parts near the design itself — the
+    #: relation chunk-level partial-theft serving scores against.
+    chunk_training: bool = True
     check_equivalence: bool = True
     equivalence_checks: int = 2
     equivalence_vectors: int = 24
@@ -84,12 +94,17 @@ class EvalConfig:
             self.scenarios = tuple(self.scenarios)
         self.recall_ks = tuple(sorted(int(k) for k in self.recall_ks))
         self.baselines = tuple(self.baselines)
+        if isinstance(self.theft_fractions, (int, float)):
+            self.theft_fractions = (self.theft_fractions,)
+        self.theft_fractions = tuple(float(f)
+                                     for f in self.theft_fractions)
 
     def as_dict(self):
         data = asdict(self)
         data["scenarios"] = (list(self.scenarios)
                              if self.scenarios is not None else None)
-        for key in ("families", "holdouts", "recall_ks", "baselines"):
+        for key in ("families", "holdouts", "recall_ks", "baselines",
+                    "theft_fractions"):
             data[key] = list(data[key])
         return data
 
@@ -116,9 +131,70 @@ def train_eval_model(config, verbose=False):
             families=list(config.families),
             instances_per_design=config.train_instances, seed=config.seed)
     dataset = build_pair_dataset(records, seed=config.seed)
-    Trainer(model, seed=config.seed).fit(dataset, epochs=config.epochs,
-                                         verbose=verbose)
+    trainer = Trainer(model, seed=config.seed)
+    if not config.chunk_training:
+        trainer.fit(dataset, epochs=config.epochs, verbose=verbose)
+        return model
+    # Multi-granularity training: add (chunk, whole) pairs, but keep the
+    # original whole-graph train pairs as the delta calibration set —
+    # the decision boundary stays a whole-design boundary.
+    whole_train = list(dataset.train_pairs)
+    augment_with_chunk_pairs(dataset, seed=config.seed)
+    trainer.fit(dataset, epochs=config.epochs, tune_delta=False,
+                verbose=verbose)
+    similarities, labels, _ = trainer.evaluate_pairs(dataset, whole_train)
+    model.tune_delta(similarities, labels)
     return model
+
+
+def augment_with_chunk_pairs(dataset, seed=0, per_instance=2,
+                             positives_per_chunk=2, negative_ratio=3.0):
+    """Extend a pair dataset with (subgraph chunk, whole design) pairs.
+
+    The serving side scores suspect *parts* against stored design and
+    chunk rows (``FingerprintIndex.suspect_parts``), so the encoder must
+    map a design's subgraphs near the design's own embedding cluster —
+    a relation plain whole-graph training never exercises, leaving chunk
+    embeddings saturated and undiscriminative.  For each record, up to
+    ``per_instance`` chunks (under the index's default
+    :class:`~repro.index.chunks.ChunkConfig`, so training granularity
+    matches serving granularity) are added as extra records labeled with
+    the parent's design; each gets similar pairs against sampled wholes
+    of the same design and ``negative_ratio`` times as many different
+    pairs against other designs' wholes.  Records too small to chunk
+    contribute nothing, so tiny unit-test corpora are unaffected.
+
+    Only ``train_pairs`` grows — the test split and any external delta
+    calibration stay whole-graph-only.
+    """
+    rng = np.random.default_rng(seed)
+    chunk_config = ChunkConfig()
+    base = len(dataset.records)
+    by_design = {}
+    for i, record in enumerate(dataset.records):
+        by_design.setdefault(record.design, []).append(i)
+    extra_records, extra_pairs = [], []
+    for i in range(base):
+        record = dataset.records[i]
+        for sub, _region in extract_chunks(record.graph,
+                                           chunk_config)[:per_instance]:
+            ci = base + len(extra_records)
+            extra_records.append(GraphRecord(
+                design=record.design, instance=sub.name, graph=sub,
+                kind=record.kind))
+            same = by_design[record.design]
+            pos = rng.choice(same, size=min(positives_per_chunk,
+                                            len(same)), replace=False)
+            others = [j for design, members in by_design.items()
+                      if design != record.design for j in members]
+            neg = rng.choice(others,
+                             size=min(int(round(negative_ratio * len(pos))),
+                                      len(others)), replace=False)
+            extra_pairs.extend((ci, int(j), 1) for j in pos)
+            extra_pairs.extend((ci, int(j), -1) for j in neg)
+    dataset.records.extend(extra_records)
+    dataset.train_pairs.extend(extra_pairs)
+    return len(extra_records)
 
 
 def build_eval_corpus(workdir, config, detector):
@@ -171,7 +247,7 @@ def scenario_suite(config, families=None):
         families=families,
         holdouts=config.holdouts, seed=config.seed,
         suspects_per_design=config.suspects_per_design,
-        theft_fraction=config.theft_fraction,
+        theft_fractions=config.theft_fractions,
         check_equivalence=config.check_equivalence,
         equivalence_checks=config.equivalence_checks,
         equivalence_vectors=config.equivalence_vectors,
@@ -211,13 +287,25 @@ def _scenario_metrics(name, rows, negative_scores, delta, ks):
         "pirated": len(pirated),
         "recall_at_k": _recall_at_k(rows, ks),
         "mean_top1_score": (sum(scores) / len(scores) if scores else None),
+    }
+    # Partial theft sweeps several fractions; break recall down per
+    # fraction so the floor "recall@10 at fraction >= 0.3" is checkable.
+    fractions = sorted({row["provenance"].get("fraction") for row in rows}
+                       - {None})
+    if fractions:
+        metrics["recall_by_fraction"] = {
+            f"{fraction:g}": _recall_at_k(
+                [row for row in rows
+                 if row["provenance"].get("fraction") == fraction], ks)
+            for fraction in fractions}
+    metrics.update({
         "suspect_results": [
             {"name": row["name"], "true_design": row["true_design"],
              "pirated": row["pirated"], "rank": row["rank"],
              "top1_score": row["score"], "top1_design": row["top1_design"],
              "provenance": row["provenance"]}
             for row in rows],
-    }
+    })
     if pirated:
         metrics["detection_rate"] = (
             sum(1 for row in pirated if row["score"] > delta) / len(pirated))

@@ -88,7 +88,9 @@ class ScenarioContext:
     holdouts: tuple
     seed: int = 0
     suspects_per_design: int = 1
-    theft_fraction: float = 0.6
+    #: Theft fractions swept by ``partial_theft`` (one suspect batch per
+    #: fraction).  A bare float is accepted and normalized to a 1-tuple.
+    theft_fractions: tuple = (0.3, 0.6)
     check_equivalence: bool = True
     equivalence_checks: int = 2
     equivalence_vectors: int = 24
@@ -105,6 +107,10 @@ class ScenarioContext:
     def __post_init__(self):
         self.families = tuple(self.families)
         self.holdouts = tuple(self.holdouts)
+        if isinstance(self.theft_fractions, (int, float)):
+            self.theft_fractions = (self.theft_fractions,)
+        self.theft_fractions = tuple(float(f)
+                                     for f in self.theft_fractions)
         if self.corpus_scheme not in ("netlist", "rtl"):
             raise EvalError(f"unknown corpus scheme {self.corpus_scheme!r}")
         overlap = set(self.families) & set(self.holdouts)
@@ -293,24 +299,33 @@ def _scenario_resynthesis(ctx):
 
 
 def _scenario_partial_theft(ctx):
-    """Graft a stolen block into a host design from a holdout family."""
+    """Graft a stolen block into a host design from a holdout family.
+
+    Sweeps every configured theft fraction: the same design/variant grid
+    is regenerated per fraction with a fraction-tagged seed and name, so
+    the report can break recall down by how little of the block was
+    stolen.
+    """
     if not ctx.holdouts:
         raise EvalError("partial_theft needs at least one holdout family "
                         "to host the stolen logic")
-    for _, name, variant, seed in _per_design(ctx, "partial_theft"):
-        host_name = ctx.holdouts[(ctx.offsets[name] + variant)
-                                 % len(ctx.holdouts)]
-        graft = graft_netlists(ctx.base_netlist(host_name),
-                               ctx.base_netlist(name),
-                               fraction=ctx.theft_fraction, seed=seed,
-                               name=f"{host_name}_pt{variant}")
-        yield Suspect(
-            name=f"partial_theft/{name}.{variant}",
-            scenario="partial_theft", source=write_netlist(graft),
-            true_design=ctx.base_rtl(name).top, pirated=True,
-            provenance={"seed": seed, "host": host_name,
-                        "fraction": ctx.theft_fraction,
-                        "gates": graft.num_gates})
+    for fraction in ctx.theft_fractions:
+        tag = f"f{int(round(fraction * 100)):02d}"
+        for _, name, variant, _ in _per_design(ctx, "partial_theft"):
+            seed = ctx.suspect_seed(f"partial_theft@{tag}", name, variant)
+            host_name = ctx.holdouts[(ctx.offsets[name] + variant)
+                                     % len(ctx.holdouts)]
+            graft = graft_netlists(ctx.base_netlist(host_name),
+                                   ctx.base_netlist(name),
+                                   fraction=fraction, seed=seed,
+                                   name=f"{host_name}_pt{tag}v{variant}")
+            yield Suspect(
+                name=f"partial_theft/{name}.{tag}.{variant}",
+                scenario="partial_theft", source=write_netlist(graft),
+                true_design=ctx.base_rtl(name).top, pirated=True,
+                provenance={"seed": seed, "host": host_name,
+                            "fraction": fraction,
+                            "gates": graft.num_gates})
 
 
 def _scenario_unrelated(ctx):

@@ -14,6 +14,7 @@ clusters and re-ranks candidates exactly.
 
 from repro.index.ann import IVFIndex
 from repro.index.cache import CacheStats, DFGCache, content_key
+from repro.index.chunks import ChunkConfig, extract_chunks
 from repro.index.engine import QueryEngine, QueryHit
 from repro.index.extractor import (
     CorpusExtractor,
@@ -26,13 +27,17 @@ from repro.index.store import (
     FingerprintIndex,
     add_to_index,
     build_index,
+    migrate_index,
     migrate_v2,
 )
+from repro.index.wlsig import SignatureScorer, wl_colors
 
 __all__ = [
     "CacheStats", "DFGCache", "content_key",
+    "ChunkConfig", "extract_chunks",
     "CorpusExtractor", "ExtractionResult", "default_jobs",
     "EmbeddingService", "model_fingerprint",
     "FingerprintIndex", "QueryEngine", "QueryHit", "IVFIndex",
-    "ShardStore", "add_to_index", "build_index", "migrate_v2",
+    "ShardStore", "SignatureScorer", "add_to_index", "build_index",
+    "migrate_index", "migrate_v2", "wl_colors",
 ]

@@ -20,6 +20,30 @@ One :class:`QueryEngine` turns the stored corpus into a lookup service:
   (exact dot products, so scores are never approximated — only the
   candidate pool is).  ``exact=True`` is the escape hatch that bypasses
   the quantizer entirely.
+- **Chunk aggregation** — a v4 index stores extra rows for subgraph
+  chunks (:mod:`repro.index.chunks`), each carrying a parent-design
+  back-pointer.  ``query_groups`` scores a *group* of query parts (the
+  whole suspect plus its own chunks) against every stored row, reduces
+  to one score per parent design (block maximum over the part x row
+  score matrix), and ranks parents by best score, then coverage (the
+  fraction of the parent's rows above ``delta``), then id.  Hits carry
+  the matching evidence: which stored region matched (``region``),
+  which suspect region matched it (``query_region``), and the coverage.
+  An index without chunk rows never enters this path — ``query_many``
+  on it is bit-identical to v3 serving.
+- **Structural rank fusion** — when the caller also supplies per-group
+  structural scores (:mod:`repro.index.wlsig` reverse-containment, one
+  score per parent design), parents are ranked by the *better of their
+  two channel ranks*: the embedding channel (suspect chunks vs stored
+  chunk rows) finds regions the encoder separates, the structural
+  channel finds regions it cannot.  The reported ``score`` then becomes
+  the delta-comparable whole-suspect vs whole-design cosine — chunk
+  cosines live in a saturated region of the embedding space and must
+  not be compared against the decision boundary — while ``via`` /
+  ``region`` / ``query_region`` / ``coverage`` keep describing the best
+  raw (part, row) pairing as locality evidence.  Fused queries always
+  score exactly: the structural channel visits every stored design
+  anyway, so the IVF shortcut buys nothing there.
 """
 
 from dataclasses import dataclass
@@ -38,13 +62,36 @@ _BLOCK = 1024
 
 @dataclass
 class QueryHit:
-    """One ranked index entry for a query design."""
+    """One ranked index entry for a query design.
+
+    The last four fields are locality evidence from chunk aggregation
+    (:meth:`QueryEngine.query_groups`); they keep their defaults on a
+    chunk-less index, so v3-style consumers never see them change.
+
+    Attributes:
+        via: ``"design"`` when the whole-design row scored best,
+            ``"chunk"`` when a stored subgraph chunk did.
+        region: stored region descriptor of the best-matching chunk row
+            (``None`` for whole-design matches).
+        query_region: region descriptor of the suspect part that
+            produced the best score (``None`` for the whole suspect).
+        coverage: fraction of the design's stored rows scoring above
+            delta for this query (``None`` outside chunk aggregation).
+
+    Under structural rank fusion ``score`` is always the whole-suspect
+    vs whole-design cosine (the only pairing comparable to ``delta``),
+    even when a chunk pairing is the evidence ``via`` points at.
+    """
 
     name: str
     path: str
     design: str
     score: float
     is_piracy: bool
+    via: str = "design"
+    region: dict = None
+    query_region: dict = None
+    coverage: float = None
 
 
 class QueryEngine:
@@ -71,6 +118,23 @@ class QueryEngine:
         ).astype(np.int64)
         self.hidden = (int(self._blocks[0].shape[1]) if self._blocks
                        else 0)
+        #: True when any stored row is a subgraph chunk; plain designs
+        #: keep the legacy (bit-identical) scoring paths.
+        self.chunked = any(e.get("kind") == "chunk" for e in entries)
+        self._is_chunk = np.array([e.get("kind") == "chunk"
+                                   for e in entries], dtype=bool)
+        if self.chunked:
+            parent_of = np.array([int(e["parent_id"]) for e in entries],
+                                 dtype=np.int64)
+            self._parent_of = parent_of
+            self.n_parents = int(parent_of.max()) + 1 if len(parent_of) \
+                else 0
+            self._parent_row = np.full(self.n_parents, -1, dtype=np.int64)
+            for row, entry in enumerate(entries):
+                if entry.get("kind") != "chunk":
+                    self._parent_row[int(entry["parent_id"])] = row
+            self._parent_counts = np.bincount(parent_of,
+                                              minlength=self.n_parents)
 
     def __len__(self):
         return int(self._offsets[-1])
@@ -184,6 +248,12 @@ class QueryEngine:
         queries = self._as_queries(vectors)
         if not len(queries):
             return []
+        if self.chunked:
+            # Each vector is a single-part group; aggregation reduces
+            # the chunk rows back to one ranked list of parent designs.
+            offsets = np.arange(len(queries) + 1, dtype=np.int64)
+            return self._grouped(queries, offsets, [None] * len(queries),
+                                 k, delta, nprobe, exact)
         if exact or self.ivf is None:
             scores = self._exact_scores(queries)
             n = len(self)
@@ -220,6 +290,252 @@ class QueryEngine:
             sel = self._top_sel(scores, rows, k)
             results.append(self._hits(rows[sel], scores[sel], delta))
         return results
+
+    def query_groups(self, parts, offsets, regions=None, k=5, delta=0.0,
+                     nprobe=None, exact=False, struct=None):
+        """Ranked parent designs for groups of query parts.
+
+        Args:
+            parts: ``(P, hidden)`` array-like of part vectors for all
+                groups, concatenated in group order (each group is one
+                suspect: its whole-design vector plus its chunk
+                vectors, see ``FingerprintIndex.suspect_parts``).
+            offsets: ``len(groups) + 1`` prefix offsets into ``parts``.
+            regions: per-part region descriptors aligned with ``parts``
+                (``None`` entries mean "the whole suspect").
+            k: parent designs per group.
+            struct: optional per-group structural score vectors (one
+                float per parent design, see
+                :meth:`repro.index.wlsig.SignatureScorer.scores`) —
+                ``None`` entries keep that group on pure embedding
+                ranking.  Groups with scores are ranked by fused
+                channel rank (see the module docstring).
+
+        Returns:
+            One :class:`QueryHit` list per group — at most ``k`` parent
+            designs; without fusion, ranked by best part-vs-row score,
+            ties broken by higher coverage, then lower parent id.
+        """
+        if not len(self):
+            raise IndexStoreError("the fingerprint index is empty")
+        queries = self._as_queries(parts)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if (len(offsets) < 1 or offsets[0] != 0
+                or offsets[-1] != len(queries)
+                or np.any(np.diff(offsets) < 0)):
+            raise IndexStoreError(
+                f"part offsets {offsets.tolist()} do not partition "
+                f"{len(queries)} query parts")
+        if regions is None:
+            regions = [None] * len(queries)
+        if struct is not None and len(struct) != len(offsets) - 1:
+            raise IndexStoreError(
+                f"{len(struct)} structural score vectors for "
+                f"{len(offsets) - 1} query groups")
+        if len(offsets) == 1:
+            return []
+        return self._grouped(queries, offsets, regions, k, delta, nprobe,
+                             exact, struct=struct)
+
+    def _parent_arrays(self):
+        """(parent_of, parent_row, parent_counts) — on a chunk-less
+        engine every row is its own parent, so grouped queries degrade
+        to plain per-row ranking."""
+        if self.chunked:
+            return self._parent_of, self._parent_row, self._parent_counts
+        rows = np.arange(len(self), dtype=np.int64)
+        return rows, rows, np.ones(len(self), dtype=np.int64)
+
+    def _grouped(self, queries, offsets, regions, k, delta, nprobe,
+                 exact, struct=None):
+        """Aggregated scoring shared by query_groups and chunked
+        query_many (queries are already validated unit float32)."""
+        groups = len(offsets) - 1
+        if struct is not None and any(s is not None for s in struct):
+            # Fused queries score exactly (see the module docstring):
+            # the structural channel ranks every parent, so pruning the
+            # embedding channel's candidates would only desynchronize
+            # the two rank lists.
+            scores = self._exact_scores(queries)
+            all_rows = np.arange(len(self), dtype=np.int64)
+            results = []
+            for g in range(groups):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                if hi == lo:
+                    results.append([])
+                    continue
+                block = scores[lo:hi]
+                if struct[g] is None:
+                    results.append(self._aggregate(
+                        all_rows, block.max(axis=0),
+                        block.argmax(axis=0), regions[lo:hi], k, delta))
+                else:
+                    results.append(self._aggregate_fused(
+                        block, regions[lo:hi], struct[g], k, delta))
+            return results
+        if exact or self.ivf is None:
+            scores = self._exact_scores(queries)
+            all_rows = np.arange(len(self), dtype=np.int64)
+            results = []
+            for g in range(groups):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                if hi == lo:
+                    results.append([])
+                    continue
+                block = scores[lo:hi]
+                results.append(self._aggregate(
+                    all_rows, block.max(axis=0), block.argmax(axis=0),
+                    regions[lo:hi], k, delta))
+            return results
+        cand_rows, part_offsets = self.ivf.probe(queries, nprobe)
+        results = []
+        for g in range(groups):
+            lo, hi = int(offsets[g]), int(offsets[g + 1])
+            rows = np.unique(
+                cand_rows[int(part_offsets[lo]):int(part_offsets[hi])])
+            if not len(rows):
+                results.append([])
+                continue
+            block = self.gather(rows) @ queries[lo:hi].T
+            results.append(self._aggregate(
+                rows, block.max(axis=1), block.argmax(axis=1),
+                regions[lo:hi], k, delta))
+        return results
+
+    def _aggregate(self, rows, row_best, row_part, group_regions, k,
+                   delta):
+        """One group's hits: reduce per-row best scores to per-parent
+        block maxima, rank parents score desc / coverage desc / id asc.
+
+        Args:
+            rows: candidate global row ids (ascending).
+            row_best: best score over the group's parts, per candidate.
+            row_part: which part produced it, per candidate.
+            group_regions: the group's part region descriptors.
+        """
+        parent_of, parent_row, parent_counts = self._parent_arrays()
+        parents = parent_of[rows]
+        uniq, inverse = np.unique(parents, return_inverse=True)
+        best = np.full(len(uniq), -np.inf, dtype=np.float64)
+        np.maximum.at(best, inverse, row_best)
+        # Lowest candidate position attaining each parent's maximum:
+        # deterministic tie-break toward the lower global row id.
+        at_max = row_best >= best[inverse]
+        pos_best = np.full(len(uniq), len(rows), dtype=np.int64)
+        np.minimum.at(pos_best, inverse[at_max], np.nonzero(at_max)[0])
+        above = np.bincount(inverse[row_best > delta], minlength=len(uniq))
+        coverage = above / np.maximum(parent_counts[uniq], 1)
+        kk = min(max(int(k), 0), len(uniq))
+        if kk == 0:
+            return []
+        sel = np.arange(len(uniq), dtype=np.int64)
+        if kk < len(uniq):
+            sel = np.argpartition(-best, kk - 1)[:kk]
+        order = np.lexsort((uniq[sel], -coverage[sel], -best[sel]))
+        sel = sel[order]
+        hits = []
+        for u in sel.tolist():
+            row = int(rows[pos_best[u]])
+            row_entry = self._entries[row]
+            parent_entry = self._entries[int(parent_row[uniq[u]])]
+            score = float(best[u])
+            hits.append(QueryHit(
+                name=parent_entry["name"], path=parent_entry["path"],
+                design=parent_entry["design"], score=score,
+                is_piracy=bool(score > delta),
+                via=("chunk" if row_entry.get("kind") == "chunk"
+                     else "design"),
+                region=row_entry.get("region"),
+                query_region=group_regions[int(row_part[pos_best[u]])],
+                coverage=float(coverage[u])))
+        return hits
+
+    @staticmethod
+    def _channel_ranks(channel):
+        """0-based descending rank per parent, stable toward lower id."""
+        order = np.argsort(-channel, kind="stable")
+        ranks = np.empty(len(channel), dtype=np.int64)
+        ranks[order] = np.arange(len(channel), dtype=np.int64)
+        return ranks
+
+    def _aggregate_fused(self, block, group_regions, struct, k, delta):
+        """One group's hits under structural rank fusion.
+
+        Two independent channels rank every parent design, and a parent
+        keeps the *better* of its two ranks:
+
+        - **embedding** — best cosine between the suspect's chunk parts
+          and stored chunk rows (falling back to the whole suspect on a
+          suspect too small to chunk, and to whole-design rows on a
+          chunk-less index);
+        - **structural** — the caller-supplied reverse-containment
+          scores (:mod:`repro.index.wlsig`).
+
+        The minimum-rank fusion lets either channel carry a scenario
+        the other is blind to: chunk cosines rescue grafts whose WL
+        colors were destroyed at the graft boundary, containment
+        rescues grafts the saturated chunk-embedding space cannot
+        separate.  Reported scores are whole-vs-whole cosines (the
+        delta-comparable pairing); evidence fields keep describing the
+        best raw (part, row) pair.
+
+        Args:
+            block: ``(parts, all rows)`` score matrix for this group,
+                whole-suspect part first.
+            group_regions: the group's part region descriptors.
+            struct: structural score per parent design.
+        """
+        parent_of, parent_row, parent_counts = self._parent_arrays()
+        n_parents = len(parent_row)
+        struct = np.asarray(struct, dtype=np.float64)
+        if struct.shape != (n_parents,):
+            raise IndexStoreError(
+                f"structural scores have shape {struct.shape}, expected "
+                f"({n_parents},)")
+        chunk_parts = [i for i, region in enumerate(group_regions)
+                       if region is not None] or [0]
+        if self.chunked:
+            embed_rows = np.where(self._is_chunk,
+                                  block[chunk_parts].max(axis=0), -np.inf)
+        else:
+            embed_rows = block[0]
+        embed = np.full(n_parents, -np.inf)
+        np.maximum.at(embed, parent_of, embed_rows)
+        fused = np.minimum(self._channel_ranks(embed),
+                           self._channel_ranks(struct))
+        kk = min(max(int(k), 0), n_parents)
+        if kk == 0:
+            return []
+        sel = np.lexsort((np.arange(n_parents, dtype=np.int64),
+                          fused))[:kk]
+        # Locality evidence over the raw (part, row) matrix, same
+        # conventions as _aggregate.
+        row_best = block.max(axis=0)
+        row_part = block.argmax(axis=0)
+        best = np.full(n_parents, -np.inf)
+        np.maximum.at(best, parent_of, row_best)
+        at_max = row_best >= best[parent_of]
+        pos_best = np.full(n_parents, len(row_best), dtype=np.int64)
+        np.minimum.at(pos_best, parent_of[at_max], np.nonzero(at_max)[0])
+        above = np.bincount(parent_of[row_best > delta],
+                            minlength=n_parents)
+        coverage = above / np.maximum(parent_counts, 1)
+        hits = []
+        for u in sel.tolist():
+            design_row = int(parent_row[u])
+            score = float(block[0, design_row])
+            row_entry = self._entries[int(pos_best[u])]
+            parent_entry = self._entries[design_row]
+            hits.append(QueryHit(
+                name=parent_entry["name"], path=parent_entry["path"],
+                design=parent_entry["design"], score=score,
+                is_piracy=bool(score > delta),
+                via=("chunk" if row_entry.get("kind") == "chunk"
+                     else "design"),
+                region=row_entry.get("region"),
+                query_region=group_regions[int(row_part[pos_best[u]])],
+                coverage=float(coverage[u])))
+        return hits
 
     def _hits(self, rows, scores, delta):
         """Hit objects for ranked rows with their (rank-aligned) scores."""

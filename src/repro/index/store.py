@@ -1,20 +1,36 @@
-"""Persistent hardware-fingerprint index (on-disk format v3).
+"""Persistent hardware-fingerprint index (on-disk format v4).
 
 On-disk layout under the index root::
 
     meta.json         entries (one per input file, failures included),
-                      model hash, pipeline options, shard specs, IVF
-                      config, last-build report — always written last,
+                      the row table (one spec per stored shard row:
+                      whole designs plus their subgraph chunks), model
+                      hash, pipeline options, shard specs, IVF config,
+                      last-build report — always written last,
                       atomically: its presence marks a complete index
     shards/*.f32      unit-normalized float32 embedding rows as raw
                       memory-mapped shard files (append-only; see
                       :mod:`repro.index.shards`)
     ivf-NNNNN.npz     optional coarse quantizer for sublinear queries
                       (:mod:`repro.index.ann`)
+    signatures.json   structural WL signatures, one per embedded entry
+                      (:mod:`repro.index.wlsig`); powers the rank-fusion
+                      channel that keeps partial theft detectable where
+                      chunk cosines saturate
     model.npz         the exact model that produced the embeddings
     cache/            content-addressed DFG cache (survives rebuilds;
                       absent when the index was built with
                       ``use_cache=False``)
+
+v4 stores each design at multiple granularities: one whole-design row
+plus one row per overlapping subgraph chunk (:mod:`repro.index.chunks`
+— fanin cones, connected regions, topological windows).  ``meta.json``
+carries a ``rows`` table mapping every shard row to either a design or
+a (parent, region) chunk, and queries aggregate chunk hits back to
+parent designs (:meth:`~repro.index.engine.QueryEngine.query_groups`),
+so a stolen *fraction* of a design still matches its victim head-on.
+Designs too small to chunk store exactly one row, and an index with no
+chunk rows serves bit-identically to v3.
 
 Opening an index is ``stat`` + ``mmap`` — no decompression, no
 re-normalization (v2 paid both on every load).  Queries run through the
@@ -43,6 +59,7 @@ from repro.index.ann import (
     ivf_filename,
 )
 from repro.index.cache import DFGCache
+from repro.index.chunks import ChunkConfig, extract_chunks
 from repro.index.engine import QueryEngine, QueryHit  # noqa: F401
 from repro.index.extractor import CorpusExtractor
 from repro.index.service import EmbeddingService
@@ -51,6 +68,13 @@ from repro.index.shards import (
     next_shard_ordinal,
     unit_rows_f32,
     write_shard,
+)
+from repro.index.wlsig import (
+    SIG_NAME,
+    SignatureScorer,
+    load_signatures,
+    wl_colors,
+    write_signatures,
 )
 from repro.ir.frontends import RTLFrontend, get_frontend
 
@@ -61,10 +85,11 @@ CACHE_DIR = "cache"
 #: :func:`migrate_v2`.
 LEGACY_EMBEDDINGS_NAME = "embeddings.npz"
 #: v3: embeddings live in raw memory-mapped float32 shards (meta carries
-#: the shard specs) with an optional IVF quantizer.  v2 indexes are
-#: refused with a migrate/rebuild message — ``migrate_v2`` converts them
-#: in place without re-embedding.
-FORMAT_VERSION = 3
+#: the shard specs) with an optional IVF quantizer.  v4 adds the
+#: ``rows`` table and multi-granularity chunk rows.  v2/v3 indexes are
+#: refused with a migrate/rebuild message — ``migrate_index`` converts
+#: them in place without re-embedding.
+FORMAT_VERSION = 4
 
 
 def _write_meta(root, meta):
@@ -96,13 +121,29 @@ class FingerprintIndex:
         self.ivf = ivf
         self.entries = meta["entries"]
         self._ok_entries = [e for e in self.entries if e["status"] == "ok"]
+        #: Row table: one spec per stored shard row, in global row order
+        #: ({"kind": "design", "name": ...} or {"kind": "chunk",
+        #: "parent": ..., "region": {...}}).
+        self.rows = meta.get("rows") or []
+        self._chunk_rows = 0
+        self._design_row_by_name = {}
+        for row, spec in enumerate(self.rows):
+            if spec.get("kind") == "chunk":
+                self._chunk_rows += 1
+            else:
+                self._design_row_by_name[spec["name"]] = row
         self._row_by_key = {}
-        for row, entry in enumerate(self._ok_entries):
-            self._row_by_key.setdefault(entry["key"], row)
+        self._entry_by_key = {}
+        for entry in self._ok_entries:
+            self._row_by_key.setdefault(
+                entry["key"], self._design_row_by_name[entry["name"]])
+            self._entry_by_key.setdefault(entry["key"], entry)
         self._matrix = None
         self._engine = None
         self._frontend = None
         self._service = None
+        self._scorer_loaded = False
+        self._scorer = None
 
     # -- loading -------------------------------------------------------------
     @classmethod
@@ -123,6 +164,12 @@ class FingerprintIndex:
                 f"on every open); run 'gnn4ip index migrate {root}' to "
                 f"convert it in place without re-embedding, or rebuild "
                 f"with 'gnn4ip index build'")
+        if version == 3:
+            raise IndexStoreError(
+                f"index at {root} uses the retired v3 format (no row "
+                f"table — single-granularity rows only); run 'gnn4ip "
+                f"index migrate {root}' to convert it in place without "
+                f"re-embedding (rebuild to also index subgraph chunks)")
         if version != FORMAT_VERSION:
             raise IndexStoreError(
                 f"index version {version!r} is not supported "
@@ -130,11 +177,18 @@ class FingerprintIndex:
         store_spec = meta.get("store") or {}
         shards = ShardStore(root, store_spec.get("hidden", 0),
                             store_spec.get("shards", []))
+        rows = meta.get("rows") or []
         ok_rows = sum(1 for e in meta["entries"] if e["status"] == "ok")
-        if shards.rows != ok_rows:
+        design_rows = sum(1 for r in rows if r.get("kind") != "chunk")
+        if design_rows != ok_rows:
+            raise IndexStoreError(
+                f"row table lists {design_rows} design rows but the "
+                f"metadata lists {ok_rows} embedded entries "
+                f"(partial write? rebuild the index)")
+        if shards.rows != len(rows):
             raise IndexStoreError(
                 f"embedding store has {shards.rows} rows but the "
-                f"metadata lists {ok_rows} embedded entries "
+                f"metadata lists {len(rows)} rows "
                 f"(partial write? rebuild the index)")
         shards.open()  # size validation; no data is read
         # The quantizer is an optional accelerator, never a correctness
@@ -149,7 +203,7 @@ class FingerprintIndex:
                 ivf = IVFIndex.load(_ivf_path(root, meta))
             except IndexStoreError:
                 ivf = None
-            if ivf is not None and ivf.rows != ok_rows:
+            if ivf is not None and ivf.rows != len(rows):
                 ivf = None
         return cls(root, meta, shards, ivf=ivf)
 
@@ -228,8 +282,128 @@ class FingerprintIndex:
         """The batched :class:`QueryEngine` over the mapped shards."""
         if self._engine is None:
             self._engine = QueryEngine(self.shards.blocks(),
-                                       self._ok_entries, ivf=self.ivf)
+                                       self._row_entries(), ivf=self.ivf)
         return self._engine
+
+    def _row_entries(self):
+        """Per-shard-row entry dicts for the engine.
+
+        Without chunk rows this is exactly the ok entries (the engine
+        then serves bit-identically to v3).  With chunks, every row —
+        design or chunk — gets a dict carrying the parent design's
+        ``parent_id`` (ordinal among ok entries) so the engine can
+        aggregate chunk hits back to designs.
+        """
+        if not self._chunk_rows:
+            return self._ok_entries
+        by_name = {e["name"]: (ordinal, e)
+                   for ordinal, e in enumerate(self._ok_entries)}
+        entries = []
+        counters = {}
+        for spec in self.rows:
+            if spec.get("kind") == "chunk":
+                parent = spec["parent"]
+                ordinal, entry = by_name[parent]
+                nth = counters.get(parent, 0)
+                counters[parent] = nth + 1
+                entries.append({
+                    "kind": "chunk",
+                    "name": f"{parent}#chunk{nth}",
+                    "path": entry["path"],
+                    "design": entry["design"],
+                    "parent": parent,
+                    "parent_id": ordinal,
+                    "region": spec.get("region"),
+                })
+            else:
+                ordinal, entry = by_name[spec["name"]]
+                entries.append(dict(entry, parent_id=ordinal))
+        return entries
+
+    # -- chunking ------------------------------------------------------------
+    @property
+    def has_chunks(self):
+        """True when any stored row is a subgraph chunk.  A chunking-
+        enabled build over designs too small to chunk stores none, and
+        then behaves exactly like a single-granularity index."""
+        return self._chunk_rows > 0
+
+    @property
+    def chunk_row_count(self):
+        return self._chunk_rows
+
+    def chunk_config(self):
+        """The :class:`~repro.index.chunks.ChunkConfig` the index was
+        built with, or ``None`` when chunking was disabled."""
+        spec = self.meta.get("chunks")
+        return None if not spec else ChunkConfig.from_dict(spec)
+
+    def suspect_parts(self, graphs):
+        """Decompose suspect graphs the same way the corpus is stored.
+
+        Returns ``(parts, offsets, regions)``: the flat list of part
+        graphs for all suspects (each suspect contributes itself first,
+        then its chunks under the stored chunk config), group prefix
+        offsets (``len(graphs) + 1``), and per-part region descriptors
+        (``None`` for the whole-suspect parts).  On a chunk-less index
+        every suspect is a single part.
+        """
+        config = self.chunk_config()
+        parts, regions, offsets = [], [], [0]
+        for graph in graphs:
+            parts.append(graph)
+            regions.append(None)
+            if config is not None and self.has_chunks:
+                for sub, region in extract_chunks(graph, config):
+                    parts.append(sub)
+                    regions.append(region)
+            offsets.append(len(parts))
+        return parts, offsets, regions
+
+    def signature_scorer(self):
+        """The structural :class:`~repro.index.wlsig.SignatureScorer`,
+        or ``None`` when this index cannot serve the channel.
+
+        Loaded lazily from ``signatures.json`` and cached.  The scorer
+        only activates when *every* ok entry has a stored signature —
+        a partially-signed corpus (e.g. ``index add`` onto a migrated
+        index) would silently never rank the unsigned designs.
+        """
+        if not self._scorer_loaded:
+            self._scorer_loaded = True
+            stored = load_signatures(self.root)
+            if stored is not None:
+                colors, radius = stored
+                if all(e["name"] in colors for e in self._ok_entries):
+                    self._scorer = SignatureScorer(
+                        [e["name"] for e in self._ok_entries],
+                        [e["design"] for e in self._ok_entries],
+                        colors, radius=radius)
+        return self._scorer
+
+    def suspect_struct(self, graphs):
+        """Per-suspect structural score vectors for rank fusion, or
+        ``None`` on an index without usable signatures."""
+        scorer = self.signature_scorer()
+        if scorer is None:
+            return None
+        return [scorer.scores(wl_colors(graph, scorer.radius))
+                for graph in graphs]
+
+    def query_parts(self, vectors, offsets, regions=None, k=5, delta=0.0,
+                    nprobe=None, exact=False, struct=None):
+        """Ranked parent designs for part-vector groups (one group per
+        suspect; see :meth:`suspect_parts`).  ``struct`` carries the
+        optional per-suspect structural scores (:meth:`suspect_struct`)
+        for rank fusion.  Single-part groups on a chunk-less index with
+        no structural scores take the legacy (bit-identical) path."""
+        if (struct is None and not self.engine.chunked
+                and len(vectors) == len(offsets) - 1):
+            return self.engine.query_many(vectors, k=k, delta=delta,
+                                          nprobe=nprobe, exact=exact)
+        return self.engine.query_groups(vectors, offsets, regions, k=k,
+                                        delta=delta, nprobe=nprobe,
+                                        exact=exact, struct=struct)
 
     def lookup_key(self, key):
         """Stored (unit float32) embedding for a content key, or None."""
@@ -287,14 +461,30 @@ class FingerprintIndex:
     def query_graphs(self, graphs, model, k=5, nprobe=None, exact=False):
         """Embed many suspects in one batched pass and rank each.
 
+        On a chunked index every suspect is decomposed like the corpus
+        (:meth:`suspect_parts`), all parts are embedded in the same
+        batched pass, and chunk-level scores are aggregated back to one
+        ranked design list per suspect.  When the index carries
+        structural signatures (``signatures.json``), ranking fuses the
+        embedding channel with WL reverse containment
+        (:mod:`repro.index.wlsig`) so a grafted fraction of a stored
+        design outranks incidental host overlap.
+
         Raises:
             IndexStoreError: when ``model`` is not the model the index was
                 built with (its embeddings would not be comparable).
         """
         service = self.service_for(model)
-        vectors = service.embed_graphs(graphs)
-        return self.query_many(vectors, k=k, delta=model.delta,
-                               nprobe=nprobe, exact=exact)
+        struct = self.suspect_struct(graphs)
+        if not self.has_chunks and struct is None:
+            vectors = service.embed_graphs(graphs)
+            return self.query_many(vectors, k=k, delta=model.delta,
+                                   nprobe=nprobe, exact=exact)
+        parts, offsets, regions = self.suspect_parts(graphs)
+        vectors = service.embed_graphs(parts)
+        return self.query_parts(vectors, offsets, regions, k=k,
+                                delta=model.delta, nprobe=nprobe,
+                                exact=exact, struct=struct)
 
     def stats(self):
         """Summary dict for reports and the ``index stats`` command."""
@@ -318,6 +508,11 @@ class FingerprintIndex:
             "embedded": len(self),
             "failures": failures,
             "designs": len(designs),
+            "design_rows": len(self),
+            "chunk_rows": self._chunk_rows,
+            "signed_entries": (len(self._ok_entries)
+                               if self.signature_scorer() is not None
+                               else 0),
             "hidden": self.shards.hidden if len(self) else 0,
             "shards": len(self.shards.specs),
             "ivf_clusters": self.ivf.n_clusters if self.ivf else 0,
@@ -411,7 +606,7 @@ def _clean_stale_files(root, meta):
 
 def build_index(root, paths, model, pipeline=None, jobs=None,
                 use_cache=True, top=None, batch_size=64, level=None,
-                frontend=None):
+                frontend=None, chunks=True, chunk_config=None):
     """Build (or rebuild) a fingerprint index over Verilog files.
 
     Extraction fans out over worker processes and reuses the index's graph
@@ -424,6 +619,12 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
             indexes at the netlist level without extra flags.
         frontend: explicit :mod:`repro.ir.frontends` frontend (overrides
             ``level`` and ``pipeline``).
+        chunks: also store one embedding row per subgraph chunk of each
+            design (:mod:`repro.index.chunks`), enabling partial-theft
+            matching; designs too small to chunk store only their
+            whole-design row.
+        chunk_config: :class:`~repro.index.chunks.ChunkConfig` override
+            (defaults apply when ``None``).
 
     Returns:
         (index, report) — the loaded :class:`FingerprintIndex` and a dict
@@ -465,17 +666,35 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
 
     ok = [r for r in results if r.ok]
     service = EmbeddingService(model, batch_size=batch_size)
+    chunk_opts = (chunk_config or ChunkConfig()) if chunks else None
+    per_ok_chunks = [extract_chunks(r.graph, chunk_opts) if chunk_opts
+                     else [] for r in ok]
 
     # Rebuild fast path: embeddings from a previous build of this index
     # are reused for unchanged content keys, provided the model is the
-    # same one (fingerprint match).  --no-cache recomputes everything.
+    # same one (fingerprint match).  Chunk rows are reused too, when the
+    # chunk options are unchanged (same content + same config => the
+    # same chunk set).  --no-cache recomputes everything.
     previous = {}
+    previous_chunks = {}
     if use_cache:
         try:
             old = FingerprintIndex.load(root)
             if old.model_hash == service.fingerprint:
-                previous = {entry["key"]: old.matrix[row]
-                            for row, entry in enumerate(old._ok_entries)}
+                matrix = old.matrix
+                key_by_name = {e["name"]: e["key"]
+                               for e in old._ok_entries}
+                same_chunks = (chunk_opts is not None
+                               and old.meta.get("chunks")
+                               == chunk_opts.as_dict())
+                for row, spec in enumerate(old.rows):
+                    if spec.get("kind") == "chunk":
+                        if same_chunks:
+                            key = key_by_name[spec["parent"]]
+                            previous_chunks.setdefault(key, []).append(
+                                matrix[row])
+                    else:
+                        previous[key_by_name[spec["name"]]] = matrix[row]
             # .matrix is a materialized copy; drop the old index now so
             # its shard memmaps are closed before cleanup unlinks the
             # files (deleting a mapped file fails on some platforms).
@@ -485,15 +704,47 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
 
     embed_start = time.perf_counter()
     fresh = [r for r in ok if r.key not in previous]
-    fresh_unit = unit_rows_f32(
-        service.embed_graphs([r.graph for r in fresh])
-        if fresh else np.empty((0, model.encoder.hidden)))
-    fresh_rows = {r.key: fresh_unit[i] for i, r in enumerate(fresh)}
-    unit_matrix = (np.stack([previous[r.key] if r.key in previous
-                             else fresh_rows[r.key] for r in ok])
-                   if ok else np.empty((0, model.encoder.hidden),
-                                       dtype=np.float32))
+    # One batched pass embeds the fresh whole designs and every chunk
+    # whose vectors cannot be reused from the previous build.
+    fresh_chunk_slots = []
+    chunk_graphs = []
+    for i, result in enumerate(ok):
+        subs = per_ok_chunks[i]
+        if subs and len(previous_chunks.get(result.key, ())) != len(subs):
+            fresh_chunk_slots.append((i, len(subs)))
+            chunk_graphs.extend(sub for sub, _ in subs)
+    embed_graphs = [r.graph for r in fresh] + chunk_graphs
+    unit = unit_rows_f32(
+        service.embed_graphs(embed_graphs)
+        if embed_graphs else np.empty((0, model.encoder.hidden)))
+    fresh_rows = {r.key: unit[i] for i, r in enumerate(fresh)}
+    cursor = len(fresh)
+    chunk_vectors = {}  # ok-ordinal -> (n_chunks, hidden) unit rows
+    for i, count in fresh_chunk_slots:
+        chunk_vectors[i] = unit[cursor:cursor + count]
+        cursor += count
+    for i, result in enumerate(ok):
+        if per_ok_chunks[i] and i not in chunk_vectors:
+            chunk_vectors[i] = np.stack(previous_chunks[result.key])
     embed_seconds = time.perf_counter() - embed_start
+
+    names = _unique_names(results)
+    ok_names = [name for result, name in zip(results, names) if result.ok]
+    # Row layout: whole-design rows first (ok order), then chunk rows
+    # grouped by design.  The rows table mirrors it spec for spec.
+    design_rows = [previous[r.key] if r.key in previous
+                   else fresh_rows[r.key] for r in ok]
+    row_specs = [{"kind": "design", "name": name} for name in ok_names]
+    chunk_rows = []
+    for i in range(len(ok)):
+        for j, (_, region) in enumerate(per_ok_chunks[i]):
+            row_specs.append({"kind": "chunk", "parent": ok_names[i],
+                              "region": region})
+            chunk_rows.append(chunk_vectors[i][j])
+    unit_matrix = (np.stack(design_rows + chunk_rows)
+                   if design_rows or chunk_rows
+                   else np.empty((0, model.encoder.hidden),
+                                 dtype=np.float32))
 
     report = {
         "files": len(results),
@@ -501,6 +752,7 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
         "embedded_fresh": len(fresh),
         "embeddings_reused": len(ok) - len(fresh),
         "failures": len(results) - len(ok),
+        "chunk_rows": len(chunk_rows),
         "cache": cache.stats.as_dict() if cache else None,
         "extract_seconds": extract_seconds,
         "embed_seconds": embed_seconds,
@@ -523,11 +775,23 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
             "hidden": int(model.encoder.hidden),
             "shards": specs,
         },
-        "entries": _result_entries(results, _unique_names(results)),
+        "entries": _result_entries(results, names),
+        "rows": row_specs,
+        "chunks": chunk_opts.as_dict() if chunk_opts else None,
         "build": report,
     }
     _maybe_fit_ivf(root, unit_matrix, meta)
     save_model(model, root / MODEL_NAME)
+    # Structural signatures ride along with every multi-granularity
+    # build (the graphs are already in hand; wl_colors is one pass per
+    # graph).  Chunk-less indexes get no signature file so their
+    # serving contract stays bit-identical to v3 — the structural
+    # channel exists to fix what chunk granularity breaks.
+    if chunk_rows:
+        write_signatures(root, {name: wl_colors(result.graph)
+                                for result, name in zip(ok, ok_names)})
+    else:
+        (root / SIG_NAME).unlink(missing_ok=True)
     # meta.json is written before any stale file is removed (and after
     # everything it references exists): its presence marks a complete
     # index, and load() cross-checks it against the shard files.
@@ -564,18 +828,28 @@ def add_to_index(root, paths, jobs=None, batch_size=64):
     extract_seconds = time.perf_counter() - start
 
     ok = [r for r in results if r.ok]
+    chunk_opts = index.chunk_config()
+    per_ok_chunks = [extract_chunks(r.graph, chunk_opts) if chunk_opts
+                     else [] for r in ok]
     embed_start = time.perf_counter()
     fresh = [r for r in ok if index.lookup_key(r.key) is None]
-    if fresh:
+    chunk_graphs = [sub for subs in per_ok_chunks for sub, _ in subs]
+    embed_graphs = [r.graph for r in fresh] + chunk_graphs
+    if embed_graphs:
         service = index.service_for(model, batch_size=batch_size)
-        fresh_unit = unit_rows_f32(
-            service.embed_graphs([r.graph for r in fresh]))
+        unit = unit_rows_f32(service.embed_graphs(embed_graphs))
     else:
-        fresh_unit = np.empty((0, index.shards.hidden), dtype=np.float32)
-    fresh_rows = {r.key: fresh_unit[i] for i, r in enumerate(fresh)}
-    new_unit = (np.stack([fresh_rows[r.key] if r.key in fresh_rows
-                          else index.lookup_key(r.key) for r in ok])
-                if ok else fresh_unit)
+        unit = np.empty((0, index.shards.hidden), dtype=np.float32)
+    fresh_rows = {r.key: unit[i] for i, r in enumerate(fresh)}
+    chunk_unit = unit[len(fresh):]
+    design_rows = [fresh_rows[r.key] if r.key in fresh_rows
+                   else index.lookup_key(r.key) for r in ok]
+    new_unit = (np.concatenate(
+        [np.stack(design_rows) if design_rows
+         else np.empty((0, index.shards.hidden), dtype=np.float32),
+         chunk_unit])
+        if design_rows or len(chunk_unit) else
+        np.empty((0, index.shards.hidden), dtype=np.float32))
     embed_seconds = time.perf_counter() - embed_start
 
     meta = index.meta
@@ -602,7 +876,15 @@ def add_to_index(root, paths, jobs=None, batch_size=64):
 
     existing_names = [e["name"] for e in meta["entries"]]
     names = _unique_names(results, taken=existing_names)
+    ok_names = [name for result, name in zip(results, names) if result.ok]
     meta["entries"].extend(_result_entries(results, names))
+    # The appended shard mirrors the build layout batch-locally: the
+    # batch's design rows first, then its chunk rows grouped by design.
+    rows = meta.setdefault("rows", [])
+    rows.extend({"kind": "design", "name": name} for name in ok_names)
+    for i in range(len(ok)):
+        rows.extend({"kind": "chunk", "parent": ok_names[i],
+                     "region": region} for _, region in per_ok_chunks[i])
     report = {
         "mode": "add",
         "files": len(results),
@@ -610,36 +892,67 @@ def add_to_index(root, paths, jobs=None, batch_size=64):
         "embedded_fresh": len(fresh),
         "embeddings_reused": len(ok) - len(fresh),
         "failures": len(results) - len(ok),
+        "chunk_rows": len(chunk_graphs),
         "cache": cache.stats.as_dict() if cache else None,
         "extract_seconds": extract_seconds,
         "embed_seconds": embed_seconds,
         "jobs": extractor.last_jobs,
     }
     meta["build"] = report
+    # Extend the signature file for the appended designs.  An index
+    # without one (migrated from v3, never re-extracted) stays without:
+    # a partially-signed corpus could never serve the structural
+    # channel anyway.
+    stored = load_signatures(root)
+    if stored is not None:
+        colors, radius = stored
+        colors.update({name: wl_colors(result.graph, radius)
+                       for result, name in zip(ok, ok_names)})
+        write_signatures(root, colors, radius=radius)
     _write_meta(root, meta)
     _clean_stale_files(root, meta)
     return FingerprintIndex.load(root), report
 
 
-def migrate_v2(root):
-    """Convert a v2 index to v3 in place, without re-embedding.
+def _design_row_specs(meta):
+    """v4 row table for a chunk-less index: one design row per ok entry,
+    in entry order (exactly how v2/v3 laid out their shard rows)."""
+    return [{"kind": "design", "name": entry["name"]}
+            for entry in meta["entries"] if entry["status"] == "ok"]
 
-    Reads the compressed float64 ``embeddings.npz``, unit-normalizes it
-    once, writes the rows as a float32 shard (plus an IVF quantizer when
-    the corpus is large enough), rewrites ``meta.json`` as v3, and
-    removes the legacy store.
+
+def migrate_index(root):
+    """Convert a v2 or v3 index to v4 in place, without re-embedding.
+
+    - **v3 -> v4** rewrites ``meta.json`` only: the shard rows already
+      hold one whole-design embedding per ok entry, so the migration
+      synthesizes the matching ``rows`` table (no chunk rows — rebuild
+      the index to also store subgraph chunks) and stamps the version.
+      Shards, quantizer, and model are untouched, and queries return
+      exactly the scores the v3 index returned.
+    - **v2 -> v4** additionally converts the compressed float64
+      ``embeddings.npz`` store: unit-normalizes it once, writes the rows
+      as a float32 shard (plus an IVF quantizer when the corpus is
+      large enough), and removes the legacy store.
 
     Returns:
         The migrated, loaded :class:`FingerprintIndex`.
     """
     root = Path(root)
     meta = _read_meta(root)
-    if meta.get("version") == FORMAT_VERSION:
+    version = meta.get("version")
+    if version == FORMAT_VERSION:
         return FingerprintIndex.load(root)
-    if meta.get("version") != 2:
+    if version == 3:
+        meta["version"] = FORMAT_VERSION
+        meta["rows"] = _design_row_specs(meta)
+        meta["chunks"] = None
+        _write_meta(root, meta)
+        return FingerprintIndex.load(root)
+    if version != 2:
         raise IndexStoreError(
-            f"cannot migrate index version {meta.get('version')!r} "
-            f"(only v2); rebuild the index")
+            f"cannot migrate index version {version!r} "
+            f"(only v2 and v3); rebuild the index")
     try:
         with np.load(root / LEGACY_EMBEDDINGS_NAME,
                      allow_pickle=False) as data:
@@ -663,10 +976,16 @@ def migrate_v2(root):
                                 unit_matrix)]
                    if len(unit_matrix) else []),
     }
+    meta["rows"] = _design_row_specs(meta)
+    meta["chunks"] = None
     _maybe_fit_ivf(root, unit_matrix, meta)
-    # v3 meta lands atomically first; only then is the legacy store
+    # v4 meta lands atomically first; only then is the legacy store
     # removed, so a crash mid-migration never strands a half-converted
     # index (either version's meta always matches its files).
     _write_meta(root, meta)
     _clean_stale_files(root, meta)
     return FingerprintIndex.load(root)
+
+
+#: Back-compat alias: the v2 migration entry point now handles v3 too.
+migrate_v2 = migrate_index

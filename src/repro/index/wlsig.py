@@ -1,0 +1,216 @@
+"""Structural Weisfeiler-Lehman signatures for rank fusion.
+
+The GNN embedding space is trained on whole-design pairs, so at *chunk*
+granularity unrelated 48-node subgraphs embed nearly identically —
+cosine alone cannot rank a grafted 30% of a victim above incidental
+host overlap.  This module adds a second, purely structural channel:
+
+- every stored design gets a **signature** — the multiset of fanin-only
+  Weisfeiler-Lehman node colors (radius :data:`SIG_RADIUS`).  Fanin-only
+  refinement matters: a stolen gate keeps its predecessors (they were
+  stolen with it) but gains new successors inside the host, so colors
+  that look *backwards* survive theft while bidirectional colors do not.
+- a suspect is scored by **reverse containment**: how much of the
+  stored design's color mass reappears in the suspect, with each color
+  weighted by its inverse design frequency (IDF) so boilerplate logic
+  shared by every design counts for little and family-specific
+  structure counts for a lot.
+- each stored entry is **background-calibrated**: its mean containment
+  against the *other* stored designs is subtracted, so entries made of
+  promiscuous generic logic stop outranking genuine partial matches.
+
+Signatures live in ``signatures.json`` next to ``meta.json``; they are
+written by ``index build`` / ``index add`` (the graphs are already in
+hand) and loaded lazily.  An index without the file — e.g. one migrated
+from v3 without re-extraction — simply serves without the structural
+channel.  Color hashing is BLAKE2-based and therefore stable across
+processes and ``PYTHONHASHSEED`` values, unlike builtin ``hash``.
+"""
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IndexStoreError
+
+SIG_NAME = "signatures.json"
+#: Bump when the color construction changes shape: stored signatures
+#: are only comparable to fresh suspect colors at the same version.
+SIG_VERSION = 1
+#: WL refinement rounds.  Radius 1 (a node plus its direct fanin) is
+#: deliberately shallow: every extra round widens the blast radius of a
+#: graft's remapped inputs, destroying exactly the colors partial-theft
+#: detection needs to keep.
+SIG_RADIUS = 1
+#: Cap on background-calibration probes per entry (the full pairwise
+#: pass is quadratic; a deterministic, evenly-spaced sample of other
+#: entries estimates the same mean on large corpora).
+BG_PROBES = 128
+
+
+def _digest(payload):
+    """Stable 64-bit color id for a byte payload."""
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+def wl_colors(graph, radius=SIG_RADIUS):
+    """Fanin-only WL color multiset of a :class:`~repro.ir.graphir.GraphIR`.
+
+    Each node starts from ``(kind, label)`` and is refined ``radius``
+    times with the *sorted multiset of its predecessors'* colors — never
+    its successors', so the colors of stolen logic are invariant to the
+    new fanout it grows inside a host design.  Returns a
+    :class:`collections.Counter` of 64-bit color ids.
+    """
+    colors = [_digest(f"{node.kind}\x1f{node.label}".encode())
+              for node in graph.nodes]
+    for _ in range(radius):
+        colors = [
+            _digest(b"".join(
+                value.to_bytes(8, "big")
+                for value in [colors[i]]
+                + sorted(colors[j] for j in graph.predecessors(i))))
+            for i in range(len(graph.nodes))]
+    return Counter(colors)
+
+
+def write_signatures(root, colors_by_name, radius=SIG_RADIUS):
+    """Atomically persist ``{entry name: color Counter}`` signatures."""
+    payload = {
+        "version": SIG_VERSION,
+        "radius": int(radius),
+        "colors": {
+            name: {format(color, "x"): int(count)
+                   for color, count in sorted(counter.items())}
+            for name, counter in sorted(colors_by_name.items())
+        },
+    }
+    root = Path(root)
+    tmp = root / (SIG_NAME + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    tmp.replace(root / SIG_NAME)
+
+
+def load_signatures(root):
+    """``(colors_by_name, radius)`` from ``signatures.json``, or ``None``.
+
+    Absent files mean the index predates signatures (or was migrated
+    without re-extraction); version mismatches mean the color scheme
+    moved on — both degrade to serving without the structural channel
+    rather than refusing the index.  A *corrupt* file is an error.
+    """
+    path = Path(root) / SIG_NAME
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexStoreError(f"corrupt index signatures: {exc}") from exc
+    if payload.get("version") != SIG_VERSION:
+        return None
+    colors = {
+        name: Counter({int(color, 16): int(count)
+                       for color, count in mapping.items()})
+        for name, mapping in payload.get("colors", {}).items()
+    }
+    return colors, int(payload.get("radius", SIG_RADIUS))
+
+
+class SignatureScorer:
+    """IDF-weighted reverse-containment scoring over stored signatures.
+
+    Args:
+        names: ok-entry names in engine parent order.
+        designs: the matching design name per entry (IDF counts a color
+            once per *design*, so four stored variants of one family do
+            not deflate their own colors' weight).
+        colors_by_name: signature Counters, one per name.
+        radius: WL radius the signatures were built at (suspect colors
+            must be computed at the same radius).
+    """
+
+    def __init__(self, names, designs, colors_by_name, radius=SIG_RADIUS):
+        self.radius = int(radius)
+        self._names = list(names)
+        self._designs = list(designs)
+        distinct = sorted(set(self._designs))
+        self._entry_colors = [colors_by_name[name] for name in self._names]
+
+        frequency = Counter()
+        for design in distinct:
+            seen = set()
+            for name, owner in zip(self._names, self._designs):
+                if owner == design:
+                    seen |= set(colors_by_name[name])
+            for color in seen:
+                frequency[color] += 1
+        n = len(distinct)
+        self._idf = {color: float(np.log((n + 1) / (df + 0.5)))
+                     for color, df in frequency.items()}
+        #: Weight of a color never seen in the corpus (df = 0).
+        self._unseen_idf = float(np.log((n + 1) / 0.5))
+
+        self._mass = np.array([
+            max(sum(count * self._idf[color]
+                    for color, count in counter.items()), 1e-12)
+            for counter in self._entry_colors])
+        # Inverted postings: color -> [(entry ordinal, stored count)].
+        self._postings = {}
+        for ordinal, counter in enumerate(self._entry_colors):
+            for color, count in counter.items():
+                self._postings.setdefault(color, []).append(
+                    (ordinal, count))
+        self._background = self._calibrate()
+
+    def __len__(self):
+        return len(self._names)
+
+    def _raw(self, query_colors):
+        """Per-entry containment: IDF mass of the entry's colors found
+        in the query, normalized by the entry's own total mass."""
+        found = np.zeros(len(self._names))
+        for color, query_count in query_colors.items():
+            postings = self._postings.get(color)
+            if not postings:
+                continue
+            weight = self._idf.get(color, self._unseen_idf)
+            for ordinal, stored_count in postings:
+                found[ordinal] += min(stored_count, query_count) * weight
+        return found / self._mass
+
+    def _calibrate(self):
+        """Mean containment of each entry against other-design entries.
+
+        Probes are an evenly-spaced deterministic sample (all entries on
+        small corpora), so two loads of one index always calibrate
+        identically.
+        """
+        count = len(self._names)
+        if count <= 1:
+            return np.zeros(count)
+        probes = range(count)
+        if count > BG_PROBES:
+            step = count / BG_PROBES
+            probes = sorted({int(i * step) for i in range(BG_PROBES)})
+        total = np.zeros(count)
+        hits = np.zeros(count)
+        for probe in probes:
+            scores = self._raw(self._entry_colors[probe])
+            foreign = np.array([design != self._designs[probe]
+                                for design in self._designs])
+            total[foreign] += scores[foreign]
+            hits[foreign] += 1
+        return total / np.maximum(hits, 1)
+
+    def scores(self, query_colors):
+        """Background-calibrated structural scores for one suspect.
+
+        Returns one float per stored entry, in engine parent order —
+        ready to fuse with the embedding channel
+        (:meth:`repro.index.engine.QueryEngine.query_groups`).
+        """
+        return self._raw(query_colors) - self._background

@@ -277,39 +277,56 @@ class ReproServer:
         session = self.session
         corpus = session.corpus
         out = [None] * len(jobs)
+        # Per job: flat part vectors, group prefix offsets (one group =
+        # one suspect), and per-part region descriptors.  On a chunk-less
+        # index every suspect is a single part and the engine call below
+        # takes the legacy (bit-identical) path.
         vectors_by_job = {}
+        offsets_by_job = {}
+        regions_by_job = {}
+        struct_by_job = {}
 
         # Phase 1: extract every source suspect (pure-python, per job so
-        # one broken design only fails its own request) ...
-        graphs_by_job = {}
+        # one broken design only fails its own request) and decompose it
+        # the same way the corpus is stored ...
+        parts_by_job = {}
         detector = None
         for idx, job in enumerate(jobs):
             if job.sources is None:
                 continue
             try:
                 detector = session.detector
-                graphs_by_job[idx] = [
+                graphs = [
                     session.extract(src, top=job.top, allow_paths=False)
                     for src in job.sources]
+                parts_by_job[idx] = corpus.index.suspect_parts(graphs)
+                # Structural scores for rank fusion (None on an index
+                # without signatures); vector suspects never get them —
+                # there is no graph to fingerprint structurally.
+                struct_by_job[idx] = corpus.index.suspect_struct(graphs)
             except (ReproError, OSError) as exc:
                 out[idx] = exc
-        # ... then embed them all in one batched pass.
-        if graphs_by_job:
-            flat = [g for graphs in graphs_by_job.values() for g in graphs]
+        # ... then embed all parts across the gulp in one batched pass.
+        if parts_by_job:
+            flat = [g for parts, _, _ in parts_by_job.values()
+                    for g in parts]
             try:
                 service = corpus.index.service_for(detector.model)
                 embedded = service.embed_graphs(flat)
             except ReproError as exc:
-                for idx in graphs_by_job:
+                for idx in parts_by_job:
                     out[idx] = exc
             else:
                 cursor = 0
-                for idx, graphs in graphs_by_job.items():
+                for idx, (parts, offsets, regions) in parts_by_job.items():
                     vectors_by_job[idx] = embedded[cursor:cursor
-                                                   + len(graphs)]
-                    cursor += len(graphs)
+                                                   + len(parts)]
+                    offsets_by_job[idx] = offsets
+                    regions_by_job[idx] = regions
+                    cursor += len(parts)
 
         # Phase 2: validate vector suspects against the store width.
+        # Each supplied vector is its own single-part group.
         hidden = corpus.index.engine.hidden
         for idx, job in enumerate(jobs):
             if job.vectors is None or out[idx] is not None:
@@ -321,8 +338,11 @@ class ReproServer:
                     f"(n, {hidden})")
                 continue
             vectors_by_job[idx] = rows
+            offsets_by_job[idx] = list(range(len(rows) + 1))
+            regions_by_job[idx] = [None] * len(rows)
 
-        # Phase 3: one engine pass per distinct parameter group.
+        # Phase 3: one engine pass per distinct parameter group, with
+        # every member job's part groups rebased into one offsets table.
         # Session.default_delta keeps verdicts call-order independent
         # (model-less synthetic stores fall back to 0.0).
         delta = session.default_delta
@@ -334,18 +354,28 @@ class ReproServer:
         for (k, nprobe, exact), members in groups.items():
             stacked = np.concatenate([vectors_by_job[idx]
                                       for idx in members])
+            offsets, regions, struct = [0], [], []
+            for idx in members:
+                base = offsets[-1]
+                groups_in_job = len(offsets_by_job[idx]) - 1
+                offsets.extend(base + off
+                               for off in offsets_by_job[idx][1:])
+                regions.extend(regions_by_job[idx])
+                struct.extend(struct_by_job.get(idx)
+                              or [None] * groups_in_job)
+            if all(s is None for s in struct):
+                struct = None
             try:
-                hit_lists = corpus.index.query_many(stacked, k=k,
-                                                    delta=delta,
-                                                    nprobe=nprobe,
-                                                    exact=exact)
+                hit_lists = corpus.index.query_parts(
+                    stacked, offsets, regions, k=k, delta=delta,
+                    nprobe=nprobe, exact=exact, struct=struct)
             except ReproError as exc:
                 for idx in members:
                     out[idx] = exc
                 continue
             cursor = 0
             for idx in members:
-                count = len(vectors_by_job[idx])
+                count = len(offsets_by_job[idx]) - 1
                 per_suspect = hit_lists[cursor:cursor + count]
                 cursor += count
                 out[idx] = [

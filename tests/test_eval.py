@@ -56,8 +56,12 @@ class TestScenarioGeneration:
             by_scenario.setdefault(suspect.scenario, []).append(suspect)
         assert sorted(by_scenario) == sorted(scenario_names())
         for name in ("rtl_variant", "netlist_obfuscate_s2",
-                     "resynthesis", "partial_theft"):
+                     "resynthesis"):
             assert len(by_scenario[name]) == len(FAMILIES)
+        # partial_theft sweeps every configured theft fraction.
+        fractions = tiny_context().theft_fractions
+        assert len(by_scenario["partial_theft"]) == \
+            len(FAMILIES) * len(fractions)
 
     def test_deterministic(self):
         first = generate_scenarios(tiny_context())
@@ -209,8 +213,14 @@ class TestRunner:
         assert metrics["pirated"] == metrics["suspects"] > 0
         assert metrics["recall_at_k"]["10"] is not None
         provenance = metrics["suspect_results"][0]["provenance"]
-        assert provenance["fraction"] == 0.6
+        assert provenance["fraction"] in EvalConfig.theft_fractions
         assert provenance["host"] in HOLDOUTS
+        # Recall is broken down per swept fraction for the CI floor.
+        by_fraction = metrics["recall_by_fraction"]
+        assert sorted(by_fraction) == \
+            sorted(f"{f:g}" for f in EvalConfig.theft_fractions)
+        for recalls in by_fraction.values():
+            assert "10" in recalls
 
     def test_recall_accessor(self, report):
         value = report.recall_at(10, "netlist_obfuscate_s2")

@@ -1,6 +1,6 @@
 """Query engine, shard store, IVF quantizer, and incremental adds.
 
-Covers the format-v3 serving contract: v2 refusal with a migration
+Covers the format-v4 serving contract: v2/v3 refusal with a migration
 message, partial/corrupt shard detection, the IVF recall floor,
 ``query_many`` == per-vector ``query_vector`` bit-identity in exact
 mode, append-only ``index add``, and the cached embedding service.
@@ -127,10 +127,10 @@ class TestV2Migration:
         index, _, _ = built
         _downgrade_to_v2(index)
         assert main(["index", "migrate", str(index.root)]) == 0
-        assert "format v3" in capsys.readouterr().out
+        assert "format v4" in capsys.readouterr().out
         assert main(["index", "stats", str(index.root)]) == 0
         capsys.readouterr()
-        # Re-running on an already-v3 index must not claim a migration.
+        # Re-running on an already-v4 index must not claim a migration.
         assert main(["index", "migrate", str(index.root)]) == 0
         assert "nothing to do" in capsys.readouterr().out
 
