@@ -18,6 +18,7 @@ Three facade objects cover the paper's deployment workflow:
 
 from repro.api.config import DetectorConfig, IndexConfig
 from repro.api.facade import Corpus, Detector, Session
+from repro.index.ingest import IngestConfig, walk_sources
 from repro.api.types import (
     ORIGIN_CACHE,
     ORIGIN_EXTRACTED,
@@ -30,7 +31,7 @@ from repro.api.types import (
 )
 
 __all__ = [
-    "DetectorConfig", "IndexConfig",
+    "DetectorConfig", "IndexConfig", "IngestConfig", "walk_sources",
     "Detector", "Corpus", "Session",
     "Comparison", "Fingerprint", "Match", "QueryResult",
     "matches_from_hits",

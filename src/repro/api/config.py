@@ -5,7 +5,7 @@ filesystem.  Validation and loading happen when the config is handed to
 :class:`~repro.api.facade.Detector` / :class:`~repro.api.facade.Corpus`.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 
@@ -56,6 +56,8 @@ class IndexConfig:
             for whole-design-only indexes.
         chunk_config: optional
             :class:`~repro.index.chunks.ChunkConfig` override.
+        progress: optional ``callback(done, total)`` invoked as files
+            finish extraction (drives the CLI's ``--progress``).
     """
 
     level: str = None
@@ -65,3 +67,4 @@ class IndexConfig:
     batch_size: int = 64
     chunks: bool = True
     chunk_config: object = None
+    progress: object = field(default=None, repr=False)

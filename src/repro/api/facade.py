@@ -43,6 +43,7 @@ from repro.core.gnn4ip import GNN4IP
 from repro.core.persist import load_model
 from repro.errors import ModelError
 from repro.index.cache import DFGCache
+from repro.index.ingest import ingest_corpus
 from repro.index.service import EmbeddingService
 from repro.index.store import (
     CACHE_DIR,
@@ -258,7 +259,43 @@ class Corpus:
                                     batch_size=config.batch_size,
                                     level=config.level,
                                     chunks=config.chunks,
-                                    chunk_config=config.chunk_config)
+                                    chunk_config=config.chunk_config,
+                                    progress=config.progress)
+        return cls(index), report
+
+    @classmethod
+    def ingest(cls, root, paths, detector=None, config=None, resume=True,
+               fresh=False):
+        """Streaming, resumable ingest; returns ``(corpus, report)``.
+
+        The production-scale alternative to :meth:`build`/:meth:`add`:
+        a multiprocess extract→chunk→embed worker pool, bounded-size
+        shard flushes (flat peak memory), and a durable checkpoint so a
+        killed ingest resumes exactly where it stopped — see
+        :func:`repro.index.ingest.ingest_corpus`.  With an existing
+        index at ``root`` and no checkpoint, new designs are appended in
+        place.
+
+        Args:
+            detector: a :class:`Detector` (or bare
+                :class:`~repro.core.gnn4ip.GNN4IP`); required for a
+                fresh index, optional when resuming or appending (the
+                index's own model is the default).
+            config: an :class:`~repro.index.ingest.IngestConfig`.
+            resume: pick up an existing checkpoint at ``root``.
+            fresh: discard any checkpoint and existing index.
+
+        Returns:
+            ``(corpus, report)``; ``corpus`` is ``None`` when the run
+            paused at ``config.stop_after``.
+        """
+        model = (detector.model if isinstance(detector, Detector)
+                 else detector)
+        index, report = ingest_corpus(root, paths, model=model,
+                                      config=config, resume=resume,
+                                      fresh=fresh)
+        if index is None:
+            return None, report
         return cls(index), report
 
     @classmethod

@@ -28,6 +28,8 @@ Examples::
     gnn4ip index build my.index --families --instances 4 --model model.npz
     gnn4ip index build net.index --level netlist --families --model net.npz
     gnn4ip index add my.index new_designs/
+    gnn4ip index ingest big.index /path/to/verilog/tree --model model.npz
+    gnn4ip index ingest big.index more/ --progress --json
     gnn4ip index query my.index suspect.v -k 5
     gnn4ip index query my.index s1.v s2.v s3.v --nprobe 8 --json
     gnn4ip index query my.index suspect.v --exact
@@ -40,10 +42,12 @@ Examples::
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro import __version__
-from repro.api import Corpus, Detector, IndexConfig, Session
+from repro.api import Corpus, Detector, IndexConfig, IngestConfig, Session
+from repro.index.ingest import CHECKPOINT_NAME, walk_sources
 from repro.core import GNN4IP, Trainer, build_pair_dataset
 from repro.core.persist import load_model, save_model  # noqa: F401 - re-export
 from repro.dataflow import dfg_from_verilog
@@ -177,20 +181,38 @@ def _cmd_corpus(args):
 # -- index subcommands --------------------------------------------------------
 def _collect_sources(sources):
     """Expand files/directories into a sorted, deduplicated .v file list."""
-    paths = []
-    for source in sources:
-        path = Path(source)
-        if path.is_dir():
-            paths.extend(sorted(path.rglob("*.v")))
-        else:
-            paths.append(path)
-    seen = set()
-    unique = []
-    for path in paths:
-        if str(path) not in seen:
-            seen.add(str(path))
-            unique.append(path)
-    return unique
+    return walk_sources(sources)
+
+
+class _ProgressPrinter:
+    """Periodic stderr progress lines behind ``--progress``."""
+
+    def __init__(self, every=2.0):
+        self.every = every
+        self.started = time.monotonic()
+        self.last = 0.0
+
+    def build(self, done, total):
+        """(done, total) callback shape used by the build extractor."""
+        now = time.monotonic()
+        if now - self.last < self.every and done < total:
+            return
+        self.last = now
+        elapsed = now - self.started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = f"{(total - done) / rate:.0f}s" if rate > 0 else "?"
+        print(f"progress: {done}/{total} designs  {rate:.1f}/s  eta {eta}",
+              file=sys.stderr)
+
+    def ingest(self, stats):
+        """Stats-dict callback shape used by the streaming ingest (the
+        ingest loop already throttles to its own progress_every)."""
+        eta = stats["eta_seconds"]
+        print(f"progress: {stats['done']}/{stats['total']} designs "
+              f"({stats['failed']} failed)  {stats['rows']} rows  "
+              f"{stats['rows_per_sec']:.1f} rows/s  "
+              f"eta {'?' if eta is None else f'{eta:.0f}s'}",
+              file=sys.stderr)
 
 
 def _cmd_index_build(args):
@@ -210,31 +232,103 @@ def _cmd_index_build(args):
     detector = _cli_detector(args.model, args, level=args.level)
     if detector is None:
         return 1
+    progress = _ProgressPrinter().build if args.progress else None
     corpus, report = Corpus.build(args.index_dir, paths, detector,
                                   IndexConfig(level=args.level,
                                               jobs=args.jobs,
                                               use_cache=not args.no_cache,
-                                              chunks=not args.no_chunks))
-    print(f"indexed {report['embedded']}/{report['files']} files "
-          f"at level {corpus.level} "
-          f"({report['failures']} failures) with {report['jobs']} workers")
-    if report.get("chunk_rows"):
-        print(f"chunks: {report['chunk_rows']} subgraph rows for "
-              f"partial-theft locality")
-    if report["embeddings_reused"]:
-        print(f"embeddings: {report['embedded_fresh']} fresh, "
-              f"{report['embeddings_reused']} reused from previous build")
-    cache = report["cache"]
-    if cache is not None:
-        print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
-              f"({cache['store_bytes']} bytes written)")
-    print(f"extract: {report['extract_seconds']:.3f}s  "
-          f"embed: {report['embed_seconds']:.3f}s")
+                                              chunks=not args.no_chunks,
+                                              progress=progress))
+    wall = report["extract_seconds"] + report["embed_seconds"]
+    report["throughput"] = {
+        "wall_seconds": wall,
+        "designs_per_sec": report["embedded"] / max(wall, 1e-9),
+        "rows_per_sec": ((report["embedded"] + report["chunk_rows"])
+                         / max(wall, 1e-9)),
+    }
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(f"indexed {report['embedded']}/{report['files']} files "
+              f"at level {corpus.level} "
+              f"({report['failures']} failures) with "
+              f"{report['jobs']} workers")
+        if report.get("chunk_rows"):
+            print(f"chunks: {report['chunk_rows']} subgraph rows for "
+                  f"partial-theft locality")
+        if report["embeddings_reused"]:
+            print(f"embeddings: {report['embedded_fresh']} fresh, "
+                  f"{report['embeddings_reused']} reused from previous "
+                  f"build")
+        cache = report["cache"]
+        if cache is not None:
+            print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+                  f"({cache['store_bytes']} bytes written)")
+        print(f"extract: {report['extract_seconds']:.3f}s  "
+              f"embed: {report['embed_seconds']:.3f}s  "
+              f"({report['throughput']['designs_per_sec']:.1f} designs/s)")
     for entry in corpus.entries:
         if entry["status"] == "error":
             print(f"  FAILED {entry['path']}: {entry['error']}",
                   file=sys.stderr)
     return 0
+
+
+def _cmd_index_ingest(args):
+    paths = walk_sources(args.sources)
+    if not paths:
+        print("error: no input files (pass .v files or directories)",
+              file=sys.stderr)
+        return 1
+    root = Path(args.index_dir)
+    # The model is only mandatory for a brand-new index: resumes and
+    # appends default to the model the index already carries.
+    have_base = (not args.fresh
+                 and ((root / "meta.json").is_file()
+                      or (root / CHECKPOINT_NAME).is_file()))
+    detector = None
+    if args.model or not have_base:
+        detector = _cli_detector(args.model, args, level=args.level)
+        if detector is None:
+            return 1
+    progress = _ProgressPrinter().ingest if args.progress else None
+    config = IngestConfig(jobs=args.jobs, flush_rows=args.flush_rows,
+                          level=args.level,
+                          use_cache=not args.no_cache,
+                          chunks=not args.no_chunks, progress=progress)
+    corpus, report = Corpus.ingest(args.index_dir, paths, detector,
+                                   config, resume=not args.no_resume,
+                                   fresh=args.fresh)
+    ing = report["ingest"]
+    # Same shape as `index build --json` so tooling can read either.
+    report["throughput"] = {
+        "wall_seconds": ing["wall_seconds"],
+        "designs_per_sec": ing["designs_per_sec"],
+        "rows_per_sec": ing["rows_per_sec"],
+    }
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(f"ingested {report['embedded']}/{report['files']} designs "
+              f"({report['failures']} failures, {ing['ingest_mode']} "
+              f"mode) with {report['jobs']} workers")
+        print(f"throughput: {ing['designs_per_sec']:.1f} designs/s, "
+              f"{ing['rows_per_sec']:.1f} rows/s over "
+              f"{ing['wall_seconds']:.1f}s  ({ing['flushes']} flushes, "
+              f"{ing['shards_written']} shard(s))")
+        if ing["resumed"]:
+            print(f"resumed from checkpoint: "
+                  f"{ing['completed'] - ing['session_designs']} designs "
+                  f"already done")
+    if corpus is None:
+        print(f"paused at {ing['completed']}/{ing['total']} designs; "
+              f"rerun to resume from the checkpoint", file=sys.stderr)
+        return 0
+    for entry in corpus.entries[-report["files"]:]:
+        if entry["status"] == "error":
+            print(f"  FAILED {entry['path']}: {entry['error']}",
+                  file=sys.stderr)
+    return 0 if report["embedded"] or not report["failures"] else 1
 
 
 def _cmd_index_add(args):
@@ -491,7 +585,59 @@ def build_parser():
                          default=None,
                          help="extraction level (default: the model's "
                               "level, rtl for fresh models)")
+    p_build.add_argument("--progress", action="store_true",
+                         help="periodic progress lines on stderr")
+    p_build.add_argument("--json", action="store_true",
+                         help="machine-readable build report (including "
+                              "a throughput summary)")
     p_build.set_defaults(func=_cmd_index_build)
+
+    p_ingest = index_sub.add_parser(
+        "ingest",
+        help="streaming multiprocess ingest with checkpointed resume "
+             "(the production-scale build/add path; walks external "
+             "Verilog trees)")
+    p_ingest.add_argument("index_dir", help="index directory (created, "
+                                            "resumed, or appended to)")
+    p_ingest.add_argument("sources", nargs="+",
+                          help="Verilog files or directory trees "
+                               "(scanned recursively for *.v)")
+    p_ingest.add_argument("--model", default=None,
+                          help=".npz model; required for a new index, "
+                               "defaults to the index's own model when "
+                               "resuming or appending")
+    p_ingest.add_argument("--allow-untrained", action="store_true",
+                          help="permit a new index without --model "
+                               "(untrained weights; scores are noise)")
+    p_ingest.add_argument("--jobs", type=int, default=None,
+                          help="extract+embed worker processes "
+                               "(default: auto)")
+    p_ingest.add_argument("--flush-rows", type=int, default=2048,
+                          help="embedding rows buffered between durable "
+                               "shard flushes (bounds peak memory)")
+    p_ingest.add_argument("--fresh", action="store_true",
+                          help="discard any checkpoint and existing "
+                               "index; start from scratch")
+    p_ingest.add_argument("--no-resume", action="store_true",
+                          help="fail instead of resuming when a "
+                               "checkpoint exists")
+    p_ingest.add_argument("--no-cache", action="store_true",
+                          help="bypass the content-addressed graph cache")
+    p_ingest.add_argument("--no-chunks", action="store_true",
+                          help="index whole designs only (new indexes; "
+                               "appends follow the index's own config)")
+    p_ingest.add_argument("--seed", type=int, default=0)
+    p_ingest.add_argument("--level", choices=("rtl", "netlist"),
+                          default=None,
+                          help="extraction level for a new index "
+                               "(default: the model's level)")
+    p_ingest.add_argument("--progress", action="store_true",
+                          help="periodic progress lines on stderr "
+                               "(designs done/total, rows/s, ETA)")
+    p_ingest.add_argument("--json", action="store_true",
+                          help="machine-readable ingest report with the "
+                               "throughput summary")
+    p_ingest.set_defaults(func=_cmd_index_ingest)
 
     p_add = index_sub.add_parser(
         "add", help="append designs to an existing index (no rebuild)")

@@ -21,6 +21,7 @@ from repro.index.extractor import (
     ExtractionResult,
     default_jobs,
 )
+from repro.index.ingest import IngestConfig, ingest_corpus, walk_sources
 from repro.index.service import EmbeddingService, model_fingerprint
 from repro.index.shards import ShardStore
 from repro.index.store import (
@@ -37,7 +38,8 @@ __all__ = [
     "ChunkConfig", "extract_chunks",
     "CorpusExtractor", "ExtractionResult", "default_jobs",
     "EmbeddingService", "model_fingerprint",
-    "FingerprintIndex", "QueryEngine", "QueryHit", "IVFIndex",
-    "ShardStore", "SignatureScorer", "add_to_index", "build_index",
-    "migrate_index", "migrate_v2", "wl_colors",
+    "FingerprintIndex", "IngestConfig", "QueryEngine", "QueryHit",
+    "IVFIndex", "ShardStore", "SignatureScorer", "add_to_index",
+    "build_index", "ingest_corpus", "migrate_index", "migrate_v2",
+    "walk_sources", "wl_colors",
 ]

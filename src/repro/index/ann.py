@@ -40,6 +40,11 @@ DEFAULT_NPROBE = 8
 #: Corpora below this size are served exactly; an IVF would only add
 #: overhead (and k-means over a handful of rows is meaningless).
 MIN_ROWS = 256
+#: Re-fit (instead of grow) the quantizer when the rows appended since
+#: the last k-means fit exceed this fraction of the fitted row count:
+#: assign-only growth never moves centroids, so recall drifts down as
+#: the corpus outgrows the distribution the centroids were fitted on.
+REFIT_GROWTH = 0.5
 
 
 def default_clusters(rows):

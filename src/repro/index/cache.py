@@ -18,6 +18,7 @@ store.
 """
 
 import hashlib
+import os
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -102,11 +103,17 @@ class DFGCache:
         return graph
 
     def store(self, key, graph):
-        """Write ``graph`` under ``key`` (atomically via rename)."""
+        """Write ``graph`` under ``key`` (atomically via rename).
+
+        The temp name carries the writer's pid: ingest workers write to
+        the cache concurrently, and two processes storing the same key
+        must not interleave bytes in a shared temp file (last rename
+        wins; both wrote identical content anyway).
+        """
         path = self.blob_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = ir_serialize.dumps(graph)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_bytes(blob)
         tmp.replace(path)
         self.stats.stores += 1

@@ -119,13 +119,17 @@ class CorpusExtractor:
                 return result, None
         return result, cleaned
 
-    def extract_paths(self, paths, top=None):
+    def extract_paths(self, paths, top=None, progress=None):
         """Extract every file in ``paths``; results in input order.
 
         Args:
             paths: Verilog file paths.
             top: top-module name applied to every file (rarely useful on
                 mixed corpora; leave ``None`` to auto-detect per file).
+            progress: optional ``callback(done, total)`` invoked as files
+                finish (cache hits and preprocess failures count as done
+                immediately; extracted files as each worker result
+                lands).  Drives the CLI's ``--progress`` reporting.
         """
         results = []
         pending = []  # (position, cleaned)
@@ -138,21 +142,36 @@ class CorpusExtractor:
         level, options = self.frontend.worker_spec()
         tasks = [(pos, cleaned, top, level, options)
                  for pos, cleaned in pending]
+        done = len(results) - len(tasks)
+        if progress is not None:
+            progress(done, len(results))
+
+        def _finish(outcome):
+            nonlocal done
+            position, payload, error = outcome
+            result = results[position]
+            if error is not None:
+                result.error = error
+            else:
+                result.graph = ir_serialize.from_dict(payload)
+                if self.cache is not None:
+                    self.cache.store(result.key, result.graph)
+            done += 1
+            if progress is not None:
+                progress(done, len(results))
+
         jobs = self.jobs if self.jobs is not None else default_jobs(len(tasks))
         self.last_jobs = 1
         if tasks:
             if jobs > 1 and len(tasks) > 1:
                 self.last_jobs = jobs
                 with multiprocessing.Pool(processes=jobs) as pool:
-                    outcomes = pool.map(_extract_task, tasks)
+                    # Unordered streaming: progress ticks as workers
+                    # finish; results slot into place by position.
+                    for outcome in pool.imap_unordered(_extract_task,
+                                                       tasks):
+                        _finish(outcome)
             else:
-                outcomes = [_extract_task(task) for task in tasks]
-            for position, payload, error in outcomes:
-                result = results[position]
-                if error is not None:
-                    result.error = error
-                    continue
-                result.graph = ir_serialize.from_dict(payload)
-                if self.cache is not None:
-                    self.cache.store(result.key, result.graph)
+                for task in tasks:
+                    _finish(_extract_task(task))
         return results

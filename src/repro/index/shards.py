@@ -19,6 +19,7 @@ corruption that preserves the size is caught by :meth:`ShardStore.verify`
 """
 
 import hashlib
+import os
 from pathlib import Path
 
 import numpy as np
@@ -74,12 +75,16 @@ def unit_rows_f32(matrix, eps=1e-12):
                                 dtype=SHARD_DTYPE)
 
 
-def write_shard(root, ordinal, unit_matrix):
+def write_shard(root, ordinal, unit_matrix, fsync=False):
     """Atomically write one shard; returns its ``meta.json`` spec dict.
 
     ``unit_matrix`` must already be unit-normalized float32 (see
     :func:`unit_rows_f32`); this function is a plain byte writer so the
-    store never double-normalizes reused rows.
+    store never double-normalizes reused rows.  ``fsync=True`` forces the
+    bytes to stable storage before the rename — the streaming ingest
+    checkpoint protocol depends on a checkpointed shard surviving a
+    crash, while one-shot builds (whose meta.json lands last anyway)
+    skip the sync.
     """
     unit_matrix = np.ascontiguousarray(unit_matrix, dtype=SHARD_DTYPE)
     if unit_matrix.ndim != 2 or not len(unit_matrix):
@@ -89,7 +94,11 @@ def write_shard(root, ordinal, unit_matrix):
     path = shard_dir / shard_filename(ordinal)
     blob = unit_matrix.tobytes()
     tmp = path.with_suffix(".tmp")
-    tmp.write_bytes(blob)
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
     tmp.replace(path)
     return {
         "file": path.name,

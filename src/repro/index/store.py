@@ -55,6 +55,7 @@ from repro.errors import IndexStoreError, ModelError
 from repro.index.ann import (
     IVF_NAME,
     MIN_ROWS as IVF_MIN_ROWS,
+    REFIT_GROWTH,
     IVFIndex,
     ivf_filename,
 )
@@ -578,12 +579,18 @@ def _ivf_path(root, meta):
 
 
 def _maybe_fit_ivf(root, unit_matrix, meta):
-    """Fit + persist the coarse quantizer when the corpus is big enough."""
+    """Fit + persist the coarse quantizer when the corpus is big enough.
+
+    ``fitted_rows`` records how many rows the k-means actually saw, so
+    later appends know when assign-only growth has outrun the centroids
+    and a re-fit is due (:data:`~repro.index.ann.REFIT_GROWTH`).
+    """
     if len(unit_matrix) >= IVF_MIN_ROWS:
         ivf = IVFIndex.fit(unit_matrix)
         name = _next_ivf_name(root)
         ivf.save(root / name)
-        meta["ivf"] = {"clusters": ivf.n_clusters, "file": name}
+        meta["ivf"] = {"clusters": ivf.n_clusters, "file": name,
+                       "fitted_rows": len(unit_matrix)}
     else:
         meta["ivf"] = None
 
@@ -606,7 +613,8 @@ def _clean_stale_files(root, meta):
 
 def build_index(root, paths, model, pipeline=None, jobs=None,
                 use_cache=True, top=None, batch_size=64, level=None,
-                frontend=None, chunks=True, chunk_config=None):
+                frontend=None, chunks=True, chunk_config=None,
+                progress=None):
     """Build (or rebuild) a fingerprint index over Verilog files.
 
     Extraction fans out over worker processes and reuses the index's graph
@@ -625,6 +633,8 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
             whole-design row.
         chunk_config: :class:`~repro.index.chunks.ChunkConfig` override
             (defaults apply when ``None``).
+        progress: optional ``callback(done, total)`` forwarded to the
+            extraction phase (the build's dominant cost).
 
     Returns:
         (index, report) — the loaded :class:`FingerprintIndex` and a dict
@@ -661,7 +671,7 @@ def build_index(root, paths, model, pipeline=None, jobs=None,
     start = time.perf_counter()
     cache = DFGCache(root / CACHE_DIR) if use_cache else None
     extractor = CorpusExtractor(cache=cache, jobs=jobs, frontend=frontend)
-    results = extractor.extract_paths(paths, top=top)
+    results = extractor.extract_paths(paths, top=top, progress=progress)
     extract_seconds = time.perf_counter() - start
 
     ok = [r for r in results if r.ok]
@@ -858,7 +868,11 @@ def add_to_index(root, paths, jobs=None, batch_size=64):
         meta["store"]["shards"].append(write_shard(root, ordinal,
                                                    new_unit))
         total = index.shards.rows + len(new_unit)
-        if index.ivf is not None:
+        fitted = ((meta.get("ivf") or {}).get("fitted_rows", 0)
+                  if index.ivf is not None else 0)
+        refit_due = (total - fitted
+                     > max(IVF_MIN_ROWS, int(REFIT_GROWTH * fitted)))
+        if index.ivf is not None and not refit_due:
             # Grow the quantizer in place: new rows join their nearest
             # existing centroid; no re-clustering, no reassignment.
             index.ivf.add(new_unit)
@@ -866,13 +880,17 @@ def add_to_index(root, paths, jobs=None, batch_size=64):
             index.ivf.save(root / name)
             meta["ivf"]["file"] = name
         elif total >= IVF_MIN_ROWS:
-            # Covers both the first crossing of the size threshold and a
-            # quantizer load() dropped as stale — refit from everything.
+            # Covers the first crossing of the size threshold, a
+            # quantizer load() dropped as stale, and assign-only growth
+            # crossing REFIT_GROWTH since the last k-means (centroids
+            # fitted on a fraction of the corpus probe poorly against
+            # the rest) — refit from everything.
             ivf = IVFIndex.fit(
                 np.concatenate([index.matrix, new_unit], axis=0))
             name = _next_ivf_name(root)
             ivf.save(root / name)
-            meta["ivf"] = {"clusters": ivf.n_clusters, "file": name}
+            meta["ivf"] = {"clusters": ivf.n_clusters, "file": name,
+                           "fitted_rows": total}
 
     existing_names = [e["name"] for e in meta["entries"]]
     names = _unique_names(results, taken=existing_names)

@@ -112,8 +112,12 @@ class ReproServer:
                                     max_delay_s=batch_window_s)
         self.requests = 0
         self.errors = 0
+        #: Accepted TCP connections (with keep-alive, many requests can
+        #: share one — tests and stats use the ratio).
+        self.connections = 0
         self.started_at = None
         self._server = None
+        self._writers = set()
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self):
@@ -129,6 +133,12 @@ class ReproServer:
     async def stop(self):
         if self._server is not None:
             self._server.close()
+            # Idle keep-alive connections sit blocked in read_request;
+            # close their transports so the handler tasks wind down
+            # (3.12's wait_closed waits for handlers, not just the
+            # listener).
+            for writer in list(self._writers):
+                writer.close()
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
@@ -138,22 +148,42 @@ class ReproServer:
 
     # -- connection handling -------------------------------------------------
     async def _handle(self, reader, writer):
+        """Serve requests off one connection until it winds down.
+
+        HTTP/1.1 keep-alive: the loop answers request after request on
+        the same socket (the sync client's connection reuse depends on
+        it) and exits on a clean client close, a ``Connection: close``
+        request, or a framing error — after a malformed head or torn
+        body the byte stream can no longer be trusted to start a next
+        request.
+        """
+        self.connections += 1
+        self._writers.add(writer)
         try:
-            try:
-                request = await read_request(reader)
-                if request is None:
+            while True:
+                request = None
+                try:
+                    request = await read_request(reader)
+                    if request is None:
+                        return  # client closed cleanly between requests
+                    payload, status = await self._dispatch(request)
+                except Exception as exc:  # every failure -> an envelope
+                    payload, status = error_envelope(exc)
+                keep_alive = (request is not None
+                              and request.headers.get("connection", "")
+                              .strip().lower() != "close")
+                self.requests += 1
+                if status >= 400:
+                    self.errors += 1
+                writer.write(response_bytes(status, payload,
+                                            keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
                     return
-                payload, status = await self._dispatch(request)
-            except Exception as exc:  # every failure becomes an envelope
-                payload, status = error_envelope(exc)
-            self.requests += 1
-            if status >= 400:
-                self.errors += 1
-            writer.write(response_bytes(status, payload))
-            await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -1,8 +1,10 @@
 """Minimal asyncio HTTP/1.1 plumbing (stdlib only).
 
-Just enough protocol for the detection service: one JSON request in, one
-JSON response out, ``Connection: close`` semantics.  No routing, no
-framework — :mod:`repro.server.app` layers the endpoints on top.
+Just enough protocol for the detection service: JSON requests in, JSON
+responses out, with HTTP/1.1 keep-alive (a client may pipeline many
+requests over one connection; ``Connection: close`` is honored).  No
+routing, no framework — :mod:`repro.server.app` layers the endpoints on
+top.
 """
 
 import asyncio
@@ -103,12 +105,20 @@ async def read_request(reader):
                    headers=headers, body=body)
 
 
-def response_bytes(status, payload):
-    """A complete HTTP response for a JSON-serializable payload."""
+def response_bytes(status, payload, keep_alive=False):
+    """A complete HTTP response for a JSON-serializable payload.
+
+    ``keep_alive`` controls the ``Connection`` header: the handler loop
+    passes ``True`` when it will read another request from the same
+    connection, ``False`` when it is about to close (client asked for
+    ``Connection: close``, or the request was malformed and the framing
+    can no longer be trusted).
+    """
     body = json.dumps(payload).encode("utf-8")
     reason = REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n")
+            f"Connection: {connection}\r\n\r\n")
     return head.encode("latin-1") + body

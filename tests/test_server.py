@@ -139,6 +139,67 @@ class TestEndpoints:
             out = await loop.run_in_executor(
                 None, lambda: sync.query(sources=[ADDER], k=1))
             assert out["results"][0]["matches"][0]["design"] == "adder"
+            await loop.run_in_executor(None, sync.close)
+
+        serve(session, scenario)
+
+    def test_sync_client_reuses_one_connection(self, session):
+        """Keep-alive: many sync requests ride one TCP connection."""
+
+        async def scenario(server, client):
+            loop = asyncio.get_running_loop()
+
+            def burst():
+                with Client("127.0.0.1", server.port) as sync:
+                    for _ in range(8):
+                        sync.healthz()
+                    sync.fingerprint(ADDER)
+
+            before = server.connections
+            await loop.run_in_executor(None, burst)
+            assert server.connections == before + 1
+            assert server.requests >= 9
+
+        serve(session, scenario)
+
+    def test_sync_client_reconnects_after_close(self, session):
+        """An explicitly closed client transparently reopens, and error
+        envelopes still propagate (they are answers, not transport
+        failures, so they must not trigger the retry path)."""
+
+        async def scenario(server, client):
+            loop = asyncio.get_running_loop()
+
+            def exercise():
+                sync = Client("127.0.0.1", server.port)
+                assert sync.healthz()["status"] == "ok"
+                sync.close()
+                assert sync.healthz()["status"] == "ok"  # fresh socket
+                with pytest.raises(ServerError) as excinfo:
+                    sync.request("GET", "/v1/nope")
+                sync.close()
+                return excinfo.value.status
+
+            assert await loop.run_in_executor(None, exercise) == 404
+
+        serve(session, scenario)
+
+    def test_connection_close_header_honored(self, session):
+        """A request carrying ``Connection: close`` ends the keep-alive
+        loop; the server closes after responding."""
+
+        async def scenario(server, client):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            try:
+                writer.write(b"GET /v1/healthz HTTP/1.1\r\n"
+                             b"Host: x\r\nConnection: close\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()  # EOF => server closed
+                assert b"Connection: close" in raw
+                assert b'"status": "ok"' in raw
+            finally:
+                writer.close()
 
         serve(session, scenario)
 
