@@ -1,0 +1,276 @@
+"""Scatter-gather serving benchmark: horizontal scaling + latency floors.
+
+``gnn4ip serve --workers N`` partitions the shard files across N query
+worker processes and merges their partial top-k at the front
+(:mod:`repro.server.worker`).  This benchmark drives sustained
+concurrent load at three server configurations over the same synthetic
+~50k-fingerprint on-disk index — in-process (``workers=0``), one worker,
+and ``REPRO_BENCH_SERVE_WORKERS`` (default 4) workers — and enforces:
+
+- **Bit-identity** (always, at any scale): every configuration returns
+  byte-identical result payloads for the same suspects on the exact,
+  IVF, and default query paths.  Scatter-gather is an execution layout,
+  not an approximation.
+- **Horizontal scaling** — 4-worker throughput must be >= 0.7 * 4x the
+  single-worker throughput.  Enforced only when the host actually has
+  >= 4 cores *and* the corpus is >= 50k rows; below either, the ratio
+  measures scheduler noise, so it is recorded but not asserted.
+- **p99 latency ceiling** — under sustained concurrency the 4-worker
+  p99 (measured client-side per request) must stay under 250 ms, gated
+  the same way.
+
+Scale comes from ``REPRO_BENCH_SERVE_N`` (default 50000).  Results land
+in ``benchmarks/out/bench_serve.json`` (and the per-worker row split +
+micro-batch stats ride along for the ops surface).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import OUT_DIR, report
+from repro.api import Corpus, Session
+from repro.client import AsyncClient
+from repro.index.ann import IVFIndex, ivf_filename
+from repro.index.shards import unit_rows_f32, write_shard
+from repro.index.store import FORMAT_VERSION
+from repro.server import ReproServer
+
+N = int(os.environ.get("REPRO_BENCH_SERVE_N", "50000"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "4"))
+HIDDEN = 16
+SHARDS = 2 * WORKERS     # even split at full fan-out
+REQUESTS = 160           # sustained-load requests per configuration
+CONCURRENCY = 32         # in-flight cap during the sustained run
+IDENTITY_SUSPECTS = 8    # per query path, compared across configurations
+SCALING_FLOOR = 0.7 * WORKERS
+P99_CEILING_S = 0.25
+FLOORS_MIN_ROWS = 50000
+SEED = 13
+
+
+def _assert_floors():
+    """Scaling floors need real cores and a real corpus under them."""
+    return N >= FLOORS_MIN_ROWS and (os.cpu_count() or 1) >= WORKERS
+
+
+def _merge_json(payload):
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "bench_serve.json"
+    existing = json.loads(out_path.read_text()) if out_path.exists() else {}
+    existing.update(payload)
+    with open(out_path, "w") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def disk_index(tmp_path_factory):
+    """A clustered synthetic corpus persisted as a real v4 shard index —
+    workers re-open it from disk, so unlike bench_query this one must
+    exist on disk."""
+    rng = np.random.default_rng(SEED)
+    families = max(8, N // 100)
+    centers = rng.standard_normal((families, HIDDEN))
+    labels = rng.integers(0, families, size=N)
+    rows = unit_rows_f32(
+        centers[labels] + 0.15 * rng.standard_normal((N, HIDDEN)))
+
+    root = tmp_path_factory.mktemp("serve_idx")
+    per = max(1, N // SHARDS)
+    specs = []
+    for i in range(SHARDS):
+        stop = N if i == SHARDS - 1 else min(N, (i + 1) * per)
+        start = min(N, i * per)
+        specs.append(write_shard(root, i, rows[start:stop]))
+    entries = [{"name": f"d{i:06d}", "path": f"d{i:06d}.v",
+                "key": f"{i:064d}", "design": f"fam{labels[i]}",
+                "status": "ok"} for i in range(N)]
+    table = [{"kind": "design", "name": f"d{i:06d}"} for i in range(N)]
+    n_clusters = max(16, min(1024, int(round(4 * N ** 0.5))))
+    ivf = IVFIndex.fit(rows, n_clusters=n_clusters, seed=SEED)
+    ivf.save(root / ivf_filename(0))
+    meta = {"version": FORMAT_VERSION, "model_hash": "bench",
+            "options": {"top": None, "level": "rtl", "use_cache": False},
+            "store": {"dtype": "float32", "hidden": HIDDEN,
+                      "shards": specs},
+            "entries": entries, "rows": table,
+            "ivf": {"file": ivf_filename(0), "clusters": n_clusters}}
+    (root / "meta.json").write_text(json.dumps(meta))
+
+    picks = rng.choice(N, size=max(REQUESTS, IDENTITY_SUSPECTS),
+                       replace=False)
+    suspects = unit_rows_f32(
+        rows[picks] + 0.05 * rng.standard_normal((len(picks), HIDDEN)))
+    return root, [[float(v) for v in s] for s in suspects]
+
+
+async def _sustained_load(client, suspects):
+    """Fire ``REQUESTS`` single-suspect queries with at most
+    ``CONCURRENCY`` in flight; per-request client-side latencies."""
+    semaphore = asyncio.Semaphore(CONCURRENCY)
+    latencies = []
+
+    async def one(vector):
+        async with semaphore:
+            start = time.perf_counter()
+            await client.query(vectors=[vector], k=10)
+            latencies.append(time.perf_counter() - start)
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*[one(suspects[i % len(suspects)])
+                           for i in range(REQUESTS)])
+    wall = time.perf_counter() - wall_start
+    return wall, latencies
+
+
+def _drive(root, workers, suspects):
+    """One configuration: start, identity sample, sustained load, stats."""
+
+    async def scenario():
+        server = ReproServer(Session(corpus=Corpus.open(root)), port=0,
+                             workers=workers)
+        await server.start()
+        client = AsyncClient(port=server.port)
+        try:
+            sample = {}
+            for name, kwargs in (("exact", {"exact": True}),
+                                 ("ivf", {"nprobe": 8}), ("default", {})):
+                outs = await asyncio.gather(*[
+                    client.query(vectors=[s], k=10, **kwargs)
+                    for s in suspects[:IDENTITY_SUSPECTS]])
+                sample[name] = [out["results"] for out in outs]
+
+            await _sustained_load(client, suspects)  # warmup
+            wall, latencies = await _sustained_load(client, suspects)
+            stats = await client.stats()
+            return sample, wall, latencies, stats
+        finally:
+            await client.close()
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+def _p99(latencies):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def bench_scatter_gather_scaling(disk_index):
+    """N-worker serving must be bit-identical and scale horizontally."""
+    root, suspects = disk_index
+
+    configs = {}
+    for workers in (0, 1, WORKERS):
+        configs[workers] = _drive(root, workers, suspects)
+
+    # Bit-identity across every configuration, every query path —
+    # enforced at any scale, this is the merge's correctness claim.
+    inproc_sample = configs[0][0]
+    for workers in (1, WORKERS):
+        assert configs[workers][0] == inproc_sample, \
+            f"{workers}-worker results diverged from in-process serving"
+
+    throughput = {w: REQUESTS / configs[w][1] for w in configs}
+    p99 = {w: _p99(configs[w][2]) for w in configs}
+    scaling = throughput[WORKERS] / throughput[1]
+    pooled_stats = configs[WORKERS][3]
+    worker_rows = [w["rows"] for w
+                   in pooled_stats["serving"]["worker_rows"]]
+    batch_mean = pooled_stats["batch_jobs"]["mean"]
+    floors = _assert_floors()
+
+    lines = [
+        f"corpus: {N} rows x {HIDDEN}, {SHARDS} shards; "
+        f"{REQUESTS} requests @ concurrency {CONCURRENCY}",
+        f"rows per worker ({WORKERS}w): {worker_rows}",
+        f"in-process:  {throughput[0]:8.1f} req/s   "
+        f"p99 {p99[0] * 1000:7.1f} ms",
+        f"1 worker:    {throughput[1]:8.1f} req/s   "
+        f"p99 {p99[1] * 1000:7.1f} ms",
+        f"{WORKERS} workers:   {throughput[WORKERS]:8.1f} req/s   "
+        f"p99 {p99[WORKERS] * 1000:7.1f} ms",
+        f"scaling:     {scaling:8.2f}x over 1 worker "
+        f"(required: >= {SCALING_FLOOR:.1f}x)",
+        f"p99 ceiling: {P99_CEILING_S * 1000:8.1f} ms "
+        f"({WORKERS}-worker, sustained)",
+        f"mean jobs per micro-batch ({WORKERS}w): {batch_mean:.1f}",
+        "bit-identical across configurations: True",
+        f"floors enforced: {floors} "
+        f"(needs >= {FLOORS_MIN_ROWS} rows and >= {WORKERS} cores; "
+        f"host has {os.cpu_count()})",
+    ]
+    report("serve_scatter_gather", "\n".join(lines))
+    _merge_json({
+        "rows": N, "hidden": HIDDEN, "shards": SHARDS,
+        "workers": WORKERS, "requests": REQUESTS,
+        "concurrency": CONCURRENCY, "cpu_count": os.cpu_count(),
+        "rows_per_worker": worker_rows,
+        "throughput_inprocess_rps": throughput[0],
+        "throughput_1worker_rps": throughput[1],
+        "throughput_nworker_rps": throughput[WORKERS],
+        "p99_inprocess_seconds": p99[0],
+        "p99_1worker_seconds": p99[1],
+        "p99_nworker_seconds": p99[WORKERS],
+        "scaling_over_1worker": scaling,
+        "scaling_floor": SCALING_FLOOR,
+        "p99_ceiling_seconds": P99_CEILING_S,
+        "mean_jobs_per_batch": batch_mean,
+        "bit_identical": True,
+        "timing_floors_enforced": floors,
+    })
+    if floors:
+        assert scaling >= SCALING_FLOOR, \
+            f"{WORKERS}-worker serving only {scaling:.2f}x a single " \
+            f"worker (floor {SCALING_FLOOR:.1f}x)"
+        assert p99[WORKERS] <= P99_CEILING_S, \
+            f"{WORKERS}-worker p99 {p99[WORKERS] * 1000:.1f} ms over " \
+            f"the {P99_CEILING_S * 1000:.0f} ms ceiling"
+
+
+def bench_drain_under_load(disk_index):
+    """Graceful drain: every request accepted before the drain gets a
+    real answer; the drain itself stays fast (no request is stranded
+    waiting on dead workers)."""
+    root, suspects = disk_index
+
+    async def scenario():
+        server = ReproServer(Session(corpus=Corpus.open(root)), port=0,
+                             workers=min(2, WORKERS))
+        await server.start()
+        client = AsyncClient(port=server.port)
+        inflight = [
+            asyncio.create_task(client.query(vectors=[suspects[i]], k=5))
+            for i in range(8)]
+        while server.inflight == 0 and not all(t.done() for t in inflight):
+            await asyncio.sleep(0.001)
+        drain_start = time.perf_counter()
+        await server.drain(timeout=30)
+        drain_seconds = time.perf_counter() - drain_start
+        answered = 0
+        for task in inflight:
+            try:
+                out = await task
+                assert out["results"][0]["matches"]
+                answered += 1
+            except Exception:
+                # Requests that had not been parsed when the listener
+                # closed are the client's to retry; parsed ones must
+                # all have been answered (checked below).
+                pass
+        await client.close()
+        return answered, drain_seconds
+
+    answered, drain_seconds = asyncio.run(scenario())
+    lines = [f"in-flight at SIGTERM: 8 requests, answered: {answered}",
+             f"drain wall time: {drain_seconds * 1000:.1f} ms "
+             f"(timeout 30 s)"]
+    report("serve_drain", "\n".join(lines))
+    _merge_json({"drain_inflight_answered": answered,
+                 "drain_seconds": drain_seconds})
+    assert answered >= 1, "drain stranded every in-flight request"
+    assert drain_seconds < 30, "drain hit its timeout"

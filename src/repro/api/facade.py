@@ -41,10 +41,11 @@ from repro.api.types import (
 )
 from repro.core.gnn4ip import GNN4IP
 from repro.core.persist import load_model
-from repro.errors import ModelError
+from repro.errors import IndexStoreError, ModelError
 from repro.index.cache import DFGCache
 from repro.index.ingest import ingest_corpus
 from repro.index.service import EmbeddingService
+from repro.index.shards import assign_partitions
 from repro.index.store import (
     CACHE_DIR,
     FingerprintIndex,
@@ -236,11 +237,69 @@ class Corpus:
     def __init__(self, index):
         self._index = index
         self._detector = None
+        self._partition = None
 
     @classmethod
-    def open(cls, root):
-        """Open an existing index (IndexStoreError when unusable)."""
-        return cls(FingerprintIndex.load(root))
+    def open(cls, root, partition=None):
+        """Open an existing index (IndexStoreError when unusable).
+
+        Args:
+            partition: optional ``(which, count)`` pair for
+                scatter-gather serving — the corpus then scopes its
+                partial queries to partition ``which`` of ``count``
+                balanced shard-file partitions (see
+                :func:`repro.index.shards.assign_partitions`).  Whole-
+                corpus queries (:meth:`query` etc.) are unaffected; the
+                mmap'd shards are shared through the OS page cache, so
+                N partitioned opens cost no extra memory.
+        """
+        corpus = cls(FingerprintIndex.load(root))
+        if partition is not None:
+            corpus.set_partition(*partition)
+        return corpus
+
+    def set_partition(self, which, count):
+        """Scope partial queries to partition ``which`` of ``count``;
+        returns the partition's shard ordinals."""
+        parts = assign_partitions(self._index.shards.specs, count)
+        which = int(which)
+        if not 0 <= which < len(parts):
+            raise IndexStoreError(
+                f"partition {which} out of range for {len(parts)} "
+                f"partitions")
+        self._partition = parts[which]
+        return self._partition
+
+    @property
+    def partition(self):
+        """Shard ordinals partial queries score (``None`` = unscoped)."""
+        return self._partition
+
+    @property
+    def partition_rows(self):
+        """Stored rows in this corpus's partition (all rows when
+        unscoped)."""
+        specs = self._index.shards.specs
+        if self._partition is None:
+            return self._index.shards.rows
+        return sum(int(specs[s]["rows"]) for s in self._partition)
+
+    def partial_parts(self, vectors, offsets, regions=None, k=5,
+                      delta=0.0, nprobe=None, exact=False, fused=None):
+        """Partition-local mergeable partials for part-vector groups
+        (the worker half of scatter-gather serving; see
+        :meth:`repro.index.store.FingerprintIndex.partial_parts`)."""
+        return self._index.partial_parts(vectors, offsets, regions=regions,
+                                         k=k, delta=delta, nprobe=nprobe,
+                                         exact=exact, fused=fused,
+                                         shards=self._partition)
+
+    def merge_parts(self, partials, offsets, regions=None, k=5,
+                    delta=0.0, struct=None):
+        """Merge per-partition partials into final hit lists, applying
+        the structural channel here (fuse at the front)."""
+        return self._index.merge_parts(partials, offsets, regions=regions,
+                                       k=k, delta=delta, struct=struct)
 
     @classmethod
     def build(cls, root, paths, detector, config=None):
@@ -445,15 +504,18 @@ class Session:
         self.corpus = corpus
 
     @classmethod
-    def open(cls, index_dir, model=None, delta=None):
+    def open(cls, index_dir, model=None, delta=None, partition=None):
         """Open an index directory, binding its own model (or ``model``).
 
         The one-call entry point::
 
             session = Session.open("library.index")
             results = session.query(["suspect_a.v", "suspect_b.v"], k=5)
+
+        ``partition`` is forwarded to :meth:`Corpus.open` — serving
+        workers open the same index scoped to their shard partition.
         """
-        corpus = Corpus.open(index_dir)
+        corpus = Corpus.open(index_dir, partition=partition)
         detector = Detector.load(model, delta=delta) if model else None
         return cls(detector=detector, corpus=corpus)
 

@@ -492,7 +492,9 @@ def _cmd_serve(args):
     session = Session(detector=detector, corpus=corpus)
     return run(session, host=args.host, port=args.port,
                max_batch=args.max_batch,
-               batch_window_s=args.batch_window_ms / 1000.0)
+               batch_window_s=args.batch_window_ms / 1000.0,
+               workers=args.workers, max_pending=args.max_pending,
+               log_json=args.log_json)
 
 
 def build_parser():
@@ -752,6 +754,17 @@ def build_parser():
     p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
                          help="how long a request waits for concurrent "
                               "arrivals to coalesce")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="fork N partitioned query workers and "
+                              "scatter-gather each batch across them "
+                              "(0 = serve in-process; results are "
+                              "bit-identical either way)")
+    p_serve.add_argument("--max-pending", type=int, default=None,
+                         help="refuse queries past this many pending "
+                              "requests with 429 + Retry-After "
+                              "(default: unbounded)")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit one JSON access-log line per request")
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

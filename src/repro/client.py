@@ -7,6 +7,10 @@ Two flavors share one request/response protocol:
 - :class:`AsyncClient` — asyncio streams; the right tool for tests and
   benchmarks that fire concurrent requests at the micro-batching queue.
 
+Both keep connections alive across requests (HTTP/1.1 keep-alive) and
+retry a transport-level failure exactly once on a fresh connection —
+safe because every service endpoint is a read-only computation.
+
 Both raise :class:`ServerError` (a :class:`~repro.errors.ReproError`)
 when the server answers with a JSON error envelope, exposing the
 envelope's ``status`` and ``error_type``.
@@ -160,40 +164,116 @@ class Client(_Protocol):
 
 
 class AsyncClient(_Protocol):
-    """Asyncio client (one connection per request).
+    """Asyncio client with keep-alive connection reuse.
 
-    Every endpoint helper returns a coroutine::
+    Connections are pooled instead of opened per request: a request
+    takes an idle connection (or dials a new one when none is idle),
+    sends ``Connection: keep-alive``, and parks the connection back in
+    the pool after a framed (``Content-Length``) response.  Sequential
+    callers therefore open exactly **one** connection and reuse it for
+    every request; concurrent ``asyncio.gather`` fan-out still dials as
+    many parallel connections as it has in-flight requests — which is
+    what feeds the server's micro-batching window — and reuses them for
+    later waves.
 
-        results = await AsyncClient("127.0.0.1", port).query(sources=[...])
+    Like the sync client, a request that fails at the transport layer
+    (stale pooled socket, server restart) is retried once on a fresh
+    connection — safe because every endpoint is a read-only
+    computation.  :class:`ServerError` envelopes are answers, not
+    transport failures, and are never retried.
+
+    Drop pooled connections with :meth:`close` or use the client as an
+    async context manager::
+
+        async with AsyncClient(port=8000) as client:
+            results = await client.query(sources=[...])
     """
 
     def __init__(self, host="127.0.0.1", port=8000):
         self.host = host
         self.port = port
+        self._idle = []
+
+    async def _acquire(self):
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing() and not reader.at_eof():
+                return reader, writer
+            await _close_quietly(writer)
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def close(self):
+        """Close every pooled idle connection (reopened on demand)."""
+        idle, self._idle = self._idle, []
+        for _, writer in idle:
+            await _close_quietly(writer)
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.close()
 
     async def request(self, method, path, payload=None):
-        reader, writer = await asyncio.open_connection(self.host, self.port)
-        try:
-            body = (json.dumps(payload).encode("utf-8")
-                    if payload is not None else b"")
-            head = (f"{method} {path} HTTP/1.1\r\n"
-                    f"Host: {self.host}\r\n"
-                    f"Content-Type: application/json\r\n"
-                    f"Content-Length: {len(body)}\r\n"
-                    f"Connection: close\r\n\r\n")
-            writer.write(head.encode("latin-1") + body)
-            await writer.drain()
-            raw = await reader.read()
-        finally:
-            writer.close()
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else b"")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n")
+        request_bytes = head.encode("latin-1") + body
+        for attempt in (0, 1):
+            reader, writer = await self._acquire()
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-        head, _, response_body = raw.partition(b"\r\n\r\n")
-        try:
-            status = int(head.split(b"\r\n", 1)[0].split(b" ")[1])
-        except (IndexError, ValueError) as exc:
-            raise ServerError(0, "BadResponse",
-                              "malformed response head") from exc
-        return _result_of(status, response_body)
+                writer.write(request_bytes)
+                await writer.drain()
+                status, headers, raw = await _read_response(reader)
+            except (ConnectionError, TimeoutError, OSError,
+                    asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                await _close_quietly(writer)
+                if attempt:
+                    raise
+                continue
+            if headers.get("connection", "").strip().lower() == "keep-alive":
+                self._idle.append((reader, writer))
+            else:
+                await _close_quietly(writer)
+            return _result_of(status, raw)
+
+
+async def _close_quietly(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def _read_response(reader):
+    """Parse one framed HTTP response: (status, headers, body bytes).
+
+    Keep-alive reuse depends on reading *exactly* one response —
+    ``Content-Length`` bytes, never read-to-EOF — so the connection is
+    positioned at the start of the next response afterwards.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(status_line.split(" ")[1])
+    except (IndexError, ValueError) as exc:
+        raise ServerError(0, "BadResponse",
+                          "malformed response head") from exc
+    headers = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", 0))
+    except ValueError as exc:
+        raise ServerError(0, "BadResponse",
+                          "malformed Content-Length in response") from exc
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

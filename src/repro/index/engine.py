@@ -11,10 +11,12 @@ One :class:`QueryEngine` turns the stored corpus into a lookup service:
   kernel otherwise).
 - **Partial top-k** — ranks come from ``argpartition`` (O(n)) plus a
   sort of only ``k`` candidates, not a full ``argsort`` of the corpus;
-  large corpora first reduce each row to its best score blocks.  The
-  returned hits order ties toward the lower row id; *which* of several
-  boundary-tied rows enters the top-k is deterministic for a given
-  corpus but unspecified (the price of partial selection).
+  large corpora first reduce each row to its best score blocks.  Ties
+  order toward the lower row id *including* at the top-k boundary: when
+  the k-th score is tied, the tied rows with the lowest ids enter
+  (partial selection pays one extra vectorized comparison pass to
+  resolve the boundary, so partitioned and single-process serving pick
+  identical survivors).
 - **IVF pre-filter** — with a fitted :class:`~repro.index.ann.IVFIndex`,
   only the rows in the ``nprobe`` best clusters are gathered and scored
   (exact dot products, so scores are never approximated — only the
@@ -44,6 +46,25 @@ One :class:`QueryEngine` turns the stored corpus into a lookup service:
   raw (part, row) pairing as locality evidence.  Fused queries always
   score exactly: the structural channel visits every stored design
   anyway, so the IVF shortcut buys nothing there.
+- **Partition-aware partial queries** — multi-worker serving splits the
+  corpus by whole shard files
+  (:func:`repro.index.shards.assign_partitions`) and has each worker
+  call :meth:`partial_many` / :meth:`partial_groups` over its own
+  subset.  Because exact scoring is one gemm *per shard* (and
+  IVF/grouped candidate scores are per-row dot products), a row's score
+  never depends on which partition scored it, and the partials are
+  mergeable: :meth:`merge_many` / :meth:`merge_groups` reduce them to
+  hit lists **bit-identical** to the single-process query on the full
+  engine.  The structural fusion channel is deliberately *not* computed
+  in partials — it ranks every stored design globally, so the caller
+  (the serving front) supplies ``struct`` to :meth:`merge_groups` and
+  fusion happens once, after the merge ("fuse at the front").
+
+Every ranking boundary breaks score ties deterministically (lower row /
+parent id wins, after the documented secondary keys), so partitioned and
+single-process serving agree even on corpora with duplicate designs —
+exact ties are real there, because duplicate content keys reuse the
+stored vector bit-for-bit.
 """
 
 from dataclasses import dataclass
@@ -92,6 +113,53 @@ class QueryHit:
     region: dict = None
     query_region: dict = None
     coverage: float = None
+
+
+@dataclass
+class PartialTopK:
+    """One query's partition-local top-k (mergeable).
+
+    Produced by :meth:`QueryEngine.partial_many`; disjoint partitions'
+    partials merge via :meth:`QueryEngine.merge_many` into hit lists
+    bit-identical to the single-process query.
+
+    Attributes:
+        rows: global row ids, ranked under ``(-score, row id)``.
+        scores: exact cosine scores aligned with ``rows``.
+    """
+
+    rows: np.ndarray
+    scores: np.ndarray
+
+
+@dataclass
+class PartialGroups:
+    """One group's partition-local per-parent reduction (mergeable).
+
+    Produced by :meth:`QueryEngine.partial_groups`; merged by
+    :meth:`QueryEngine.merge_groups`.  All arrays align with
+    ``parents`` (candidate parent ids, ascending).  ``embed`` and
+    ``design`` are only attached by fused partials; ``design`` is NaN
+    unless this partition owns the parent's whole-design row.
+
+    Attributes:
+        parents: parent design ids with at least one scored row here.
+        best: best (part, row) cosine per parent.
+        best_row: lowest global row id attaining ``best``.
+        best_part: query part index that produced ``best`` there.
+        above: rows of the parent scoring above delta in this
+            partition (coverage numerator; the denominator is global).
+        embed: embedding-channel score per parent (fused only).
+        design: whole-suspect vs whole-design cosine (fused only).
+    """
+
+    parents: np.ndarray
+    best: np.ndarray
+    best_row: np.ndarray
+    best_part: np.ndarray
+    above: np.ndarray
+    embed: np.ndarray = None
+    design: np.ndarray = None
 
 
 class QueryEngine:
@@ -219,7 +287,11 @@ class QueryEngine:
         """Positions of the best-k scores, ties toward lower row id.
 
         ``argpartition`` is O(n); only the ``k`` survivors get sorted —
-        no full argsort of the corpus per query.
+        no full argsort of the corpus per query.  When the k-th score is
+        tied, the tied positions with the lowest row ids win (one extra
+        comparison pass, only paid when a tie spans the boundary), so
+        the selection is a true top-k under the total order
+        ``(-score, row_id)`` — the property partition merging relies on.
         """
         k = min(max(int(k), 0), len(row_ids))
         if k == 0:
@@ -227,8 +299,35 @@ class QueryEngine:
         pos = np.arange(len(row_ids), dtype=np.int64)
         if k < len(row_ids):
             pos = np.argpartition(-scores, k - 1)[:k]
+            boundary = scores[pos].min()
+            strict = np.nonzero(scores > boundary)[0]
+            tied = np.nonzero(scores == boundary)[0]
+            if len(strict) + len(tied) > k:
+                tied = tied[np.argsort(row_ids[tied],
+                                       kind="stable")[:k - len(strict)]]
+                pos = np.concatenate([strict, tied])
         order = np.lexsort((row_ids[pos], -scores[pos]))
         return pos[order]
+
+    @staticmethod
+    def _resolve_boundary(row, cand, kk):
+        """Exact-path boundary ties toward lower row id.
+
+        ``cand`` holds a top-``kk`` multiset of positions into ``row``
+        (global row ids), so its minimum *is* the true kk-th largest
+        score.  When that value is tied beyond the boundary, the tied
+        rows with the lowest ids must win — the same total order
+        ``(-score, row_id)`` that :meth:`_top_sel` enforces, so exact
+        and partitioned selection agree on the survivors.
+        """
+        boundary = row[cand].min()
+        strict = np.nonzero(row > boundary)[0]
+        tied = np.nonzero(row == boundary)[0]
+        if len(strict) + len(tied) > kk:
+            # np.nonzero yields ascending positions: the slice keeps
+            # the lowest tied row ids.
+            cand = np.concatenate([strict, tied[:kk - len(strict)]])
+        return cand
 
     # -- queries -------------------------------------------------------------
     def query_many(self, vectors, k=5, delta=0.0, nprobe=None,
@@ -275,6 +374,8 @@ class QueryEngine:
                     cand = np.argpartition(row, n - kk)[n - kk:]
                 else:
                     cand = np.arange(n, dtype=np.int64)
+                if kk < n:
+                    cand = self._resolve_boundary(row, cand, kk)
                 order = np.lexsort((cand, -row[cand]))
                 sel = cand[order]
                 results.append(self._hits(sel, row[sel], delta))
@@ -337,6 +438,276 @@ class QueryEngine:
         return self._grouped(queries, offsets, regions, k, delta, nprobe,
                              exact, struct=struct)
 
+    # -- partitioned queries -------------------------------------------------
+    def _shard_subset(self, shards):
+        """Validated ascending shard ordinals (``None`` = every shard)."""
+        if shards is None:
+            return list(range(len(self._blocks)))
+        shards = sorted({int(s) for s in shards})
+        if shards and not (0 <= shards[0]
+                           and shards[-1] < len(self._blocks)):
+            raise IndexStoreError(
+                f"shard partition {shards} out of range for "
+                f"{len(self._blocks)} shards")
+        return shards
+
+    def _partition_scores(self, queries, shards):
+        """Exact scores over a shard subset + their global row ids.
+
+        The same one-gemm-per-shard loop as :meth:`_exact_scores` (with
+        the same 1-row padding), so a row's score is bit-identical
+        whichever partition computes it.
+        """
+        padded = queries
+        if len(queries) == 1:
+            padded = np.concatenate([queries, np.zeros_like(queries)])
+        parts = [padded @ np.asarray(self._blocks[s]).T for s in shards]
+        scores = (parts[0] if len(parts) == 1
+                  else np.concatenate(parts, axis=1))
+        rows = np.concatenate(
+            [np.arange(self._offsets[s], self._offsets[s + 1],
+                       dtype=np.int64) for s in shards])
+        return scores[:len(queries)], rows
+
+    def partial_many(self, vectors, k=5, delta=0.0, nprobe=None,
+                     exact=False, shards=None):
+        """Partition-local partials for a batch of query vectors.
+
+        The worker half of scatter-gather serving: scores only the rows
+        in ``shards`` (ordinals into the engine's block list) and
+        returns mergeable partials — one :class:`PartialTopK` per
+        query, or one :class:`PartialGroups` per query on a chunked
+        index (mirroring ``query_many``'s aggregation routing).  Feed
+        every partition's partials to :meth:`merge_many` for hit lists
+        bit-identical to ``query_many`` on the full engine.
+        """
+        if not len(self):
+            raise IndexStoreError("the fingerprint index is empty")
+        queries = self._as_queries(vectors)
+        shards = self._shard_subset(shards)
+        if not len(queries):
+            return []
+        if self.chunked:
+            offsets = np.arange(len(queries) + 1, dtype=np.int64)
+            return self._partial_grouped(queries, offsets,
+                                         [None] * len(queries), k, delta,
+                                         nprobe, exact, None, shards)
+        if not shards:
+            return [PartialTopK(rows=np.empty(0, dtype=np.int64),
+                                scores=np.empty(0, dtype=np.float32))
+                    for _ in range(len(queries))]
+        if exact or self.ivf is None:
+            scores, rows = self._partition_scores(queries, shards)
+            out = []
+            for i in range(len(queries)):
+                sel = self._top_sel(scores[i], rows, k)
+                out.append(PartialTopK(rows=rows[sel],
+                                       scores=scores[i][sel]))
+            return out
+        cand_rows, offsets = self.ivf.probe(queries, nprobe)
+        shard_of = np.searchsorted(self._offsets, cand_rows,
+                                   side="right") - 1
+        keep = np.isin(shard_of, np.asarray(shards, dtype=np.int64))
+        owner = np.repeat(np.arange(len(queries)), np.diff(offsets))
+        kept_rows = cand_rows[keep]
+        kept_owner = owner[keep]
+        gathered = self.gather(kept_rows)
+        kept_scores = np.einsum("ij,ij->i", gathered, queries[kept_owner])
+        counts = np.bincount(kept_owner, minlength=len(queries))
+        bounds = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        out = []
+        for i in range(len(queries)):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            rows_i, scores_i = kept_rows[lo:hi], kept_scores[lo:hi]
+            sel = self._top_sel(scores_i, rows_i, k)
+            out.append(PartialTopK(rows=rows_i[sel],
+                                   scores=scores_i[sel]))
+        return out
+
+    def partial_groups(self, parts, offsets, regions=None, k=5,
+                       delta=0.0, nprobe=None, exact=False, fused=None,
+                       shards=None):
+        """Partition-local per-parent partials for groups of parts.
+
+        The grouped worker half of scatter-gather: same contract as
+        :meth:`query_groups`, except the structural channel stays with
+        the caller — ``fused`` only *flags* which groups will be fused,
+        so their scoring matches the fused contract (exact, with the
+        embed/design channels attached).  The structural scores
+        themselves go to :meth:`merge_groups` (fuse at the front).
+        """
+        if not len(self):
+            raise IndexStoreError("the fingerprint index is empty")
+        queries = self._as_queries(parts)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if (len(offsets) < 1 or offsets[0] != 0
+                or offsets[-1] != len(queries)
+                or np.any(np.diff(offsets) < 0)):
+            raise IndexStoreError(
+                f"part offsets {offsets.tolist()} do not partition "
+                f"{len(queries)} query parts")
+        if regions is None:
+            regions = [None] * len(queries)
+        if fused is not None and len(fused) != len(offsets) - 1:
+            raise IndexStoreError(
+                f"{len(fused)} fused flags for {len(offsets) - 1} "
+                f"query groups")
+        if len(offsets) == 1:
+            return []
+        return self._partial_grouped(queries, offsets, regions, k, delta,
+                                     nprobe, exact, fused,
+                                     self._shard_subset(shards))
+
+    def _partial_grouped(self, queries, offsets, regions, k, delta,
+                         nprobe, exact, fused, shards):
+        """Grouped partials (queries already validated unit float32)."""
+        groups = len(offsets) - 1
+        if fused is None:
+            fused = [False] * groups
+
+        def empty_partial(is_fused):
+            empty = np.empty(0, dtype=np.int64)
+            return PartialGroups(
+                parents=empty, best=np.empty(0), best_row=empty,
+                best_part=empty, above=empty,
+                embed=np.empty(0) if is_fused else None,
+                design=np.empty(0) if is_fused else None)
+
+        if not shards:
+            return [empty_partial(bool(f)) for f in fused]
+        if any(fused) or exact or self.ivf is None:
+            # Mirrors _grouped: one fused group forces the whole batch
+            # onto exact scoring.
+            scores, rows = self._partition_scores(queries, shards)
+            out = []
+            for g in range(groups):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                if hi == lo:
+                    out.append(empty_partial(bool(fused[g])))
+                    continue
+                block = scores[lo:hi]
+                if fused[g]:
+                    out.append(self._fused_partial(block, regions[lo:hi],
+                                                   rows, delta))
+                    continue
+                uniq, _, best, best_row, best_part, above = \
+                    self._parent_partials(rows, block.max(axis=0),
+                                          block.argmax(axis=0), delta)
+                out.append(PartialGroups(
+                    parents=uniq, best=best, best_row=best_row,
+                    best_part=best_part, above=above))
+            return out
+        cand_rows, part_offsets = self.ivf.probe(queries, nprobe)
+        shard_set = np.asarray(shards, dtype=np.int64)
+        out = []
+        for g in range(groups):
+            lo, hi = int(offsets[g]), int(offsets[g + 1])
+            rows = np.unique(
+                cand_rows[int(part_offsets[lo]):int(part_offsets[hi])])
+            if len(rows):
+                shard_of = np.searchsorted(self._offsets, rows,
+                                           side="right") - 1
+                rows = rows[np.isin(shard_of, shard_set)]
+            if not len(rows):
+                out.append(empty_partial(False))
+                continue
+            block = self._gathered_block(rows, queries[lo:hi])
+            uniq, _, best, best_row, best_part, above = \
+                self._parent_partials(rows, block.max(axis=1),
+                                      block.argmax(axis=1), delta)
+            out.append(PartialGroups(parents=uniq, best=best,
+                                     best_row=best_row,
+                                     best_part=best_part, above=above))
+        return out
+
+    def merge_many(self, partials, k=5, delta=0.0):
+        """Hit lists from per-partition ``partial_many`` results.
+
+        Args:
+            partials: one ``partial_many`` result per partition, all
+                for the same query batch over disjoint shard subsets.
+        """
+        if not partials:
+            return []
+        if self.chunked:
+            n = len(partials[0])
+            offsets = np.arange(n + 1, dtype=np.int64)
+            return self.merge_groups(partials, offsets, [None] * n,
+                                     k=k, delta=delta)
+        results = []
+        for per_query in zip(*partials):
+            rows = np.concatenate([p.rows for p in per_query])
+            scores = np.concatenate([p.scores for p in per_query])
+            sel = self._top_sel(scores, rows, k)
+            results.append(self._hits(rows[sel], scores[sel], delta))
+        return results
+
+    def merge_groups(self, partials, offsets, regions=None, k=5,
+                     delta=0.0, struct=None):
+        """Hit lists from per-partition ``partial_groups`` results.
+
+        The gather half: merges each group's per-parent partials across
+        disjoint partitions, then ranks exactly like the single-process
+        path.  Structural fusion happens *here* — the structural
+        channel ranks every stored design globally, so it cannot be
+        computed per partition; ``struct`` follows the
+        :meth:`query_groups` contract (fuse at the front).
+
+        Args:
+            partials: one ``partial_groups`` result per partition, all
+                for the same groups over disjoint shard subsets.
+        """
+        if not partials:
+            return []
+        groups = len(partials[0])
+        if any(len(p) != groups for p in partials):
+            raise IndexStoreError(
+                "partition partials disagree on the query group count")
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if regions is None:
+            regions = [None] * int(offsets[-1])
+        if struct is not None and len(struct) != groups:
+            raise IndexStoreError(
+                f"{len(struct)} structural score vectors for "
+                f"{groups} query groups")
+        results = []
+        for g in range(groups):
+            per_part = [p[g] for p in partials]
+            lo, hi = int(offsets[g]), int(offsets[g + 1])
+            group_regions = regions[lo:hi]
+            if struct is not None and struct[g] is not None:
+                if not any(len(p.parents) for p in per_part):
+                    results.append([])
+                    continue
+                results.append(self._rank_fused(
+                    self._merge_fused(per_part), group_regions,
+                    struct[g], k, delta))
+                continue
+            uniq, best, best_row, best_part, above = \
+                self._merge_parent_partials(per_part)
+            results.append(self._rank_parents(
+                uniq, best, best_row, best_part, above, group_regions,
+                k, delta))
+        return results
+
+    def _merge_parent_partials(self, partials):
+        """Sparse merged per-parent arrays from disjoint-row partials."""
+        allp = np.concatenate([p.parents for p in partials])
+        allbest = np.concatenate([p.best for p in partials])
+        allrow = np.concatenate([p.best_row for p in partials])
+        allpart = np.concatenate([p.best_part for p in partials])
+        allabove = np.concatenate([p.above for p in partials])
+        # Best evidence per parent under (-score, row id): order the
+        # concatenated candidates and keep each parent's first.
+        order = np.lexsort((allrow, -allbest, allp))
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = allp[order][1:] != allp[order][:-1]
+        pick = order[first]
+        uniq = allp[pick]
+        above = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(above, np.searchsorted(uniq, allp), allabove)
+        return uniq, allbest[pick], allrow[pick], allpart[pick], above
+
     def _parent_arrays(self):
         """(parent_of, parent_row, parent_counts) — on a chunk-less
         engine every row is its own parent, so grouped queries degrade
@@ -396,11 +767,24 @@ class QueryEngine:
             if not len(rows):
                 results.append([])
                 continue
-            block = self.gather(rows) @ queries[lo:hi].T
+            block = self._gathered_block(rows, queries[lo:hi])
             results.append(self._aggregate(
                 rows, block.max(axis=1), block.argmax(axis=1),
                 regions[lo:hi], k, delta))
         return results
+
+    def _gathered_block(self, rows, group_queries):
+        """(rows, parts) exact scores for gathered candidate rows.
+
+        ``einsum`` instead of a BLAS gemm: BLAS picks differently-
+        rounded kernels by matrix shape, so a gemm'd row score would
+        depend on how many neighbours the probe (or a partition
+        filter) gathered alongside it.  einsum's per-cell reduction is
+        shape-invariant, which is the invariant partitioned grouped
+        queries rely on — and candidate blocks are small (probe-
+        bounded), so BLAS would buy little here anyway.
+        """
+        return np.einsum("ij,kj->ik", self.gather(rows), group_queries)
 
     def _aggregate(self, rows, row_best, row_part, group_regions, k,
                    delta):
@@ -413,17 +797,50 @@ class QueryEngine:
             row_part: which part produced it, per candidate.
             group_regions: the group's part region descriptors.
         """
-        parent_of, parent_row, parent_counts = self._parent_arrays()
-        parents = parent_of[rows]
-        uniq, inverse = np.unique(parents, return_inverse=True)
+        uniq, _, best, best_row, best_part, above = \
+            self._parent_partials(rows, row_best, row_part, delta)
+        return self._rank_parents(uniq, best, best_row, best_part, above,
+                                  group_regions, k, delta)
+
+    def _parent_partials(self, rows, row_best, row_part, delta):
+        """Per-parent reduction of per-row best scores (sparse).
+
+        The same reduction feeds single-process ranking and partition
+        partials: each quantity merges across disjoint row sets without
+        changing value (max for ``best``, lowest-row argmax for
+        ``best_row``/``best_part``, sum for ``above``), which is what
+        makes scatter-gather serving bit-identical.
+
+        Returns:
+            ``(uniq, inverse, best, best_row, best_part, above)`` —
+            candidate parent ids (ascending), the rows->uniq inverse
+            map, and aligned per-parent arrays.
+        """
+        parent_of = self._parent_arrays()[0]
+        uniq, inverse = np.unique(parent_of[rows], return_inverse=True)
         best = np.full(len(uniq), -np.inf, dtype=np.float64)
         np.maximum.at(best, inverse, row_best)
         # Lowest candidate position attaining each parent's maximum:
-        # deterministic tie-break toward the lower global row id.
+        # deterministic tie-break toward the lower global row id
+        # (``rows`` is ascending).
         at_max = row_best >= best[inverse]
         pos_best = np.full(len(uniq), len(rows), dtype=np.int64)
         np.minimum.at(pos_best, inverse[at_max], np.nonzero(at_max)[0])
-        above = np.bincount(inverse[row_best > delta], minlength=len(uniq))
+        above = np.bincount(inverse[row_best > delta],
+                            minlength=len(uniq)).astype(np.int64)
+        return (uniq, inverse, best, rows[pos_best],
+                np.asarray(row_part)[pos_best].astype(np.int64), above)
+
+    def _rank_parents(self, uniq, best, best_row, best_part, above,
+                      group_regions, k, delta):
+        """Rank reduced parents and build hits (non-fused grouped path).
+
+        Selection is a true top-k under the total order
+        ``(-best, -coverage, parent id)``: boundary score ties are
+        resolved with one extra pass, so merged partitions and the
+        single-process path pick identical survivors.
+        """
+        parent_row, parent_counts = self._parent_arrays()[1:]
         coverage = above / np.maximum(parent_counts[uniq], 1)
         kk = min(max(int(k), 0), len(uniq))
         if kk == 0:
@@ -431,12 +848,18 @@ class QueryEngine:
         sel = np.arange(len(uniq), dtype=np.int64)
         if kk < len(uniq):
             sel = np.argpartition(-best, kk - 1)[:kk]
+            boundary = best[sel].min()
+            strict = np.nonzero(best > boundary)[0]
+            tied = np.nonzero(best == boundary)[0]
+            if len(strict) + len(tied) > kk:
+                tied = tied[np.lexsort((uniq[tied], -coverage[tied]))
+                            [:kk - len(strict)]]
+                sel = np.concatenate([strict, tied])
         order = np.lexsort((uniq[sel], -coverage[sel], -best[sel]))
         sel = sel[order]
         hits = []
         for u in sel.tolist():
-            row = int(rows[pos_best[u]])
-            row_entry = self._entries[row]
+            row_entry = self._entries[int(best_row[u])]
             parent_entry = self._entries[int(parent_row[uniq[u]])]
             score = float(best[u])
             hits.append(QueryHit(
@@ -446,7 +869,7 @@ class QueryEngine:
                 via=("chunk" if row_entry.get("kind") == "chunk"
                      else "design"),
                 region=row_entry.get("region"),
-                query_region=group_regions[int(row_part[pos_best[u]])],
+                query_region=group_regions[int(best_part[u])],
                 coverage=float(coverage[u])))
         return hits
 
@@ -485,22 +908,100 @@ class QueryEngine:
             group_regions: the group's part region descriptors.
             struct: structural score per parent design.
         """
-        parent_of, parent_row, parent_counts = self._parent_arrays()
+        rows = np.arange(len(self), dtype=np.int64)
+        partial = self._fused_partial(block, group_regions, rows, delta)
+        return self._rank_fused(self._merge_fused([partial]),
+                                group_regions, struct, k, delta)
+
+    def _fused_partial(self, block, group_regions, rows, delta):
+        """Per-parent fusion inputs over the scored rows (sparse).
+
+        Besides the evidence reduction shared with the non-fused path,
+        the fused channel needs two extras per candidate parent: the
+        embedding-channel score (best chunk-vs-chunk cosine) and the
+        delta-comparable whole-vs-whole ``design`` score.  Each design
+        row lives in exactly one partition, so ``design`` is NaN for
+        every non-owner partial and merging keeps the one real value.
+
+        Args:
+            block: ``(parts, len(rows))`` score matrix for this group.
+            rows: scored global row ids (ascending; the full corpus in
+                single-process serving, a partition's rows in partials).
+        """
+        row_best = block.max(axis=0)
+        row_part = block.argmax(axis=0)
+        uniq, inverse, best, best_row, best_part, above = \
+            self._parent_partials(rows, row_best, row_part, delta)
+        chunk_parts = [i for i, region in enumerate(group_regions)
+                       if region is not None] or [0]
+        if self.chunked:
+            embed_rows = np.where(self._is_chunk[rows],
+                                  block[chunk_parts].max(axis=0), -np.inf)
+        else:
+            embed_rows = block[0]
+        embed = np.full(len(uniq), -np.inf)
+        np.maximum.at(embed, inverse, embed_rows)
+        parent_row = self._parent_arrays()[1]
+        drow = parent_row[uniq]
+        pos = np.searchsorted(rows, drow)
+        have = pos < len(rows)
+        have &= rows[np.minimum(pos, len(rows) - 1)] == drow
+        design = np.full(len(uniq), np.nan)
+        design[have] = block[0, pos[have]]
+        return PartialGroups(parents=uniq, best=best, best_row=best_row,
+                             best_part=best_part, above=above,
+                             embed=embed, design=design)
+
+    def _merge_fused(self, partials):
+        """Dense per-parent fusion inputs from disjoint-row partials.
+
+        Returns ``(embed, design, best, best_row, best_part, above)``
+        arrays indexed by parent id.  Fused queries score every row, so
+        the union of partials covers every parent.
+        """
+        n_parents = len(self._parent_arrays()[1])
+        allp = np.concatenate([p.parents for p in partials])
+        allbest = np.concatenate([p.best for p in partials])
+        allrow = np.concatenate([p.best_row for p in partials])
+        allpart = np.concatenate([p.best_part for p in partials])
+        # Best evidence per parent under (-score, row id): order the
+        # concatenated candidates and keep each parent's first.
+        order = np.lexsort((allrow, -allbest, allp))
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = allp[order][1:] != allp[order][:-1]
+        pick = order[first]
+        best = np.full(n_parents, -np.inf)
+        best[allp[pick]] = allbest[pick]
+        best_row = np.zeros(n_parents, dtype=np.int64)
+        best_row[allp[pick]] = allrow[pick]
+        best_part = np.zeros(n_parents, dtype=np.int64)
+        best_part[allp[pick]] = allpart[pick]
+        above = np.zeros(n_parents, dtype=np.int64)
+        np.add.at(above, allp, np.concatenate([p.above for p in partials]))
+        embed = np.full(n_parents, -np.inf)
+        np.maximum.at(embed, allp,
+                      np.concatenate([p.embed for p in partials]))
+        alldesign = np.concatenate([p.design for p in partials])
+        have = ~np.isnan(alldesign)
+        design = np.full(n_parents, np.nan)
+        design[allp[have]] = alldesign[have]
+        return embed, design, best, best_row, best_part, above
+
+    def _rank_fused(self, merged, group_regions, struct, k, delta):
+        """Rank parents by fused channel rank and build hits.
+
+        Args:
+            merged: dense ``(embed, design, best, best_row, best_part,
+                above)`` arrays from :meth:`_merge_fused`.
+        """
+        embed, design, best, best_row, best_part, above = merged
+        parent_row, parent_counts = self._parent_arrays()[1:]
         n_parents = len(parent_row)
         struct = np.asarray(struct, dtype=np.float64)
         if struct.shape != (n_parents,):
             raise IndexStoreError(
                 f"structural scores have shape {struct.shape}, expected "
                 f"({n_parents},)")
-        chunk_parts = [i for i, region in enumerate(group_regions)
-                       if region is not None] or [0]
-        if self.chunked:
-            embed_rows = np.where(self._is_chunk,
-                                  block[chunk_parts].max(axis=0), -np.inf)
-        else:
-            embed_rows = block[0]
-        embed = np.full(n_parents, -np.inf)
-        np.maximum.at(embed, parent_of, embed_rows)
         fused = np.minimum(self._channel_ranks(embed),
                            self._channel_ranks(struct))
         kk = min(max(int(k), 0), n_parents)
@@ -508,24 +1009,12 @@ class QueryEngine:
             return []
         sel = np.lexsort((np.arange(n_parents, dtype=np.int64),
                           fused))[:kk]
-        # Locality evidence over the raw (part, row) matrix, same
-        # conventions as _aggregate.
-        row_best = block.max(axis=0)
-        row_part = block.argmax(axis=0)
-        best = np.full(n_parents, -np.inf)
-        np.maximum.at(best, parent_of, row_best)
-        at_max = row_best >= best[parent_of]
-        pos_best = np.full(n_parents, len(row_best), dtype=np.int64)
-        np.minimum.at(pos_best, parent_of[at_max], np.nonzero(at_max)[0])
-        above = np.bincount(parent_of[row_best > delta],
-                            minlength=n_parents)
         coverage = above / np.maximum(parent_counts, 1)
         hits = []
         for u in sel.tolist():
-            design_row = int(parent_row[u])
-            score = float(block[0, design_row])
-            row_entry = self._entries[int(pos_best[u])]
-            parent_entry = self._entries[design_row]
+            score = float(design[u])
+            row_entry = self._entries[int(best_row[u])]
+            parent_entry = self._entries[int(parent_row[u])]
             hits.append(QueryHit(
                 name=parent_entry["name"], path=parent_entry["path"],
                 design=parent_entry["design"], score=score,
@@ -533,7 +1022,7 @@ class QueryEngine:
                 via=("chunk" if row_entry.get("kind") == "chunk"
                      else "design"),
                 region=row_entry.get("region"),
-                query_region=group_regions[int(row_part[pos_best[u]])],
+                query_region=group_regions[int(best_part[u])],
                 coverage=float(coverage[u])))
         return hits
 

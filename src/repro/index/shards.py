@@ -59,6 +59,42 @@ def next_shard_ordinal(root, specs=()):
     return taken + 1
 
 
+def assign_partitions(specs, n):
+    """Split shard files into ``n`` balanced disjoint partitions.
+
+    Greedy longest-processing-time assignment over the shard row
+    counts: shards are taken largest first and each goes to the
+    currently lightest partition, so partitions stay within one shard
+    of balanced without splitting any file (scatter-gather serving
+    partitions by *whole* shards — the per-shard gemm is what makes
+    partition scores bit-identical to single-process scores).
+    Deterministic: ties break toward the lower shard ordinal and the
+    lower partition index.  With more partitions than shards the
+    surplus partitions come back empty.
+
+    Args:
+        specs: the ``meta.json`` shard spec list (``rows`` per shard,
+            in ordinal order).
+        n: partition count (>= 1).
+
+    Returns:
+        ``n`` ascending lists of shard ordinals, disjoint and jointly
+        covering ``range(len(specs))``.
+    """
+    n = int(n)
+    if n < 1:
+        raise IndexStoreError(f"partition count must be >= 1, got {n}")
+    sized = sorted(enumerate(int(s["rows"]) for s in specs),
+                   key=lambda pair: (-pair[1], pair[0]))
+    parts = [[] for _ in range(n)]
+    loads = [0] * n
+    for ordinal, rows in sized:
+        lightest = min(range(n), key=lambda i: (loads[i], i))
+        parts[lightest].append(ordinal)
+        loads[lightest] += rows
+    return [sorted(part) for part in parts]
+
+
 def unit_rows_f32(matrix, eps=1e-12):
     """Unit-normalized ``float32`` copy of an embedding matrix.
 

@@ -406,6 +406,45 @@ class FingerprintIndex:
                                         delta=delta, nprobe=nprobe,
                                         exact=exact, struct=struct)
 
+    def partial_parts(self, vectors, offsets, regions=None, k=5,
+                      delta=0.0, nprobe=None, exact=False, fused=None,
+                      shards=None):
+        """Worker half of :meth:`query_parts` for scatter-gather serving.
+
+        Scores only the shard files in ``shards`` and returns mergeable
+        partials (:meth:`~repro.index.engine.QueryEngine.partial_many` /
+        ``partial_groups``).  ``fused`` flags which groups the front
+        will fuse — the structural scores themselves never reach the
+        workers (fuse at the front).  The plain/grouped dispatch mirrors
+        :meth:`query_parts` exactly, with ``fused is None`` standing in
+        for ``struct is None``, so a worker and a single process route
+        any given request the same way.
+        """
+        if (fused is None and not self.engine.chunked
+                and len(vectors) == len(offsets) - 1):
+            return self.engine.partial_many(vectors, k=k, delta=delta,
+                                            nprobe=nprobe, exact=exact,
+                                            shards=shards)
+        return self.engine.partial_groups(vectors, offsets, regions, k=k,
+                                          delta=delta, nprobe=nprobe,
+                                          exact=exact, fused=fused,
+                                          shards=shards)
+
+    def merge_parts(self, partials, offsets, regions=None, k=5,
+                    delta=0.0, struct=None):
+        """Gather half of :meth:`query_parts`: merge partition partials.
+
+        ``partials`` holds one :meth:`partial_parts` result per
+        partition (disjoint shard subsets, same request).  Returns hit
+        lists bit-identical to :meth:`query_parts` on the full index;
+        ``struct`` is applied here, after the merge.
+        """
+        if (struct is None and not self.engine.chunked
+                and int(offsets[-1]) == len(offsets) - 1):
+            return self.engine.merge_many(partials, k=k, delta=delta)
+        return self.engine.merge_groups(partials, offsets, regions, k=k,
+                                        delta=delta, struct=struct)
+
     def lookup_key(self, key):
         """Stored (unit float32) embedding for a content key, or None."""
         row = self._row_by_key.get(key)

@@ -30,23 +30,34 @@ def _announce(message):
 
 
 def run(session, host="127.0.0.1", port=8000, max_batch=256,
-        batch_window_s=0.002, announce=_announce):
+        batch_window_s=0.002, workers=0, max_pending=None, log_json=False,
+        drain_timeout_s=30.0, announce=_announce):
     """Serve ``session`` until SIGINT/SIGTERM; returns a process exit code.
 
     Announces ``serving on http://host:port`` (the real port, so
     ``--port 0`` callers — CI smoke jobs, tests — can parse it) before
-    blocking.
+    blocking.  ``workers >= 1`` turns on scatter-gather serving over a
+    partitioned worker pool (:mod:`repro.server.worker`).  A signal
+    triggers a graceful drain: the listener closes first, in-flight
+    requests finish (up to ``drain_timeout_s``), then the batcher and
+    the worker pool stop.
     """
 
     async def _main():
         server = ReproServer(session, host=host, port=port,
                              max_batch=max_batch,
-                             batch_window_s=batch_window_s)
+                             batch_window_s=batch_window_s,
+                             workers=workers, max_pending=max_pending,
+                             log_json=log_json)
         await server.start()
         corpus = session.corpus
         if corpus is not None:
             announce(f"index: {len(corpus)} designs at level "
                      f"{corpus.level} ({corpus.serving_description()})")
+        if server.pool is not None:
+            rows = [w.get("rows", 0) for w in server.pool.stats()]
+            announce(f"workers: {server.workers} partitions "
+                     f"(rows per worker: {rows})")
         announce(f"serving on http://{server.host}:{server.port}")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -57,8 +68,9 @@ def run(session, host="127.0.0.1", port=8000, max_batch=256,
             await stop.wait()
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
-        announce("shutting down")
-        await server.stop()
+        announce("draining (in-flight requests finish, listener closed)")
+        await server.drain(timeout=drain_timeout_s)
+        announce("shutdown complete")
         return 0
 
     try:

@@ -23,6 +23,9 @@ long-lived process instead of a CLI call per suspect.
 """
 
 import asyncio
+import contextlib
+import json
+import sys
 import time
 from dataclasses import dataclass, field
 
@@ -31,13 +34,19 @@ import numpy as np
 from repro import __version__
 from repro.api.types import QueryResult, matches_from_hits
 from repro.errors import IndexStoreError, ReproError
-from repro.server.batcher import MicroBatcher
+from repro.server.batcher import BacklogFull, MicroBatcher
 from repro.server.http import (
     HttpError,
     Request,  # noqa: F401  (re-export for tests/tooling)
     read_request,
     response_bytes,
 )
+from repro.server.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Histogram,
+)
+from repro.server.worker import WorkerPool
 
 
 def error_envelope(exc, status=None):
@@ -100,29 +109,63 @@ def _parse_suspects(payload):
 
 
 class ReproServer:
-    """The async detection service over one bound session."""
+    """The async detection service over one bound session.
+
+    Args:
+        workers: ``0`` (default) serves queries in-process; ``N >= 1``
+            forks N partitioned query workers and scatter-gathers every
+            embedded batch across them (:mod:`repro.server.worker`) —
+            results stay bit-identical to in-process serving because the
+            per-partition partials merge through the engine's own
+            block-maxima merge and the structural channel fuses at the
+            front.  Requires a corpus loaded from disk (workers re-open
+            the index root as read-only mmaps).
+        max_pending: refuse ``/v1/query`` submits past this many queued
+            requests with a 429 + ``Retry-After`` (``None`` = unbounded).
+        log_json: emit one structured JSON access-log line per request.
+    """
 
     def __init__(self, session, host="127.0.0.1", port=0, max_batch=256,
-                 batch_window_s=0.002):
+                 batch_window_s=0.002, workers=0, max_pending=None,
+                 log_json=False, log_stream=None):
         self.session = session
         self.host = host
         self.port = port
+        self.workers = int(workers or 0)
+        if self.workers and session.corpus is None:
+            raise ValueError("--workers needs a corpus-backed session")
         self.batcher = MicroBatcher(self._process_query_jobs,
                                     max_batch=max_batch,
-                                    max_delay_s=batch_window_s)
+                                    max_delay_s=batch_window_s,
+                                    max_pending=max_pending)
+        self.pool = None
+        self.log_json = bool(log_json)
+        self._log_stream = log_stream if log_stream is not None else sys.stdout
         self.requests = 0
         self.errors = 0
         #: Accepted TCP connections (with keep-alive, many requests can
         #: share one — tests and stats use the ratio).
         self.connections = 0
+        #: Requests parsed but not yet answered (drain waits on this).
+        self.inflight = 0
+        self.request_seconds = Histogram(LATENCY_BUCKETS_S)
+        self.batch_jobs = Histogram(BATCH_SIZE_BUCKETS)
+        self.scatter_seconds = Histogram(LATENCY_BUCKETS_S)
         self.started_at = None
         self._server = None
         self._writers = set()
+        self._drained = None
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self):
         """Bind the socket and start the batch worker.  With ``port=0``
         the OS picks an ephemeral port; ``self.port`` holds the real one."""
+        if self.workers and self.pool is None:
+            pool = WorkerPool(self.session.corpus.index.root, self.workers)
+            # Spawning + index opens block; keep the loop responsive.
+            await asyncio.get_running_loop().run_in_executor(None,
+                                                             pool.start)
+            self.pool = pool
         await self.batcher.start()
         self._server = await asyncio.start_server(self._handle, self.host,
                                                   self.port)
@@ -142,6 +185,29 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
+        if self.pool is not None:
+            pool, self.pool = self.pool, None
+            await asyncio.get_running_loop().run_in_executor(None, pool.stop)
+
+    async def drain(self, timeout=30.0):
+        """Graceful shutdown: stop accepting, answer what's in flight,
+        then :meth:`stop` (which also stops the worker pool).
+
+        In-flight means parsed requests whose response has not been
+        written — including everything queued in the micro-batcher.
+        Keep-alive connections that go idle are simply closed; ones
+        that keep submitting extend the drain until ``timeout``, after
+        which shutdown proceeds anyway.
+        """
+        if self._server is not None:
+            self._server.close()  # refuse new connections, keep transports
+        if self.inflight:
+            self._drained = asyncio.Event()
+            if self.inflight:  # re-check: last response may have just landed
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._drained.wait(), timeout)
+            self._drained = None
+        await self.stop()
 
     async def serve_forever(self):
         await self._server.serve_forever()
@@ -162,22 +228,43 @@ class ReproServer:
         try:
             while True:
                 request = None
+                started = None
+                counted = False
                 try:
-                    request = await read_request(reader)
-                    if request is None:
-                        return  # client closed cleanly between requests
-                    payload, status = await self._dispatch(request)
-                except Exception as exc:  # every failure -> an envelope
-                    payload, status = error_envelope(exc)
-                keep_alive = (request is not None
-                              and request.headers.get("connection", "")
-                              .strip().lower() != "close")
-                self.requests += 1
-                if status >= 400:
-                    self.errors += 1
-                writer.write(response_bytes(status, payload,
-                                            keep_alive=keep_alive))
-                await writer.drain()
+                    try:
+                        request = await read_request(reader)
+                        if request is None:
+                            return  # client closed cleanly between requests
+                        started = time.perf_counter()
+                        # Only a *parsed* request is in flight — an idle
+                        # keep-alive connection parked in read_request
+                        # must not hold up a drain.
+                        self.inflight += 1
+                        counted = True
+                        payload, status = await self._dispatch(request)
+                    except Exception as exc:  # every failure -> an envelope
+                        payload, status = error_envelope(exc)
+                    seconds = (time.perf_counter() - started
+                               if started is not None else 0.0)
+                    keep_alive = (request is not None
+                                  and request.headers.get("connection", "")
+                                  .strip().lower() != "close")
+                    self.requests += 1
+                    if status >= 400:
+                        self.errors += 1
+                    self.request_seconds.observe(seconds)
+                    extra = {"Retry-After": "1"} if status == 429 else None
+                    writer.write(response_bytes(status, payload,
+                                                keep_alive=keep_alive,
+                                                extra_headers=extra))
+                    await writer.drain()
+                    if self.log_json:
+                        self._access_log(writer, request, status, seconds)
+                finally:
+                    if counted:
+                        self.inflight -= 1
+                        if self._drained is not None and self.inflight == 0:
+                            self._drained.set()
                 if not keep_alive:
                     return
         except (ConnectionError, asyncio.CancelledError):
@@ -189,6 +276,20 @@ class ReproServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _access_log(self, writer, request, status, seconds):
+        """One JSON line per answered request (``--log-json``)."""
+        peer = writer.get_extra_info("peername")
+        record = {
+            "ts": round(time.time(), 6),
+            "remote": peer[0] if isinstance(peer, tuple) else str(peer),
+            "method": request.method if request else None,
+            "path": request.path if request else None,
+            "status": status,
+            "seconds": round(seconds, 6),
+        }
+        print(json.dumps(record, sort_keys=True), file=self._log_stream,
+              flush=True)
 
     async def _dispatch(self, request):
         route = (request.method, request.path)
@@ -226,14 +327,30 @@ class ReproServer:
             index = corpus.stats()
             index.pop("build", None)
         batches = self.batcher.batches
+        serving = {
+            "workers": self.workers,
+            "mode": "scatter-gather" if self.pool is not None
+                    else "in-process",
+            "pending_requests": self.batcher.pending,
+            "max_pending": self.batcher.max_pending,
+            "rejected_requests": self.batcher.rejected,
+        }
+        if self.pool is not None:
+            serving["worker_rows"] = self.pool.stats()
+            serving["worker_respawns"] = self.pool.respawns
         return {
             "uptime_seconds": time.time() - self.started_at,
             "requests": self.requests,
             "errors": self.errors,
+            "inflight": self.inflight,
             "query_batches": batches,
             "batched_requests": self.batcher.jobs,
             "mean_requests_per_batch": (self.batcher.jobs / batches
                                         if batches else 0.0),
+            "serving": serving,
+            "request_seconds": self.request_seconds.snapshot(),
+            "batch_jobs": self.batch_jobs.snapshot(),
+            "scatter_seconds": self.scatter_seconds.snapshot(),
             "index": index,
         }
 
@@ -287,7 +404,10 @@ class ReproServer:
         job = _QueryJob(sources=sources, vectors=vectors, labels=labels,
                         k=k, nprobe=nprobe, exact=exact,
                         top=payload.get("top"))
-        results = await self.batcher.submit(job)
+        try:
+            results = await self.batcher.submit(job)
+        except BacklogFull as exc:
+            raise HttpError(429, f"server is at capacity: {exc}") from exc
         return {
             "results": [result.as_dict() for result in results],
             "serving": self.session.serving_description(nprobe=nprobe,
@@ -306,6 +426,7 @@ class ReproServer:
         """
         session = self.session
         corpus = session.corpus
+        self.batch_jobs.observe(len(jobs))
         out = [None] * len(jobs)
         # Per job: flat part vectors, group prefix offsets (one group =
         # one suspect), and per-part region descriptors.  On a chunk-less
@@ -396,9 +517,28 @@ class ReproServer:
             if all(s is None for s in struct):
                 struct = None
             try:
-                hit_lists = corpus.index.query_parts(
-                    stacked, offsets, regions, k=k, delta=delta,
-                    nprobe=nprobe, exact=exact, struct=struct)
+                if self.pool is not None:
+                    # Scatter-gather: workers score their shard
+                    # partitions and return mergeable partials; the
+                    # engine's block-maxima merge plus fusion-at-the-
+                    # front (workers never see struct scores — only
+                    # which groups *have* them) keeps the results
+                    # bit-identical to the in-process call below.
+                    fused = (None if struct is None
+                             else [s is not None for s in struct])
+                    scatter_start = time.perf_counter()
+                    partials = self.pool.scatter(
+                        stacked, offsets, regions, k=k, delta=delta,
+                        nprobe=nprobe, exact=exact, fused=fused)
+                    self.scatter_seconds.observe(
+                        time.perf_counter() - scatter_start)
+                    hit_lists = corpus.index.merge_parts(
+                        partials, offsets, regions, k=k, delta=delta,
+                        struct=struct)
+                else:
+                    hit_lists = corpus.index.query_parts(
+                        stacked, offsets, regions, k=k, delta=delta,
+                        nprobe=nprobe, exact=exact, struct=struct)
             except ReproError as exc:
                 for idx in members:
                     out[idx] = exc

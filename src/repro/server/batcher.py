@@ -10,9 +10,19 @@ added to a lone request's latency; the payoff is that 64 concurrent
 single-suspect requests cost roughly one 64-row batch instead of 64
 1-row batches (see ``benchmarks/bench_query.py``'s served-vs-in-process
 floor).
+
+Backpressure: with ``max_pending`` set, a submit that would push the
+queue past the cap is refused with :class:`BacklogFull` instead of
+letting latency grow without bound — the HTTP layer turns that into a
+429 with a ``Retry-After`` header, which load balancers and well-behaved
+clients treat as "shed to another replica / back off".
 """
 
 import asyncio
+
+
+class BacklogFull(Exception):
+    """Submit refused: the pending-job queue is at ``max_pending``."""
 
 
 class MicroBatcher:
@@ -28,18 +38,24 @@ class MicroBatcher:
         max_batch: hard cap on jobs per gulp.
         max_delay_s: how long the worker lingers after the first job to
             let concurrent arrivals join the batch.
+        max_pending: refuse submits past this many queued jobs
+            (``None`` = unbounded, the historical behavior).
     """
 
-    def __init__(self, process, max_batch=256, max_delay_s=0.002):
+    def __init__(self, process, max_batch=256, max_delay_s=0.002,
+                 max_pending=None):
         self._process = process
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
+        self.max_pending = max_pending
         self._queue = None
         self._worker = None
         #: Gulps processed / jobs processed — served via ``/v1/stats`` so
         #: operators (and the benchmark) can see coalescing happen.
         self.batches = 0
         self.jobs = 0
+        #: Submits refused by the ``max_pending`` cap.
+        self.rejected = 0
 
     async def start(self):
         self._queue = asyncio.Queue()
@@ -54,8 +70,24 @@ class MicroBatcher:
                 pass
             self._worker = None
 
+    @property
+    def pending(self):
+        """Jobs queued and not yet gulped (the backpressure gauge)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
     async def submit(self, job):
-        """Enqueue one job and wait for its result."""
+        """Enqueue one job and wait for its result.
+
+        Raises:
+            BacklogFull: the queue is at ``max_pending`` — nothing was
+                enqueued; the caller should shed the request.
+        """
+        if (self.max_pending is not None
+                and self._queue.qsize() >= self.max_pending):
+            self.rejected += 1
+            raise BacklogFull(
+                f"{self._queue.qsize()} requests already pending "
+                f"(max_pending={self.max_pending})")
         future = asyncio.get_running_loop().create_future()
         await self._queue.put((job, future))
         return await future

@@ -19,6 +19,7 @@ REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
 }
@@ -105,14 +106,15 @@ async def read_request(reader):
                    headers=headers, body=body)
 
 
-def response_bytes(status, payload, keep_alive=False):
+def response_bytes(status, payload, keep_alive=False, extra_headers=None):
     """A complete HTTP response for a JSON-serializable payload.
 
     ``keep_alive`` controls the ``Connection`` header: the handler loop
     passes ``True`` when it will read another request from the same
     connection, ``False`` when it is about to close (client asked for
     ``Connection: close``, or the request was malformed and the framing
-    can no longer be trusted).
+    can no longer be trusted).  ``extra_headers`` appends literal
+    ``name: value`` pairs (e.g. ``Retry-After`` on a 429).
     """
     body = json.dumps(payload).encode("utf-8")
     reason = REASONS.get(status, "Unknown")
@@ -120,5 +122,7 @@ def response_bytes(status, payload, keep_alive=False):
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n\r\n")
-    return head.encode("latin-1") + body
+            f"Connection: {connection}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    return (head + "\r\n").encode("latin-1") + body

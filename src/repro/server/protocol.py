@@ -1,0 +1,69 @@
+"""Length-prefixed pickle framing for the front <-> worker channel.
+
+Scatter-gather serving fans query batches out to worker processes over
+unix-domain sockets.  Frames are ``!Q`` (8-byte big-endian) length
+prefixes followed by a pickled payload — numpy arrays and the engine's
+partial dataclasses cross the boundary without a serialization format
+of their own.
+
+Pickle is safe *here* because the channel is internal and trusted by
+construction: the socket lives in a ``0700`` temp directory owned by
+the serving process, both ends are the same installed codebase, and
+nothing a remote HTTP client sends is ever unpickled (suspect payloads
+are parsed from JSON at the front and cross this channel as plain
+numpy arrays).  Do not point these helpers at a network socket.
+"""
+
+import pickle
+import struct
+
+#: Refuse absurd frames (a corrupted length prefix would otherwise ask
+#: for exabytes); generous enough for any real query batch or partial.
+MAX_FRAME_BYTES = 1 << 31
+
+_HEADER = struct.Struct("!Q")
+
+
+class ProtocolError(Exception):
+    """A torn or oversized frame — the channel can no longer be trusted."""
+
+
+def _recv_exact(sock, count):
+    """Read exactly ``count`` bytes; EOFError on a closed peer."""
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise EOFError("peer closed the channel")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_msg(sock, obj):
+    """Frame and send one message (blocking until fully written)."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_msg(sock):
+    """Receive one framed message.
+
+    Raises:
+        EOFError: the peer closed the channel cleanly (no partial
+            frame) — a worker exit, or the front dropping a worker.
+        ProtocolError: a torn header/payload or an oversized frame.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte cap")
+    try:
+        payload = _recv_exact(sock, length)
+    except EOFError as exc:
+        raise ProtocolError("peer closed mid-frame") from exc
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # corrupt frame: unpickling can raise anything
+        raise ProtocolError(f"undecodable frame: {exc}") from exc

@@ -406,3 +406,48 @@ class TestErrorEnvelopes:
             assert "secret" not in str(error)
 
         serve(session, scenario)
+
+
+class TestServingOps:
+    """Keep-alive reuse and backpressure against a real corpus-backed
+    session (the synthetic-index deep dive lives in
+    ``test_serve_scatter.py``)."""
+
+    def test_sequential_asyncclient_reuses_one_connection(self, session):
+        async def scenario(server, client):
+            for _ in range(5):
+                await client.healthz()
+            await client.fingerprint(ADDER)
+            assert server.connections == 1
+            assert server.requests == 6
+
+        serve(session, scenario)
+
+    def test_sync_client_keepalive_retries_after_restart(self, session):
+        """The sync client replays once on a stale pooled socket."""
+
+        async def scenario(server, client):
+            loop = asyncio.get_running_loop()
+            sync = Client(port=server.port)
+            try:
+                assert (await loop.run_in_executor(
+                    None, sync.healthz))["status"] == "ok"
+                # Simulate a dead pooled socket: close it client-side,
+                # then issue a request on the (now stale) connection.
+                sync._connection.sock.close()
+                assert (await loop.run_in_executor(
+                    None, sync.healthz))["status"] == "ok"
+            finally:
+                sync.close()
+
+        serve(session, scenario)
+
+    def test_backpressure_cap_rejects_with_429(self, session):
+        async def scenario(server, client):
+            await expect_error(client.query(sources=[ADDER], k=1), 429)
+            stats = await client.stats()
+            assert stats["serving"]["rejected_requests"] == 1
+            assert stats["serving"]["max_pending"] == 0
+            assert stats["serving"]["pending_requests"] == 0
+
+        serve(session, scenario, max_pending=0)
