@@ -1,0 +1,119 @@
+"""Calibration-quality floors: the decision subsystem in CI.
+
+The detection benchmarks (``bench_eval``) gate *ranking* quality; this
+one gates the **decision layer**: after the out-of-fold calibration
+pass, the reported probabilities must be honest (low expected
+calibration error) and the calibrated operating point must actually
+separate pirated suspects from the never-indexed impostor pool:
+
+- **ECE <= 0.10** — a suspect reported at probability p is pirated
+  about p of the time (10 equal-width reliability bins).
+- **F1 >= 0.80** at the calibrated operating point, with both error
+  rates bounded: **FPR <= 0.20** and **FNR <= 0.20**.  The operating
+  threshold minimizes max(FPR, FNR) on the *fit* folds only, so these
+  are honest held-out numbers.
+
+The run also fits and persists a real ``calibration.json`` artifact
+from the same index (``gnn4ip calibrate``'s code path) and copies it to
+``benchmarks/out/`` so CI uploads both the metrics
+(``bench_calibration.json``) and the artifact itself.
+
+``REPRO_BENCH_FULL=1`` scales instances and epochs up; the default is
+the CI smoke configuration.
+"""
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import FULL, OUT_DIR, report
+from repro.api import Session
+from repro.calib import ARTIFACT_NAME
+from repro.eval import EvalConfig, run_evaluation
+
+#: Enforced ceilings/floors on the out-of-fold calibrated decisions.
+ECE_CEILING = 0.10
+F1_FLOOR = 0.80
+FPR_CEILING = 0.20
+FNR_CEILING = 0.20
+
+
+def bench_calibration_quality():
+    config = (EvalConfig(corpus_instances=5, suspects_per_design=3,
+                         train_instances=6, epochs=120)
+              if FULL else EvalConfig())
+    workdir = Path(tempfile.mkdtemp(prefix="gnn4ip-bench-calib-"))
+    try:
+        start = time.time()
+        result = run_evaluation(config, workdir=workdir)
+        eval_seconds = time.time() - start
+
+        data = result.as_dict()
+        calibration = data["overall"].get("calibration") or {}
+        assert "skipped" not in calibration, \
+            f"calibration pass skipped: {calibration.get('skipped')}"
+
+        # Fit + persist the deployable artifact from the same index
+        # (exactly what ``gnn4ip calibrate`` does), so CI uploads a
+        # real calibration.json next to the metrics.
+        fit_start = time.time()
+        session = Session.open(workdir / "index")
+        artifact = session.calibrate(config=config, bootstrap=16)
+        fit_seconds = time.time() - fit_start
+        OUT_DIR.mkdir(exist_ok=True)
+        shutil.copy(workdir / "index" / ARTIFACT_NAME,
+                    OUT_DIR / ARTIFACT_NAME)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "floors": {"ece_ceiling": ECE_CEILING, "f1_floor": F1_FLOOR,
+                   "fpr_ceiling": FPR_CEILING,
+                   "fnr_ceiling": FNR_CEILING},
+        "calibration": {k: calibration.get(k) for k in
+                        ("method", "folds", "suspects", "positives",
+                         "negatives", "ece", "f1", "fpr", "fnr",
+                         "confusion", "mean_operating_threshold")},
+        "reliability_bins": calibration.get("reliability_bins"),
+        "artifact": artifact.describe(),
+        "eval_seconds": eval_seconds,
+        "fit_seconds": fit_seconds,
+        "full": FULL,
+    }
+    with open(OUT_DIR / "bench_calibration.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    lines = [
+        f"suspects {calibration.get('suspects')} "
+        f"({calibration.get('positives')} pirated / "
+        f"{calibration.get('negatives')} impostor), "
+        f"{calibration.get('folds')}-fold out-of-fold",
+        f"ece {calibration.get('ece'):.4f}  (ceiling {ECE_CEILING})",
+        f"f1  {calibration.get('f1'):.4f}  (floor {F1_FLOOR})",
+        f"fpr {calibration.get('fpr'):.4f}  fnr "
+        f"{calibration.get('fnr'):.4f}  (ceilings {FPR_CEILING})",
+        f"artifact tiers: {', '.join(artifact.describe()['tiers'])}  "
+        f"match threshold {artifact.match.threshold:.3f}",
+        f"eval {eval_seconds:.1f}s  artifact fit {fit_seconds:.1f}s",
+    ]
+    report("bench_calibration", "\n".join(lines))
+
+    failures = []
+    if calibration.get("ece") is None \
+            or calibration["ece"] > ECE_CEILING:
+        failures.append(f"ece = {calibration.get('ece')} "
+                        f"> {ECE_CEILING}")
+    if calibration.get("f1") is None or calibration["f1"] < F1_FLOOR:
+        failures.append(f"f1 = {calibration.get('f1')} < {F1_FLOOR}")
+    if calibration.get("fpr") is None \
+            or calibration["fpr"] > FPR_CEILING:
+        failures.append(f"fpr = {calibration.get('fpr')} "
+                        f"> {FPR_CEILING}")
+    if calibration.get("fnr") is None \
+            or calibration["fnr"] > FNR_CEILING:
+        failures.append(f"fnr = {calibration.get('fnr')} "
+                        f"> {FNR_CEILING}")
+    assert not failures, \
+        "calibration floors broken: " + "; ".join(failures)

@@ -39,6 +39,7 @@ from repro.api.types import (
     QueryResult,
     matches_from_hits,
 )
+from repro.calib import ARTIFACT_NAME, Calibration
 from repro.core.gnn4ip import GNN4IP
 from repro.core.persist import load_model
 from repro.errors import IndexStoreError, ModelError
@@ -48,6 +49,7 @@ from repro.index.service import EmbeddingService
 from repro.index.shards import assign_partitions
 from repro.index.store import (
     CACHE_DIR,
+    FORMAT_VERSION,
     FingerprintIndex,
     add_to_index,
     build_index,
@@ -234,10 +236,15 @@ class Corpus:
     (:class:`~repro.errors.IndexStoreError`), use :meth:`migrate`.
     """
 
+    #: Sentinel: the calibration artifact has not been looked up yet
+    #: (``None`` is a valid cached answer — "no artifact on disk").
+    _CALIBRATION_UNSET = object()
+
     def __init__(self, index):
         self._index = index
         self._detector = None
         self._partition = None
+        self._calibration = Corpus._CALIBRATION_UNSET
 
     @classmethod
     def open(cls, root, partition=None):
@@ -432,6 +439,31 @@ class Corpus:
             self._detector = Detector.from_model(self._index.model())
         return self._detector
 
+    def calibration(self):
+        """The index's persisted calibration artifact, or ``None``.
+
+        Looks for ``calibration.json`` in the index root (written by
+        ``gnn4ip calibrate`` / :meth:`Session.calibrate`), validates it
+        against this corpus's model hash, on-disk format version, and
+        level, and caches the result — including the negative "no
+        artifact" answer.  A stale artifact raises
+        :class:`~repro.errors.CalibrationError` instead of being
+        silently applied.
+        """
+        if self._calibration is Corpus._CALIBRATION_UNSET:
+            path = self.root / ARTIFACT_NAME
+            if not path.is_file():
+                self._calibration = None
+            else:
+                self._calibration = Calibration.load(
+                    path, model_hash=self.model_hash,
+                    index_format=FORMAT_VERSION, level=self.level)
+        return self._calibration
+
+    def set_calibration(self, artifact):
+        """Replace the cached calibration (e.g. after a fresh fit)."""
+        self._calibration = artifact
+
     # -- queries -------------------------------------------------------------
     def lookup(self, key):
         """Stored embedding for a content key, or ``None``."""
@@ -469,13 +501,17 @@ class Corpus:
                                            nprobe=nprobe, exact=exact)
         return self._wrap_results(hit_lists, vectors, labels)
 
-    @staticmethod
-    def _wrap_results(hit_lists, suspects, labels):
+    def _wrap_results(self, hit_lists, suspects, labels):
         if labels is None:
             labels = [getattr(s, "name", None) or f"suspect[{i}]"
                       for i, s in enumerate(suspects)]
-        return [QueryResult(label=label, matches=matches_from_hits(hits))
-                for label, hits in zip(labels, hit_lists)]
+        results = [QueryResult(label=label, matches=matches_from_hits(hits))
+                   for label, hits in zip(labels, hit_lists)]
+        artifact = self.calibration()
+        if artifact is not None:
+            for result in results:
+                artifact.annotate_matches(result.matches)
+        return results
 
 
 class Session:
@@ -610,13 +646,20 @@ class Session:
 
     def compare(self, a, b, top=None, allow_paths=True):
         """Pairwise check; with a corpus bound, both sides reuse stored
-        embeddings / cached graphs where possible."""
+        embeddings / cached graphs where possible.  A fitted corpus
+        calibration annotates the result with a probability, confidence
+        band, and calibrated verdict (raw score and delta unchanged).
+        """
         if self.corpus is None:
             return self.detector.compare(a, b, top=top,
                                          allow_paths=allow_paths)
         fp_a = self.fingerprint(a, top=top, allow_paths=allow_paths)
         fp_b = self.fingerprint(b, top=top, allow_paths=allow_paths)
-        return self.detector.compare_fingerprints(fp_a, fp_b)
+        comparison = self.detector.compare_fingerprints(fp_a, fp_b)
+        artifact = self.corpus.calibration()
+        if artifact is not None:
+            artifact.annotate_comparison(comparison)
+        return comparison
 
     @property
     def default_delta(self):
@@ -668,6 +711,54 @@ class Session:
         if overrides:
             config = replace(config, **overrides)
         return evaluate_session(self, config)
+
+    def calibrate(self, config=None, bootstrap=32, save=True, **overrides):
+        """Fit a calibration artifact for this session's corpus.
+
+        Generates the scenario suite (genuine suspects plus the
+        configured impostor families), runs it through one batched
+        :meth:`query` pass, fits both calibration tiers, and — with
+        ``save`` — persists ``calibration.json`` into the index root so
+        every later :meth:`query`/:meth:`compare` (in-process, CLI, or
+        served) reports calibrated probabilities.
+
+        Args:
+            config: an :class:`~repro.eval.runner.EvalConfig`; defaults
+                to the corpus's level with standard settings.
+            bootstrap: confidence-band bootstrap replicas (0 disables
+                bands; probabilities are unaffected).
+            save: write the artifact next to the index.
+            **overrides: ``EvalConfig`` field overrides.
+
+        Returns:
+            the fitted :class:`~repro.calib.Calibration`.
+
+        Raises:
+            EvalError: no corpus bound or no configured family present.
+            CalibrationError: too little or single-class fit data.
+        """
+        from dataclasses import replace
+
+        from repro.eval.runner import EvalConfig, fit_session_calibration
+
+        if self.corpus is None:
+            raise ModelError("calibration needs a corpus bound; "
+                             "open one with Session.open(index_dir)")
+        config = config if config is not None else EvalConfig(
+            level=self.corpus.level)
+        if overrides:
+            config = replace(config, **overrides)
+        # The fit queries must run *un*-annotated: an existing artifact
+        # adds nothing to the raw evidence rows, and a stale one would
+        # make the refit refuse — the one command that fixes staleness
+        # has to work on a stale index.
+        self.corpus.set_calibration(None)
+        artifact = fit_session_calibration(self, config,
+                                           bootstrap=bootstrap)
+        if save:
+            artifact.save(self.corpus.root)
+        self.corpus.set_calibration(artifact)
+        return artifact
 
     def query(self, suspects, k=5, nprobe=None, exact=False, top=None,
               labels=None, allow_paths=True):

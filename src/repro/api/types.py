@@ -55,7 +55,15 @@ class Fingerprint:
 
 @dataclass
 class Comparison:
-    """A pairwise piracy check (paper Algorithm 1)."""
+    """A pairwise piracy check (paper Algorithm 1).
+
+    ``score``/``delta``/``is_piracy`` are the raw decision (unchanged
+    for compatibility).  When a calibration artifact is bound to the
+    session, ``probability`` carries the calibrated piracy probability
+    with its bootstrap band in ``confidence_low``/``confidence_high``,
+    and ``verdict`` follows the calibrated operating point instead of
+    the raw delta cut (see docs/api.md for the precedence rules).
+    """
 
     score: float
     delta: float
@@ -63,11 +71,26 @@ class Comparison:
     #: Embedding origins for the two sides, when the comparison ran
     #: through a :class:`~repro.api.facade.Session` with an index bound.
     origins: tuple = None
+    #: Calibrated piracy probability in [0, 1] (``None`` uncalibrated).
+    probability: float = None
+    confidence_low: float = None
+    confidence_high: float = None
+    #: Calibrated yes/no decision at the artifact's operating point
+    #: (``None`` uncalibrated — ``verdict`` then falls back to the raw
+    #: ``is_piracy`` delta cut).
+    calibrated_piracy: bool = None
+
+    @property
+    def flagged(self):
+        """The effective decision: calibrated operating point when a
+        calibration is attached, the raw delta cut otherwise."""
+        return (self.is_piracy if self.calibrated_piracy is None
+                else self.calibrated_piracy)
 
     @property
     def verdict(self):
         """Human-readable verdict string (the CLI's wording)."""
-        return "PIRACY" if self.is_piracy else "no piracy"
+        return "PIRACY" if self.flagged else "no piracy"
 
     def as_dict(self):
         return {
@@ -76,6 +99,12 @@ class Comparison:
             "is_piracy": bool(self.is_piracy),
             "verdict": self.verdict,
             "origins": list(self.origins) if self.origins else None,
+            "probability": (None if self.probability is None
+                            else float(self.probability)),
+            "confidence_low": (None if self.confidence_low is None
+                               else float(self.confidence_low)),
+            "confidence_high": (None if self.confidence_high is None
+                                else float(self.confidence_high)),
         }
 
 
@@ -90,6 +119,14 @@ class Match:
     chunk (``via``), and the fraction of the design's stored rows
     scoring above delta (``coverage``).  They keep their defaults on a
     chunk-less index.
+
+    ``struct`` is the structural reverse-containment score from rank
+    fusion (``None`` outside fused queries).  When the session has a
+    calibration artifact bound, ``probability`` carries the calibrated
+    piracy probability for this match with its bootstrap confidence
+    band in ``confidence_low``/``confidence_high``; ``verdict`` then
+    reflects the calibrated operating point.  Raw ``score`` and
+    ``is_piracy`` (the delta cut) are unchanged for compatibility.
     """
 
     rank: int
@@ -102,6 +139,24 @@ class Match:
     region: dict = None
     query_region: dict = None
     coverage: float = None
+    struct: float = None
+    probability: float = None
+    confidence_low: float = None
+    confidence_high: float = None
+    calibrated_piracy: bool = None
+
+    @property
+    def flagged(self):
+        """The effective decision: calibrated operating point when a
+        calibration is attached, the raw delta cut otherwise."""
+        return (self.is_piracy if self.calibrated_piracy is None
+                else self.calibrated_piracy)
+
+    @property
+    def verdict(self):
+        """Calibrated verdict when a probability is attached, the raw
+        delta cut otherwise."""
+        return "PIRACY" if self.flagged else "no piracy"
 
     def as_dict(self):
         return {
@@ -116,6 +171,15 @@ class Match:
             "query_region": self.query_region,
             "coverage": (None if self.coverage is None
                          else float(self.coverage)),
+            "struct": (None if self.struct is None
+                       else float(self.struct)),
+            "probability": (None if self.probability is None
+                            else float(self.probability)),
+            "confidence_low": (None if self.confidence_low is None
+                               else float(self.confidence_low)),
+            "confidence_high": (None if self.confidence_high is None
+                                else float(self.confidence_high)),
+            "verdict": self.verdict,
         }
 
 
@@ -149,5 +213,6 @@ def matches_from_hits(hits):
                   design=hit.design, score=hit.score,
                   is_piracy=hit.is_piracy, via=hit.via,
                   region=hit.region, query_region=hit.query_region,
-                  coverage=hit.coverage)
+                  coverage=hit.coverage,
+                  struct=getattr(hit, "struct", None))
             for rank, hit in enumerate(hits, 1)]

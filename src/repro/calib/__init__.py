@@ -1,0 +1,56 @@
+"""Calibrated decision subsystem.
+
+Raw cosine similarity is not a probability: one global ``delta`` cut
+cannot serve RTL and netlist corpora, whole-design and chunk-fused
+rankings, at once (the motivating numbers live in
+``benchmarks/out/bench_eval.json``).  This package turns ranked match
+evidence into calibrated piracy probabilities with bootstrap confidence
+bands and a balanced operating point:
+
+- :mod:`repro.calib.calibration` — the calibrators (Platt-style
+  logistic and isotonic), the two-stage match-evidence calibrator, and
+  the versioned ``calibration.json`` artifact persisted next to an
+  index (fingerprinted against model hash + index schema, refused
+  loudly on mismatch).
+- :mod:`repro.calib.negatives` — hard-negative mining: nearest
+  non-matching pairs in embedding space, fed into the trainer's pair
+  loss behind an opt-in flag.
+- :mod:`repro.calib.report` — ECE, reliability bins, and the
+  threshold-sweep curve used by the evaluation report.
+"""
+
+from repro.calib.calibration import (
+    ARTIFACT_NAME,
+    EVIDENCE_FEATURES,
+    MIN_PAIRS,
+    Calibration,
+    EvidenceCalibrator,
+    IsotonicCalibrator,
+    PlattCalibrator,
+    ScoreCalibrator,
+    match_evidence,
+)
+from repro.calib.negatives import mine_hard_negatives
+from repro.calib.report import (
+    balanced_threshold,
+    expected_calibration_error,
+    reliability_bins,
+    threshold_sweep,
+)
+
+__all__ = [
+    "ARTIFACT_NAME",
+    "EVIDENCE_FEATURES",
+    "MIN_PAIRS",
+    "Calibration",
+    "EvidenceCalibrator",
+    "IsotonicCalibrator",
+    "PlattCalibrator",
+    "ScoreCalibrator",
+    "match_evidence",
+    "mine_hard_negatives",
+    "balanced_threshold",
+    "expected_calibration_error",
+    "reliability_bins",
+    "threshold_sweep",
+]

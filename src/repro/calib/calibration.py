@@ -1,0 +1,618 @@
+"""Score calibration: from raw cosine similarity to piracy probability.
+
+Two tiers, fit on held-out genuine/impostor evidence and persisted as
+one versioned ``calibration.json`` artifact next to the index:
+
+- **Pair tier** (:class:`ScoreCalibrator`) — a 1-D calibrator
+  (Platt-style logistic or isotonic, selectable) over raw cosine
+  scores.  Calibrates :class:`~repro.api.types.Comparison` results and
+  serves as the fallback for ranked matches when no match tier was
+  fit.
+
+- **Match tier** (:class:`EvidenceCalibrator`) — the ranked-query
+  calibrator.  Raw top-1 cosine alone is uncalibratable on saturated
+  embedding spaces (unrelated designs routinely score >= 0.95), so
+  each match contributes a 9-feature evidence vector
+  (:data:`EVIDENCE_FEATURES`) assembled from the *whole* ranked list:
+  its own score/coverage/structural containment plus cross-list margin
+  and saturation statistics.  Stage 1 is a class-weighted logistic
+  over match rows; a suspect's logit is the max over its matches;
+  stage 2 is an unweighted 1-D Platt map from that logit to a
+  probability.  The per-match probability is the same monotone chain
+  applied to the match's own logit, so the suspect-level decision is
+  exactly the top match's — identical across in-process and
+  scatter-gather serving, which build matches through the same engine.
+
+Confidence bands come from cluster bootstrap: suspects (or pairs) are
+resampled with replacement per class, both stages are refit per
+replica, and the reported band is the percentile interval of the
+replica probabilities at the queried score.
+
+Every artifact records the model hash, index format version, and
+extraction level it was fit against; :meth:`Calibration.load` refuses
+loudly (:class:`~repro.errors.CalibrationError`) on any mismatch —
+silently applying a stale calibration would be worse than none.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+#: Artifact schema version; bumped on any incompatible layout change.
+SCHEMA_VERSION = 1
+
+#: File name of the artifact, stored in the index root.
+ARTIFACT_NAME = "calibration.json"
+
+#: Fewer fit samples than this is refused loudly: a calibrator fit on a
+#: handful of pairs is noise wearing a probability's clothes.
+MIN_PAIRS = 8
+
+#: Match-tier evidence features, in column order.  ``margin`` is the
+#: match's score minus the best score of any *other* design in the
+#: ranked list; ``frac_above_delta``/``frac_above_hi`` are the fraction
+#: of listed matches scoring above delta / :data:`HI_SCORE` (how
+#: saturated the whole list is).
+EVIDENCE_FEATURES = (
+    "score", "coverage", "struct", "margin", "best",
+    "struct_max", "struct_top2", "frac_above_delta", "frac_above_hi",
+)
+
+#: The high-score saturation cut used by ``frac_above_hi``.
+HI_SCORE = 0.9
+
+
+def _sigmoid(z):
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+def match_evidence(matches, delta):
+    """Evidence matrix for one ranked match list.
+
+    Args:
+        matches: ranked :class:`~repro.api.types.Match`-like rows (need
+            ``score``, ``design``, and optionally ``coverage`` /
+            ``struct``; ``None`` evidence contributes 0.0).
+        delta: the decision boundary the scores were ranked under.
+
+    Returns:
+        ``(len(matches), len(EVIDENCE_FEATURES))`` float array, row
+        ``i`` aligned with ``matches[i]``.
+    """
+    if not matches:
+        return np.zeros((0, len(EVIDENCE_FEATURES)))
+    scores = np.array([float(m.score) for m in matches])
+    coverage = np.array([float(getattr(m, "coverage", None) or 0.0)
+                         for m in matches])
+    struct = np.array([float(getattr(m, "struct", None) or 0.0)
+                       for m in matches])
+    best = float(scores.max())
+    ordered = np.sort(struct)
+    struct_max = float(ordered[-1])
+    struct_top2 = float(ordered[-2] if len(ordered) > 1 else ordered[-1])
+    frac_delta = float((scores > delta).sum()) / len(scores)
+    frac_hi = float((scores > HI_SCORE).sum()) / len(scores)
+    best_by_design = {}
+    for m in matches:
+        best_by_design[m.design] = max(best_by_design.get(m.design, -2.0),
+                                       float(m.score))
+    rows = []
+    for m, own_struct, own_cov in zip(matches, struct, coverage):
+        margin = float(m.score) - max(
+            (v for d, v in best_by_design.items() if d != m.design),
+            default=-2.0)
+        rows.append([float(m.score), float(own_cov), float(own_struct),
+                     margin, best, struct_max, struct_top2,
+                     frac_delta, frac_hi])
+    return np.asarray(rows, dtype=np.float64)
+
+
+# -- core fitters -------------------------------------------------------------
+class PlattCalibrator:
+    """Weighted multi-feature logistic regression (Platt-style).
+
+    Features are standardized (zero-variance columns get unit scale, so
+    constant inputs degrade to an intercept-only fit of the base rate
+    instead of dividing by zero), then plain gradient descent minimizes
+    the weighted cross-entropy with L2 on the non-intercept weights.
+    Deterministic: zero init, fixed step count.
+    """
+
+    def __init__(self, mu, sd, beta):
+        self.mu = np.asarray(mu, dtype=np.float64)
+        self.sd = np.asarray(sd, dtype=np.float64)
+        self.beta = np.asarray(beta, dtype=np.float64)
+
+    @classmethod
+    def fit(cls, X, y, weights=None, l2=1e-3, iters=800, lr=0.5):
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        y = np.asarray(y, dtype=np.float64).ravel()
+        w = (np.ones(len(y)) if weights is None
+             else np.asarray(weights, dtype=np.float64).ravel())
+        mu, sd = X.mean(axis=0), X.std(axis=0)
+        sd = np.where(sd == 0, 1.0, sd)
+        Xb = np.hstack([(X - mu) / sd, np.ones((len(X), 1))])
+        beta = np.zeros(Xb.shape[1])
+        ridge_mask = np.r_[np.ones(Xb.shape[1] - 1), 0.0]
+        for _ in range(iters):
+            p = _sigmoid(Xb @ beta)
+            beta -= lr * (Xb.T @ (w * (p - y)) / w.sum()
+                          + l2 * ridge_mask * beta)
+        return cls(mu, sd, beta)
+
+    def logit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        Xb = np.hstack([(X - self.mu) / self.sd, np.ones((len(X), 1))])
+        return Xb @ self.beta
+
+    def predict(self, X):
+        return _sigmoid(self.logit(X))
+
+    def to_dict(self):
+        return {"kind": "platt", "mu": self.mu.tolist(),
+                "sd": self.sd.tolist(), "beta": self.beta.tolist()}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["mu"], data["sd"], data["beta"])
+
+
+class IsotonicCalibrator:
+    """1-D isotonic regression via pool-adjacent-violators.
+
+    Fits the least-squares monotone non-decreasing step function from
+    score to positive rate; prediction linearly interpolates between
+    the fitted block centers and clamps at the ends, so the calibrated
+    probability is monotone in the raw score by construction.
+    """
+
+    def __init__(self, x, y):
+        self.x = np.asarray(x, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.float64)
+
+    @classmethod
+    def fit(cls, scores, labels, weights=None):
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        w = (np.ones(len(labels)) if weights is None
+             else np.asarray(weights, dtype=np.float64).ravel())
+        order = np.argsort(scores, kind="stable")
+        scores, labels, w = scores[order], labels[order], w[order]
+        # Collapse tied scores first: one block per distinct score.
+        xs, ys, ws = [], [], []
+        i = 0
+        while i < len(scores):
+            j = i
+            while j < len(scores) and scores[j] == scores[i]:
+                j += 1
+            wsum = w[i:j].sum()
+            xs.append(scores[i])
+            ys.append(float((labels[i:j] * w[i:j]).sum() / wsum))
+            ws.append(float(wsum))
+            i = j
+        # Pool adjacent violators: merge while a block mean decreases.
+        bx, by, bw = [], [], []
+        for x, y, wt in zip(xs, ys, ws):
+            bx.append([x, x])
+            by.append(y)
+            bw.append(wt)
+            while len(by) > 1 and by[-2] > by[-1]:
+                y2, w2 = by.pop(), bw.pop()
+                x2 = bx.pop()
+                by[-1] = (by[-1] * bw[-1] + y2 * w2) / (bw[-1] + w2)
+                bw[-1] += w2
+                bx[-1][1] = x2[1]
+            # (block means are now non-decreasing)
+        centers = np.array([(lo + hi) / 2 for lo, hi in bx])
+        return cls(centers, np.array(by))
+
+    def predict(self, scores):
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        if len(self.x) == 1:
+            return np.full(len(scores), float(self.y[0]))
+        return np.interp(scores, self.x, self.y)
+
+    def to_dict(self):
+        return {"kind": "isotonic", "x": self.x.tolist(),
+                "y": self.y.tolist()}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["x"], data["y"])
+
+
+def _calibrator_from_dict(data):
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "platt":
+        return PlattCalibrator.from_dict(data)
+    if kind == "isotonic":
+        return IsotonicCalibrator.from_dict(data)
+    raise CalibrationError(f"unknown calibrator kind {kind!r}")
+
+
+def _check_fit_data(labels, what):
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if len(labels) < MIN_PAIRS:
+        raise CalibrationError(
+            f"refusing to calibrate on {len(labels)} {what} "
+            f"(need at least {MIN_PAIRS}); a calibrator fit on this "
+            f"little data would be noise")
+    if labels.min() == labels.max():
+        raise CalibrationError(
+            f"refusing to calibrate: all {len(labels)} {what} carry the "
+            f"same label; both genuine and impostor samples are required")
+
+
+def _stratified_resample(rng, labels):
+    """Bootstrap indices resampled with replacement *per class*, so a
+    replica never degenerates to a single class."""
+    labels = np.asarray(labels)
+    indices = []
+    for value in (0, 1):
+        members = np.nonzero(labels == value)[0]
+        if len(members):
+            indices.append(rng.choice(members, size=len(members),
+                                      replace=True))
+    return np.sort(np.concatenate(indices))
+
+
+def _percentile_band(replica_probs):
+    """(low, high) 90% percentile band per column of ``(B, n)`` probs."""
+    low = np.percentile(replica_probs, 5.0, axis=0)
+    high = np.percentile(replica_probs, 95.0, axis=0)
+    return low, high
+
+
+# -- pair tier ----------------------------------------------------------------
+class ScoreCalibrator:
+    """1-D calibrator over raw cosine scores (the pairwise tier).
+
+    Fit on genuine/impostor score pairs; ``method`` selects Platt-style
+    logistic or isotonic.  Carries its own balanced operating
+    ``threshold`` and ``bootstrap`` replica parameter sets for the
+    confidence band.
+    """
+
+    def __init__(self, method, inner, threshold, replicas=()):
+        self.method = method
+        self.inner = inner
+        self.threshold = float(threshold)
+        self.replicas = list(replicas)
+
+    @classmethod
+    def fit(cls, scores, labels, method="platt", bootstrap=32, seed=0):
+        from repro.calib.report import balanced_threshold
+
+        if method not in ("platt", "isotonic"):
+            raise CalibrationError(
+                f"unknown calibration method {method!r}; "
+                f"known: platt, isotonic")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        _check_fit_data(labels, "score pairs")
+
+        def fit_one(s, y):
+            if method == "platt":
+                return PlattCalibrator.fit(s[:, None], y, l2=1e-4)
+            return IsotonicCalibrator.fit(s, y)
+
+        inner = fit_one(scores, labels)
+        probs = inner.predict(scores)
+        threshold = balanced_threshold(probs, labels)
+        rng = np.random.default_rng(seed)
+        replicas = []
+        for _ in range(int(bootstrap)):
+            pick = _stratified_resample(rng, labels)
+            replicas.append(fit_one(scores[pick], labels[pick]))
+        return cls(method, inner, threshold, replicas)
+
+    def probability(self, scores):
+        return self.inner.predict(np.asarray(scores, dtype=np.float64)
+                                  .ravel())
+
+    def interval(self, scores):
+        """90% bootstrap band ``(low, high)`` arrays for ``scores``;
+        collapses onto the point estimate without replicas."""
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        if not self.replicas:
+            point = self.probability(scores)
+            return point, point
+        stack = np.stack([r.predict(scores) for r in self.replicas])
+        return _percentile_band(stack)
+
+    def to_dict(self):
+        return {"method": self.method, "inner": self.inner.to_dict(),
+                "threshold": self.threshold,
+                "replicas": [r.to_dict() for r in self.replicas]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["method"],
+                   _calibrator_from_dict(data["inner"]),
+                   data["threshold"],
+                   [_calibrator_from_dict(r) for r in data["replicas"]])
+
+
+# -- match tier ---------------------------------------------------------------
+class EvidenceCalibrator:
+    """Two-stage calibrator over ranked-match evidence.
+
+    Stage 1: class-weighted logistic over per-match
+    :data:`EVIDENCE_FEATURES` rows (positives down-weighted by
+    ``wpos``, because one pirated suspect contributes one positive row
+    against k-1 negatives and the match-level base rate must not drown
+    the impostor geometry).  Stage 2: unweighted 1-D Platt from the
+    suspect's max stage-1 logit to a probability — calibrating the
+    *logit* rather than a max of sigmoids is what keeps ECE honest.
+
+    ``threshold`` is the balanced operating point (min max(FPR, FNR))
+    on the fit suspects; replicas are stratified suspect-level
+    bootstrap refits powering :meth:`interval`.
+    """
+
+    def __init__(self, stage1, stage2, threshold, delta, replicas=()):
+        self.stage1 = stage1
+        self.stage2 = stage2
+        self.threshold = float(threshold)
+        self.delta = float(delta)
+        self.replicas = list(replicas)
+
+    @classmethod
+    def fit(cls, evidence, match_labels, pirated, delta, wpos=0.1,
+            l2=1e-3, bootstrap=32, seed=0):
+        """Fit from per-suspect evidence.
+
+        Args:
+            evidence: one ``(n_matches, 9)`` array per suspect
+                (:func:`match_evidence`).
+            match_labels: per-suspect arrays of 0/1 match labels (1 =
+                this match is the pirated design).
+            pirated: per-suspect ground-truth labels.
+            delta: decision boundary the evidence was computed under.
+        """
+        from repro.calib.report import balanced_threshold
+
+        pirated = np.asarray(pirated, dtype=np.float64).ravel()
+        if len(evidence) != len(pirated):
+            raise CalibrationError(
+                f"{len(evidence)} evidence blocks vs {len(pirated)} "
+                f"suspect labels")
+        keep = [i for i, ev in enumerate(evidence) if len(ev)]
+        evidence = [np.asarray(evidence[i], dtype=np.float64)
+                    for i in keep]
+        match_labels = [np.asarray(match_labels[i],
+                                   dtype=np.float64).ravel()
+                        for i in keep]
+        pirated = pirated[keep]
+        _check_fit_data(pirated, "suspects")
+
+        def fit_stages(idx):
+            X = np.vstack([evidence[i] for i in idx])
+            y = np.concatenate([match_labels[i] for i in idx])
+            w = np.where(y == 1, wpos, 1.0)
+            stage1 = PlattCalibrator.fit(X, y, w, l2=l2)
+            z = np.array([stage1.logit(evidence[i]).max() for i in idx])
+            stage2 = PlattCalibrator.fit(z[:, None], pirated[idx],
+                                         l2=1e-4)
+            return stage1, stage2
+
+        everyone = np.arange(len(pirated))
+        stage1, stage2 = fit_stages(everyone)
+        fitted = cls(stage1, stage2, 0.5, delta)
+        probs = np.array([fitted.probability(ev) for ev in evidence])
+        fitted.threshold = balanced_threshold(probs, pirated)
+        rng = np.random.default_rng(seed)
+        for _ in range(int(bootstrap)):
+            pick = _stratified_resample(rng, pirated)
+            fitted.replicas.append(fit_stages(pick))
+        return fitted
+
+    def suspect_logit(self, evidence):
+        """Max stage-1 logit over the suspect's evidence rows."""
+        return float(self.stage1.logit(evidence).max())
+
+    def probability(self, evidence):
+        """Calibrated piracy probability for one suspect's evidence."""
+        return float(self.stage2.predict(
+            [[self.suspect_logit(evidence)]])[0])
+
+    def match_probabilities(self, evidence):
+        """Per-match probabilities (the suspect's is their max, since
+        the stage-2 map is monotone)."""
+        z = self.stage1.logit(evidence)
+        return self.stage2.predict(z[:, None])
+
+    def match_intervals(self, evidence):
+        """Per-match 90% bootstrap bands ``(low, high)``; collapses
+        onto the point estimate without replicas."""
+        if not self.replicas:
+            point = self.match_probabilities(evidence)
+            return point, point
+        stack = np.stack([
+            s2.predict(s1.logit(evidence)[:, None])
+            for s1, s2 in self.replicas])
+        return _percentile_band(stack)
+
+    def to_dict(self):
+        return {"stage1": self.stage1.to_dict(),
+                "stage2": self.stage2.to_dict(),
+                "threshold": self.threshold, "delta": self.delta,
+                "replicas": [[s1.to_dict(), s2.to_dict()]
+                             for s1, s2 in self.replicas]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(PlattCalibrator.from_dict(data["stage1"]),
+                   PlattCalibrator.from_dict(data["stage2"]),
+                   data["threshold"], data["delta"],
+                   [(PlattCalibrator.from_dict(s1),
+                     PlattCalibrator.from_dict(s2))
+                    for s1, s2 in data["replicas"]])
+
+
+# -- the persisted artifact ---------------------------------------------------
+class Calibration:
+    """The versioned ``calibration.json`` artifact.
+
+    Binds a :class:`ScoreCalibrator` (pair tier) and/or an
+    :class:`EvidenceCalibrator` (match tier) to the exact model and
+    index they were fit against.  :meth:`load` refuses loudly on any
+    schema/model-hash/index-format/level mismatch.
+    """
+
+    def __init__(self, model_hash, index_format, level, delta,
+                 pair=None, match=None, info=None):
+        if pair is None and match is None:
+            raise CalibrationError(
+                "a calibration artifact needs at least one fitted tier")
+        self.model_hash = model_hash
+        self.index_format = int(index_format)
+        self.level = level
+        self.delta = float(delta)
+        self.pair = pair
+        self.match = match
+        self.info = dict(info or {})
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self):
+        return {
+            "schema": SCHEMA_VERSION,
+            "model_hash": self.model_hash,
+            "index_format": self.index_format,
+            "level": self.level,
+            "delta": self.delta,
+            "pair": self.pair.to_dict() if self.pair else None,
+            "match": self.match.to_dict() if self.match else None,
+            "info": self.info,
+        }
+
+    def save(self, path):
+        path = Path(path)
+        if path.is_dir():
+            path = path / ARTIFACT_NAME
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True,
+                                   indent=1) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path, model_hash=None, index_format=None, level=None):
+        """Load and validate an artifact.
+
+        Any expectation passed as non-``None`` is enforced; a mismatch
+        raises :class:`~repro.errors.CalibrationError` — a calibration
+        fit against a different model, index schema, or level must
+        never be silently applied.
+        """
+        path = Path(path)
+        if path.is_dir():
+            path = path / ARTIFACT_NAME
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise CalibrationError(
+                f"cannot read calibration artifact {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(
+                f"corrupt calibration artifact {path}: {exc}") from exc
+        if data.get("schema") != SCHEMA_VERSION:
+            raise CalibrationError(
+                f"calibration artifact {path} has schema "
+                f"{data.get('schema')!r}, this build reads "
+                f"{SCHEMA_VERSION}; refit with 'gnn4ip calibrate'")
+        checks = (("model_hash", model_hash),
+                  ("index_format", index_format),
+                  ("level", level))
+        for key, expected in checks:
+            if expected is not None and data.get(key) != expected:
+                raise CalibrationError(
+                    f"calibration artifact {path} was fit against "
+                    f"{key}={data.get(key)!r} but this session runs "
+                    f"{key}={expected!r}; refusing to apply a stale "
+                    f"calibration — refit with 'gnn4ip calibrate'")
+        try:
+            return cls.from_dict(data)
+        except CalibrationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(
+                f"corrupt calibration artifact {path}: {exc}") from exc
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            model_hash=data["model_hash"],
+            index_format=data["index_format"],
+            level=data["level"],
+            delta=data["delta"],
+            pair=(ScoreCalibrator.from_dict(data["pair"])
+                  if data.get("pair") else None),
+            match=(EvidenceCalibrator.from_dict(data["match"])
+                   if data.get("match") else None),
+            info=data.get("info"))
+
+    # -- annotation -----------------------------------------------------------
+    def annotate_matches(self, matches):
+        """Attach probability/band/calibrated verdict to ranked matches.
+
+        A pure function of the match list and the artifact — the same
+        matches get the same probabilities whether they were ranked
+        in-process or merged from partitioned workers.
+        """
+        if not matches:
+            return matches
+        if self.match is not None:
+            evidence = match_evidence(matches, self.match.delta)
+            probs = self.match.match_probabilities(evidence)
+            low, high = self.match.match_intervals(evidence)
+            threshold = self.match.threshold
+        elif self.pair is not None:
+            scores = [m.score for m in matches]
+            probs = self.pair.probability(scores)
+            low, high = self.pair.interval(scores)
+            threshold = self.pair.threshold
+        else:  # unreachable: the constructor requires a tier
+            return matches
+        for m, p, lo, hi in zip(matches, probs, low, high):
+            m.probability = float(p)
+            m.confidence_low = float(min(lo, p))
+            m.confidence_high = float(max(hi, p))
+            m.calibrated_piracy = bool(p >= threshold)
+        return matches
+
+    def annotate_comparison(self, comparison):
+        """Attach probability/band/calibrated verdict to a pairwise
+        :class:`~repro.api.types.Comparison` (pair tier only — a single
+        cosine carries no ranked-list evidence)."""
+        if self.pair is None:
+            return comparison
+        prob = float(self.pair.probability([comparison.score])[0])
+        low, high = self.pair.interval([comparison.score])
+        comparison.probability = prob
+        comparison.confidence_low = float(min(low[0], prob))
+        comparison.confidence_high = float(max(high[0], prob))
+        comparison.calibrated_piracy = bool(prob >= self.pair.threshold)
+        return comparison
+
+    def describe(self):
+        """Human-oriented summary dict (counts, tiers, operating points)."""
+        out = {"schema": SCHEMA_VERSION, "model_hash": self.model_hash,
+               "index_format": self.index_format, "level": self.level,
+               "delta": self.delta, "tiers": []}
+        if self.pair is not None:
+            out["tiers"].append("pair")
+            out["pair_method"] = self.pair.method
+            out["pair_threshold"] = self.pair.threshold
+        if self.match is not None:
+            out["tiers"].append("match")
+            out["match_threshold"] = self.match.threshold
+        out.update(self.info)
+        return out

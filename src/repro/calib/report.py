@@ -1,0 +1,103 @@
+"""Calibration-quality metrics: ECE, reliability bins, threshold sweep.
+
+Pure-numpy helpers shared by the evaluation report, the calibration
+benchmark, and the ``gnn4ip calibrate`` summary.  Everything here is a
+deterministic function of ``(probabilities, labels)``.
+"""
+
+import numpy as np
+
+
+def _as_arrays(probabilities, labels):
+    probs = np.asarray(probabilities, dtype=np.float64).ravel()
+    labs = np.asarray(labels, dtype=np.float64).ravel()
+    if probs.shape != labs.shape:
+        raise ValueError(f"{len(probs)} probabilities vs {len(labs)} labels")
+    return probs, labs
+
+
+def reliability_bins(probabilities, labels, bins=10):
+    """Equal-width reliability table over ``[0, 1]``.
+
+    Returns one dict per non-empty bin: ``low``/``high`` edges,
+    ``count``, mean predicted ``confidence``, and empirical
+    ``accuracy`` (positive fraction).  The gap between the last two is
+    what ECE mass-averages.
+    """
+    probs, labs = _as_arrays(probabilities, labels)
+    if len(probs) == 0:
+        return []
+    ids = np.clip((probs * bins).astype(int), 0, bins - 1)
+    table = []
+    for b in range(bins):
+        mask = ids == b
+        if not mask.any():
+            continue
+        table.append({
+            "low": b / bins,
+            "high": (b + 1) / bins,
+            "count": int(mask.sum()),
+            "confidence": float(probs[mask].mean()),
+            "accuracy": float(labs[mask].mean()),
+        })
+    return table
+
+
+def expected_calibration_error(probabilities, labels, bins=10):
+    """Expected calibration error: bin-mass-weighted |confidence -
+    accuracy| over ``bins`` equal-width probability bins."""
+    probs, _ = _as_arrays(probabilities, labels)
+    if len(probs) == 0:
+        return None
+    return float(sum(
+        row["count"] / len(probs) * abs(row["confidence"] - row["accuracy"])
+        for row in reliability_bins(probabilities, labels, bins)))
+
+
+def threshold_sweep(probabilities, labels, points=21):
+    """FPR/FNR/precision/recall/F1 at a fixed probability-threshold grid.
+
+    The grid is ``points`` evenly spaced thresholds over ``[0, 1]``
+    (deterministic, so the sweep is golden-file stable).  A flag fires
+    when ``probability >= threshold``.
+    """
+    probs, labs = _as_arrays(probabilities, labels)
+    positives = int(labs.sum())
+    negatives = len(labs) - positives
+    sweep = []
+    for t in np.linspace(0.0, 1.0, points):
+        flagged = probs >= t
+        tp = int((flagged & (labs == 1)).sum())
+        fp = int((flagged & (labs == 0)).sum())
+        fn = positives - tp
+        sweep.append({
+            "threshold": float(t),
+            "fpr": (fp / negatives if negatives else None),
+            "fnr": (fn / positives if positives else None),
+            "precision": (tp / (tp + fp) if tp + fp else None),
+            "recall": (tp / positives if positives else None),
+            "f1": 2 * tp / max(2 * tp + fp + fn, 1),
+        })
+    return sweep
+
+
+def balanced_threshold(probabilities, labels):
+    """The operating point minimizing ``max(FPR, FNR)`` on fit data.
+
+    Scans the sorted unique predicted probabilities (a flag fires at
+    ``probability >= threshold``); ties keep the lowest threshold.
+    Falls back to ``0.5`` when a class is empty.
+    """
+    probs, labs = _as_arrays(probabilities, labels)
+    positives = int(labs.sum())
+    negatives = len(labs) - positives
+    if not positives or not negatives:
+        return 0.5
+    best_t, best_gap = 0.5, np.inf
+    for t in np.unique(probs):
+        fpr = float(((probs >= t) & (labs == 0)).sum()) / negatives
+        fnr = float(((probs < t) & (labs == 1)).sum()) / positives
+        gap = max(fpr, fnr)
+        if gap < best_gap:
+            best_gap, best_t = gap, float(t)
+    return best_t

@@ -131,6 +131,18 @@ def _cli_detector(model_path, args, level=None):
                               seed=getattr(args, "seed", 0))
 
 
+def _apply_delta_override(detector, args):
+    """Apply ``--delta`` in one place (compare + serve share it).
+
+    The override moves the *raw-score* boundary only: ``score``,
+    ``is_piracy``, and uncalibrated verdicts follow it, while calibrated
+    verdicts keep the artifact's fitted operating point — see
+    docs/api.md ("Delta overrides vs calibrated verdicts").
+    """
+    if getattr(args, "delta", None) is not None:
+        detector.delta = args.delta
+
+
 def _cmd_compare(args):
     corpus = Corpus.open(args.index) if args.index else None
     if corpus is not None and args.level and args.level != corpus.level:
@@ -145,26 +157,28 @@ def _cmd_compare(args):
         detector = _cli_detector(None, args, level=args.level)
         if detector is None:
             return 1
-    if args.delta is not None:
-        detector.delta = args.delta
+    _apply_delta_override(detector, args)
 
     if corpus is not None:
         session = Session(detector=detector, corpus=corpus)
-        fingerprints = []
-        for path in (args.file_a, args.file_b):
-            fingerprint = session.fingerprint(Path(path))
-            fingerprints.append(fingerprint)
-            print(f"{path}: embedding from {fingerprint.origin}",
-                  file=sys.stderr)
-        comparison = detector.compare_fingerprints(*fingerprints)
+        comparison = session.compare(Path(args.file_a), Path(args.file_b))
+        if comparison.origins:
+            for path, origin in zip((args.file_a, args.file_b),
+                                    comparison.origins):
+                print(f"{path}: embedding from {origin}", file=sys.stderr)
     else:
         comparison = detector.compare(Path(args.file_a), Path(args.file_b))
     if args.json:
         print(json.dumps(comparison.as_dict(), indent=1, sort_keys=True))
     else:
-        print(f"similarity: {comparison.score:+.4f} "
-              f"(delta {comparison.delta:+.4f}) -> {comparison.verdict}")
-    return 2 if comparison.is_piracy else 0
+        line = (f"similarity: {comparison.score:+.4f} "
+                f"(delta {comparison.delta:+.4f}) -> {comparison.verdict}")
+        if comparison.probability is not None:
+            line += (f"  p(piracy)={comparison.probability:.3f} "
+                     f"[{comparison.confidence_low:.3f}, "
+                     f"{comparison.confidence_high:.3f}]")
+        print(line)
+    return 2 if comparison.flagged else 0
 
 
 def _cmd_corpus(args):
@@ -377,7 +391,7 @@ def _cmd_index_query(args):
                                          exact=args.exact)
     piracy = 0
     if args.json:
-        piracy = sum(match.is_piracy
+        piracy = sum(match.flagged
                      for result in results for match in result)
         payload = {"index": str(args.index_dir), "designs": len(corpus),
                    "serving": serving, "delta": detector.delta,
@@ -391,10 +405,14 @@ def _cmd_index_query(args):
             print(f"top {len(result)} of {len(corpus)} indexed designs "
                   f"({serving}, delta {detector.delta:+.4f}):")
             for match in result:
-                flag = "PIRACY" if match.is_piracy else "      "
-                piracy += match.is_piracy
+                flag = "PIRACY" if match.flagged else "      "
+                piracy += match.flagged
+                prob = ("" if match.probability is None
+                        else f"  p={match.probability:.3f} "
+                             f"[{match.confidence_low:.3f}, "
+                             f"{match.confidence_high:.3f}]")
                 print(f"  {match.rank:2d}. {match.score:+.4f} {flag} "
-                      f"{match.design:16s} {match.name}")
+                      f"{match.design:16s} {match.name}{prob}")
     if piracy:
         return 2
     return 1 if failures else 0
@@ -465,6 +483,17 @@ def _cmd_eval(args):
         check_equivalence=not args.no_equivalence,
         baselines=tuple(args.baselines) if args.baselines else (),
         allow_untrained=args.allow_untrained,
+        negative_families=tuple(fallback(args.negative_families,
+                                         EvalConfig.negative_families)),
+        negatives_per_design=fallback(args.negatives_per_design,
+                                      EvalConfig.negatives_per_design),
+        calibration=not args.no_calibration,
+        calibration_method=fallback(args.calibration_method,
+                                    EvalConfig.calibration_method),
+        hard_negatives=fallback(args.hard_negatives,
+                                EvalConfig.hard_negatives),
+        hard_negative_epochs=fallback(args.hard_negative_epochs,
+                                      EvalConfig.hard_negative_epochs),
         jobs=args.jobs)
     if not args.model and config.epochs > 0 and not args.json:
         print(f"training a {config.level}-level model "
@@ -481,14 +510,46 @@ def _cmd_eval(args):
     return 0
 
 
+def _cmd_calibrate(args):
+    from repro.calib import ARTIFACT_NAME
+    from repro.eval import EvalConfig
+
+    session = Session.open(args.index_dir, model=args.model)
+    config = EvalConfig(level=session.corpus.level,
+                        calibration_method=args.method,
+                        calibration_seed=args.seed)
+    start = time.monotonic()
+    artifact = session.calibrate(config=config, bootstrap=args.bootstrap,
+                                 save=not args.no_save)
+    seconds = time.monotonic() - start
+    summary = artifact.describe()
+    summary["seconds"] = round(seconds, 3)
+    summary["artifact"] = (None if args.no_save
+                           else str(Path(args.index_dir) / ARTIFACT_NAME))
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    print(f"calibration fit on {summary.get('suspects', '?')} suspects "
+          f"({summary.get('positives', '?')} genuine / "
+          f"{summary.get('negatives', '?')} impostor) in {seconds:.1f}s")
+    print(f"tiers: {' + '.join(summary['tiers'])}  "
+          f"pair method {artifact.pair.method} "
+          f"(threshold {artifact.pair.threshold:.3f})  "
+          f"match threshold {artifact.match.threshold:.3f}")
+    if not args.no_save:
+        print(f"artifact written to {summary['artifact']}")
+        print("queries and compares against this index now report "
+              "calibrated probabilities")
+    return 0
+
+
 def _cmd_serve(args):
     from repro.server import run
 
     corpus = Corpus.open(args.index_dir)
     detector = (Detector.load(args.model) if args.model
                 else corpus.detector())
-    if args.delta is not None:
-        detector.delta = args.delta
+    _apply_delta_override(detector, args)
     session = Session(detector=detector, corpus=corpus)
     return run(session, host=args.host, port=args.port,
                max_batch=args.max_batch,
@@ -722,6 +783,25 @@ def build_parser():
                              "(wl_kernel, spectral)")
     p_eval.add_argument("--no-equivalence", action="store_true",
                         help="skip the functional-equivalence spot checks")
+    p_eval.add_argument("--no-calibration", action="store_true",
+                        help="skip the out-of-fold calibration quality "
+                             "block (ECE, calibrated confusion)")
+    p_eval.add_argument("--calibration-method",
+                        choices=("platt", "isotonic"), default=None,
+                        help="pair-tier calibrator (default: platt)")
+    p_eval.add_argument("--negative-families", nargs="*", default=None,
+                        help="impostor families queried as never-indexed "
+                             "negatives for calibration (default: a "
+                             "curated four-family pool)")
+    p_eval.add_argument("--negatives-per-design", type=int, default=None,
+                        help="suspects per negative family design")
+    p_eval.add_argument("--hard-negatives", type=int, default=None,
+                        help="mine N hard negatives per training design "
+                             "and fine-tune on them (0 = off, the "
+                             "default; training is unchanged when off)")
+    p_eval.add_argument("--hard-negative-epochs", type=int, default=None,
+                        help="fine-tuning epochs for mined hard "
+                             "negatives")
     p_eval.add_argument("--allow-untrained", action="store_true",
                         help="evaluate an untrained model (scores are "
                              "noise; smoke runs only)")
@@ -736,6 +816,31 @@ def build_parser():
     p_eval.add_argument("--json", action="store_true",
                         help="print the machine-readable report")
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_calibrate = sub.add_parser(
+        "calibrate",
+        help="fit probability calibration for an index (writes "
+             "calibration.json next to the shards; queries then report "
+             "calibrated probabilities and confidence bands)")
+    p_calibrate.add_argument("index_dir", help="fingerprint index to "
+                                               "calibrate")
+    p_calibrate.add_argument("--model", default=None,
+                             help="override model (fingerprint must "
+                                  "match the index)")
+    p_calibrate.add_argument("--method", choices=("platt", "isotonic"),
+                             default="platt",
+                             help="pair-tier calibrator family")
+    p_calibrate.add_argument("--bootstrap", type=int, default=32,
+                             help="bootstrap replicas behind the "
+                                  "confidence bands (0 disables bands)")
+    p_calibrate.add_argument("--seed", type=int, default=0,
+                             help="bootstrap resampling seed")
+    p_calibrate.add_argument("--no-save", action="store_true",
+                             help="fit and report without writing the "
+                                  "artifact")
+    p_calibrate.add_argument("--json", action="store_true",
+                             help="machine-readable summary")
+    p_calibrate.set_defaults(func=_cmd_calibrate)
 
     p_serve = sub.add_parser(
         "serve", help="run the async HTTP detection service over an index")

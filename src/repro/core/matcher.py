@@ -40,24 +40,26 @@ class IPMatcher:
         self.model = model
         self._designs = []
         self._instances = []
+        self._rows = []      # pending rows, stacked lazily on match()
         self._matrix = None  # (n, hidden) L2-normalized embeddings
 
     def __len__(self):
         return len(self._instances)
 
     def add(self, design, instance, graph):
-        """Embed one design instance and add it to the index."""
+        """Embed one design instance and add it to the index.
+
+        Rows accumulate in a list and are stacked on the next
+        :meth:`match`, so N adds cost O(N) total instead of the O(N^2)
+        a per-add ``vstack`` of the full matrix would.
+        """
         embedding = self.model.encoder.embed(graph)
         norm = np.linalg.norm(embedding)
         if norm == 0:
             raise ModelError(f"zero embedding for {instance!r}")
-        row = (embedding / norm)[None, :]
         self._designs.append(design)
         self._instances.append(instance)
-        if self._matrix is None:
-            self._matrix = row
-        else:
-            self._matrix = np.vstack([self._matrix, row])
+        self._rows.append(embedding / norm)
 
     def add_records(self, records):
         """Add a list of :class:`~repro.core.dataset.GraphRecord`."""
@@ -71,6 +73,11 @@ class IPMatcher:
             :class:`Match` list sorted by descending score (top_k first
             entries when given).
         """
+        if self._rows:
+            pending = np.stack(self._rows)
+            self._matrix = (pending if self._matrix is None
+                            else np.vstack([self._matrix, pending]))
+            self._rows = []
         if self._matrix is None:
             raise ModelError("the IP library index is empty")
         embedding = self.model.encoder.embed(graph)

@@ -125,15 +125,24 @@ class Trainer:
             loss = loss + pair_loss
         return loss * (1.0 / len(batch))
 
-    def train_epoch(self, dataset, epoch=0):
-        """One pass over the train pairs; returns (mean_loss, seconds)."""
+    def train_epoch(self, dataset, epoch=0, extra_pairs=None):
+        """One pass over the train pairs; returns (mean_loss, seconds).
+
+        ``extra_pairs`` (e.g. mined hard negatives from
+        :mod:`repro.calib.negatives`) are appended to the epoch's pair
+        stream without mutating the dataset; ``None`` or an empty list
+        leaves the epoch bit-identical to the unaugmented run.
+        """
         self._prepare_all(dataset)
         weight = self._balance_weight(dataset)
+        pairs = dataset.train_pairs
+        if extra_pairs:
+            pairs = list(pairs) + list(extra_pairs)
         step = self._step_batched if self.mode == "batched" else self._step_loop
         total_loss = 0.0
         num_pairs = 0
         start = time.perf_counter()
-        for batch in batches(dataset.train_pairs, self.batch_size,
+        for batch in batches(pairs, self.batch_size,
                              seed=self.seed + epoch):
             loss = step(batch, weight)
             self.optimizer.zero_grad()
@@ -169,8 +178,12 @@ class Trainer:
         return similarities, labels, elapsed
 
     def fit(self, dataset, epochs=50, tune_delta=True, verbose=False,
-            log_every=10):
+            log_every=10, extra_pairs=None):
         """Train and then calibrate delta on the train split.
+
+        ``extra_pairs`` ride along in every epoch's pair stream (see
+        :meth:`train_epoch`); with ``None`` training is bit-identical
+        to the unaugmented call.
 
         Returns:
             history dict with per-epoch losses and final train accuracy.
@@ -178,7 +191,8 @@ class Trainer:
         losses = []
         train_seconds = 0.0
         for epoch in range(epochs):
-            loss, elapsed = self.train_epoch(dataset, epoch)
+            loss, elapsed = self.train_epoch(dataset, epoch,
+                                             extra_pairs=extra_pairs)
             losses.append(loss)
             train_seconds += elapsed
             if verbose and (epoch % log_every == 0 or epoch == epochs - 1):

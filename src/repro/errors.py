@@ -75,3 +75,7 @@ class IndexStoreError(ReproError):
 class EvalError(ReproError):
     """Raised when an evaluation run cannot be configured or executed."""
 
+
+class CalibrationError(ReproError):
+    """Raised for unusable calibration data or incompatible artifacts."""
+

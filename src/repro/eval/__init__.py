@@ -16,9 +16,11 @@ from repro.eval.report import FLOAT_DIGITS, SCHEMA_VERSION, EvalReport
 from repro.eval.runner import (
     DEFAULT_EVAL_FAMILIES,
     DEFAULT_HOLDOUT_FAMILIES,
+    DEFAULT_NEGATIVE_FAMILIES,
     EvalConfig,
     build_eval_corpus,
     evaluate_session,
+    fit_session_calibration,
     run_evaluation,
     scenario_suite,
     train_eval_model,
@@ -36,7 +38,9 @@ from repro.eval.scenarios import (
 __all__ = [
     "EvalConfig", "EvalReport", "run_evaluation", "evaluate_session",
     "scenario_suite", "train_eval_model", "build_eval_corpus",
+    "fit_session_calibration",
     "DEFAULT_EVAL_FAMILIES", "DEFAULT_HOLDOUT_FAMILIES",
+    "DEFAULT_NEGATIVE_FAMILIES",
     "SCENARIOS", "ScenarioContext", "ScenarioSpec", "Suspect",
     "generate_scenarios", "graft_netlists", "scenario_names",
     "SCHEMA_VERSION", "FLOAT_DIGITS",

@@ -118,6 +118,21 @@ class EvalReport:
             f"recall {self._cell(confusion.get('recall'))}  "
             f"f1 {self._cell(confusion.get('f1'))}  "
             f"auc {self._cell(overall.get('auc'))}")
+        calibration = overall.get("calibration")
+        if calibration is not None:
+            if "skipped" in calibration:
+                lines.append(f"calibration: skipped "
+                             f"({calibration['skipped']})")
+            else:
+                lines.append(
+                    f"calibration ({calibration.get('folds', '?')}-fold "
+                    f"out-of-fold): "
+                    f"ece {self._cell(calibration.get('ece'))}  "
+                    f"f1 {self._cell(calibration.get('f1'))}  "
+                    f"fpr {self._cell(calibration.get('fpr'))}  "
+                    f"fnr {self._cell(calibration.get('fnr'))}  "
+                    f"(operating point: min max(FPR, FNR); "
+                    f"{calibration.get('negatives', '?')} negatives)")
         for name, metrics in self.baselines.items():
             if "error" in metrics:
                 lines.append(f"baseline {name}: skipped ({metrics['error']})")

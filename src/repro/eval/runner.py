@@ -37,7 +37,7 @@ from repro.designs import (
     netlist_ir_records,
     rtl_records,
 )
-from repro.errors import EvalError
+from repro.errors import CalibrationError, EvalError
 from repro.eval.report import EvalReport
 from repro.index.chunks import ChunkConfig, extract_chunks
 from repro.eval.scenarios import SCENARIOS, ScenarioContext, generate_scenarios
@@ -50,6 +50,16 @@ DEFAULT_EVAL_FAMILIES = (
 
 #: Synthesizable families kept out of the corpus: negatives + graft hosts.
 DEFAULT_HOLDOUT_FAMILIES = ("satadd8", "bin2gray8", "dec3to8")
+
+#: Extra never-indexed families feeding only the ``unrelated`` scenario.
+#: They widen the negative pool (FPR resolution for calibration) without
+#: touching any pirated suspect.  ``absdiff8`` and ``shiftreg8`` are
+#: deliberately *not* here: their cores genuinely overlap corpus
+#: arithmetic (an adder inside absdiff, a plain register chain), so they
+#: sit inside the positive score range — keep them as an adversarial
+#: stress option, not a default negative.
+DEFAULT_NEGATIVE_FAMILIES = ("addsub8", "parity16", "gray2bin8",
+                             "hamenc74")
 
 
 @dataclass
@@ -84,12 +94,32 @@ class EvalConfig:
     baselines: tuple = ()            # e.g. ("wl_kernel", "spectral")
     allow_untrained: bool = False
     jobs: int = None
+    #: Extra never-indexed families feeding only the unrelated scenario
+    #: (negative pool for calibration; pirated suspects untouched).
+    negative_families: tuple = DEFAULT_NEGATIVE_FAMILIES
+    #: Unrelated variants per negative/holdout family (None falls back
+    #: to ``suspects_per_design``).
+    negatives_per_design: int = 4
+    #: Fit the calibrated decision layer and report stratified
+    #: out-of-fold ECE / F1 / FPR / FNR next to the raw-delta confusion.
+    calibration: bool = True
+    #: Pair-tier method: ``platt`` or ``isotonic`` (the match tier's
+    #: two-stage logistic is method-independent).
+    calibration_method: str = "platt"
+    calibration_folds: int = 4
+    calibration_seed: int = 0
+    #: Mined hard negatives per training record (0 = off; training is
+    #: bit-identical to the unmined run).
+    hard_negatives: int = 0
+    #: Fine-tuning epochs for the mined-pair phase.
+    hard_negative_epochs: int = 20
 
     def __post_init__(self):
         if self.level not in ("rtl", "netlist"):
             raise EvalError(f"unknown evaluation level {self.level!r}")
         self.families = tuple(self.families)
         self.holdouts = tuple(self.holdouts)
+        self.negative_families = tuple(self.negative_families)
         if self.scenarios is not None:
             self.scenarios = tuple(self.scenarios)
         self.recall_ks = tuple(sorted(int(k) for k in self.recall_ks))
@@ -98,13 +128,17 @@ class EvalConfig:
             self.theft_fractions = (self.theft_fractions,)
         self.theft_fractions = tuple(float(f)
                                      for f in self.theft_fractions)
+        if self.calibration_method not in ("platt", "isotonic"):
+            raise EvalError(f"unknown calibration method "
+                            f"{self.calibration_method!r}; "
+                            f"known: platt, isotonic")
 
     def as_dict(self):
         data = asdict(self)
         data["scenarios"] = (list(self.scenarios)
                              if self.scenarios is not None else None)
         for key in ("families", "holdouts", "recall_ks", "baselines",
-                    "theft_fractions"):
+                    "theft_fractions", "negative_families"):
             data[key] = list(data[key])
         return data
 
@@ -134,6 +168,8 @@ def train_eval_model(config, verbose=False):
     trainer = Trainer(model, seed=config.seed)
     if not config.chunk_training:
         trainer.fit(dataset, epochs=config.epochs, verbose=verbose)
+        _hard_negative_phase(trainer, dataset, config,
+                             list(dataset.train_pairs), verbose=verbose)
         return model
     # Multi-granularity training: add (chunk, whole) pairs, but keep the
     # original whole-graph train pairs as the delta calibration set —
@@ -144,7 +180,38 @@ def train_eval_model(config, verbose=False):
                 verbose=verbose)
     similarities, labels, _ = trainer.evaluate_pairs(dataset, whole_train)
     model.tune_delta(similarities, labels)
+    _hard_negative_phase(trainer, dataset, config, whole_train,
+                         verbose=verbose)
     return model
+
+
+def _hard_negative_phase(trainer, dataset, config, delta_pairs,
+                         verbose=False):
+    """Optional mined-negative fine-tune after the main fit.
+
+    With ``config.hard_negatives=0`` (the default) this is a no-op and
+    the trained model is bit-identical to the unmined run.  Otherwise
+    the corpus is embedded under the *trained* model, the nearest
+    non-matching pairs are mined (:func:`repro.calib.negatives.
+    mine_hard_negatives`), a short fine-tune runs with those pairs
+    appended to the loss, and delta is re-tuned on ``delta_pairs``.
+    """
+    if not config.hard_negatives or config.hard_negative_epochs <= 0:
+        return 0
+    from repro.calib.negatives import mine_hard_negatives
+
+    mined = mine_hard_negatives(dataset.records, trainer.model,
+                                per_record=config.hard_negatives)
+    if not mined:
+        return 0
+    if verbose:
+        print(f"hard negatives: fine-tuning on {len(mined)} mined pairs "
+              f"({config.hard_negative_epochs} epochs)")
+    trainer.fit(dataset, epochs=config.hard_negative_epochs,
+                tune_delta=False, verbose=verbose, extra_pairs=mined)
+    similarities, labels, _ = trainer.evaluate_pairs(dataset, delta_pairs)
+    trainer.model.tune_delta(similarities, labels)
+    return len(mined)
 
 
 def augment_with_chunk_pairs(dataset, seed=0, per_instance=2,
@@ -239,6 +306,8 @@ def scenario_suite(config, families=None):
                if name in configured}
     offsets.update({name: len(configured) + i
                     for i, name in enumerate(config.holdouts)})
+    offsets.update({name: len(configured) + len(config.holdouts) + i
+                    for i, name in enumerate(config.negative_families)})
     # Families outside the configured list (direct callers) go after.
     for name in families:
         offsets.setdefault(name, len(configured) + len(config.holdouts)
@@ -252,7 +321,9 @@ def scenario_suite(config, families=None):
         equivalence_checks=config.equivalence_checks,
         equivalence_vectors=config.equivalence_vectors,
         corpus_scheme=config.level,
-        offsets=offsets)
+        offsets=offsets,
+        negative_families=config.negative_families,
+        negatives_per_design=config.negatives_per_design)
     return generate_scenarios(ctx, config.scenarios)
 
 
@@ -373,21 +444,160 @@ def _baseline_metrics(name, suspects, rows, corpus_graphs, delta, ks):
     }
 
 
-def evaluate_session(session, config=None):
-    """Score an existing session against the adversarial scenario suite.
+# -- calibration fitting ------------------------------------------------------
+def _calibration_rows(suspects, results, delta):
+    """Per-suspect calibration inputs from one batched query pass."""
+    from repro.calib import match_evidence
 
-    The session's corpus decides which configured families are evaluable
-    (their top modules must appear among the indexed designs); suspects
-    are embedded in **one** batched query pass.
+    rows = []
+    for suspect, result in zip(suspects, results):
+        matches = list(result)
+        rows.append({
+            "name": suspect.name,
+            "scenario": suspect.scenario,
+            "pirated": bool(suspect.pirated),
+            "evidence": match_evidence(matches, delta),
+            "labels": np.array(
+                [1.0 if (suspect.pirated
+                         and m.design == suspect.true_design) else 0.0
+                 for m in matches]),
+            "top1": (float(matches[0].score) if matches else -1.0),
+        })
+    return rows
 
-    Returns:
-        :class:`~repro.eval.report.EvalReport`
+
+def _calibration_folds(rows, folds, seed):
+    """Stratified fold assignment: suspects are grouped by
+    ``(scenario, pirated)``, each group seeded-shuffled and dealt
+    round-robin, so every fold sees every scenario and both classes."""
+    rng = np.random.default_rng(seed)
+    groups = {}
+    for i, row in enumerate(rows):
+        groups.setdefault((row["scenario"], row["pirated"]), []).append(i)
+    assignment = [[] for _ in range(folds)]
+    for key in sorted(groups):
+        members = sorted(groups[key], key=lambda i: rows[i]["name"])
+        rng.shuffle(members)
+        for position, i in enumerate(members):
+            assignment[position % folds].append(i)
+    return assignment
+
+
+def _calibration_metrics(rows, config, delta):
+    """Stratified out-of-fold calibration quality block.
+
+    Every suspect's probability (and the operating threshold applied to
+    it) comes from a calibrator that never saw that suspect — the
+    honest estimate of deployed behavior, reported next to the raw
+    delta-cut confusion.
+    """
+    from repro.calib import EvidenceCalibrator
+    from repro.calib.report import (
+        expected_calibration_error,
+        reliability_bins,
+        threshold_sweep,
+    )
+
+    folds = _calibration_folds(rows, config.calibration_folds,
+                               config.calibration_seed)
+    probs = np.zeros(len(rows))
+    cuts = np.full(len(rows), 0.5)
+    for i, fold in enumerate(folds):
+        fit_idx = [j for k, members in enumerate(folds) if k != i
+                   for j in members]
+        calibrator = EvidenceCalibrator.fit(
+            [rows[j]["evidence"] for j in fit_idx],
+            [rows[j]["labels"] for j in fit_idx],
+            [rows[j]["pirated"] for j in fit_idx],
+            delta, bootstrap=0, seed=config.calibration_seed)
+        for j in fold:
+            if len(rows[j]["evidence"]):
+                probs[j] = calibrator.probability(rows[j]["evidence"])
+            cuts[j] = calibrator.threshold
+    labels = np.array([row["pirated"] for row in rows], dtype=float)
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    flagged = probs >= cuts
+    tp = int((flagged & (labels == 1)).sum())
+    fp = int((flagged & (labels == 0)).sum())
+    fn = positives - tp
+    tn = negatives - fp
+    return {
+        "method": config.calibration_method,
+        "folds": config.calibration_folds,
+        "suspects": len(rows),
+        "positives": positives,
+        "negatives": negatives,
+        "ece": expected_calibration_error(probs, labels),
+        "f1": 2 * tp / max(2 * tp + fp + fn, 1),
+        "fpr": (fp / negatives if negatives else None),
+        "fnr": (fn / positives if positives else None),
+        "confusion": {"tp": tp, "fp": fp, "fn": fn, "tn": tn},
+        "mean_operating_threshold": float(cuts.mean()),
+        "reliability_bins": reliability_bins(probs, labels),
+        "threshold_sweep": threshold_sweep(probs, labels),
+    }
+
+
+def fit_session_calibration(session, config=None, suspects=None,
+                            results=None, bootstrap=32):
+    """Fit a persistable :class:`~repro.calib.Calibration` artifact.
+
+    Generates the scenario suite over the corpus' evaluable families
+    (unless ``suspects``/``results`` from a prior pass are handed in),
+    fits the match tier on the ranked evidence and the pair tier on the
+    top-1 scores, and binds the artifact to the corpus' model hash,
+    index format, and level.  The caller persists it with
+    ``artifact.save(corpus.root)``.
+
+    Raises:
+        CalibrationError: too little fit data (< 8 suspects or a
+            single class).
+        EvalError: no corpus bound or level mismatch.
+    """
+    from repro.calib import Calibration, EvidenceCalibrator, ScoreCalibrator
+    from repro.index.store import FORMAT_VERSION
+
+    config = config if config is not None else EvalConfig()
+    families = _evaluable_families(session, config)
+    if suspects is None or results is None:
+        suspects = scenario_suite(config, families=families)
+        results = session.query([s.source for s in suspects],
+                                k=max(config.recall_ks),
+                                labels=[s.name for s in suspects])
+    delta = session.delta
+    rows = _calibration_rows(suspects, results, delta)
+    pirated = [row["pirated"] for row in rows]
+    match_tier = EvidenceCalibrator.fit(
+        [row["evidence"] for row in rows],
+        [row["labels"] for row in rows],
+        pirated, delta, bootstrap=bootstrap,
+        seed=config.calibration_seed)
+    pair_tier = ScoreCalibrator.fit(
+        [row["top1"] for row in rows], pirated,
+        method=config.calibration_method, bootstrap=bootstrap,
+        seed=config.calibration_seed)
+    return Calibration(
+        model_hash=session.corpus.model_hash,
+        index_format=FORMAT_VERSION,
+        level=session.corpus.level,
+        delta=delta,
+        pair=pair_tier,
+        match=match_tier,
+        info={"suspects": len(rows),
+              "positives": int(sum(pirated)),
+              "negatives": int(len(pirated) - sum(pirated)),
+              "families": list(families),
+              "seed": config.seed})
+
+
+def _evaluable_families(session, config):
+    """The configured families actually present in the session's corpus.
 
     Raises:
         EvalError: no corpus bound, level mismatch, or no configured
             family present in the corpus.
     """
-    config = config if config is not None else EvalConfig()
     if session.corpus is None:
         raise EvalError("evaluation needs a session with a corpus bound")
     if session.corpus.level != config.level:
@@ -403,6 +613,27 @@ def evaluate_session(session, config=None):
             "none of the configured families appear in the corpus; "
             "evaluation scenarios are generated from registered design "
             "families (see repro.designs)")
+    return families
+
+
+def evaluate_session(session, config=None):
+    """Score an existing session against the adversarial scenario suite.
+
+    The session's corpus decides which configured families are evaluable
+    (their top modules must appear among the indexed designs); suspects
+    are embedded in **one** batched query pass.
+
+    Returns:
+        :class:`~repro.eval.report.EvalReport`
+
+    Raises:
+        EvalError: no corpus bound, level mismatch, or no configured
+            family present in the corpus.
+    """
+    config = config if config is not None else EvalConfig()
+    families = _evaluable_families(session, config)
+    indexed = {entry["design"] for entry in session.corpus.entries
+               if entry["status"] == "ok"}
 
     generate_start = time.perf_counter()
     suspects = scenario_suite(config, families=families)
@@ -447,6 +678,18 @@ def evaluate_session(session, config=None):
         "auc": roc_auc([row["score"] for row in all_rows],
                        [row["pirated"] for row in all_rows]),
     }
+    calibration_seconds = 0.0
+    if config.calibration:
+        calibration_start = time.perf_counter()
+        try:
+            overall["calibration"] = _calibration_metrics(
+                _calibration_rows(suspects, results, delta), config,
+                delta)
+        except CalibrationError as exc:
+            # A corpus too small to calibrate is a valid evaluation —
+            # report why the block is missing instead of failing.
+            overall["calibration"] = {"skipped": str(exc)}
+        calibration_seconds = time.perf_counter() - calibration_start
 
     baselines = {}
     baseline_seconds = 0.0
@@ -491,7 +734,8 @@ def evaluate_session(session, config=None):
         scenarios=scenarios, overall=overall, baselines=baselines,
         timings={"generate_seconds": generate_seconds,
                  "query_seconds": query_seconds,
-                 "baseline_seconds": baseline_seconds})
+                 "baseline_seconds": baseline_seconds,
+                 "calibration_seconds": calibration_seconds})
 
 
 def run_evaluation(config=None, workdir=None, model=None, verbose=False):

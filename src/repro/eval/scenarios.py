@@ -103,10 +103,21 @@ class ScenarioContext:
     #: derived from a shrunken list would regenerate different design
     #: instances than the corpus indexed.
     offsets: dict = None
+    #: Extra never-indexed families that only feed the ``unrelated``
+    #: scenario (no graft hosting, so adding them leaves every pirated
+    #: suspect byte-identical).  They widen the negative pool enough
+    #: for calibration to have measurable FPR resolution.
+    negative_families: tuple = ()
+    #: Variants per negative family in ``unrelated`` (``None`` falls
+    #: back to ``suspects_per_design``).  Raising it only *appends*
+    #: variants — the per-suspect seed depends on (scenario, design,
+    #: variant) alone, so existing negatives stay byte-identical.
+    negatives_per_design: int = None
 
     def __post_init__(self):
         self.families = tuple(self.families)
         self.holdouts = tuple(self.holdouts)
+        self.negative_families = tuple(self.negative_families)
         if isinstance(self.theft_fractions, (int, float)):
             self.theft_fractions = (self.theft_fractions,)
         self.theft_fractions = tuple(float(f)
@@ -117,11 +128,20 @@ class ScenarioContext:
         if overlap:
             raise EvalError(f"holdout families must not be in the corpus: "
                             f"{sorted(overlap)}")
+        overlap = set(self.negative_families) & (set(self.families)
+                                                 | set(self.holdouts))
+        if overlap:
+            raise EvalError(f"negative families must be distinct from "
+                            f"corpus and holdout families: "
+                            f"{sorted(overlap)}")
         if self.offsets is None:
             self.offsets = {name: i for i, name in enumerate(self.families)}
             self.offsets.update(
                 {name: len(self.families) + i
                  for i, name in enumerate(self.holdouts)})
+        base = len(self.families) + len(self.holdouts)
+        for i, name in enumerate(self.negative_families):
+            self.offsets.setdefault(name, base + i)
         self._rtl = {}
         self._netlists = {}
 
@@ -330,10 +350,19 @@ def _scenario_partial_theft(ctx):
 
 def _scenario_unrelated(ctx):
     """Negatives: designs from families the corpus has never seen, both
-    as restyled RTL and as obfuscated netlists."""
-    for offset, name in enumerate(ctx.holdouts):
+    as restyled RTL and as obfuscated netlists.
+
+    Draws from the holdouts plus any extra ``negative_families``;
+    ``negatives_per_design`` widens the variant grid.  Both knobs only
+    append suspects — the per-suspect seeds of the original
+    holdout-variant grid are unchanged.
+    """
+    variants = (ctx.negatives_per_design
+                if ctx.negatives_per_design is not None
+                else ctx.suspects_per_design)
+    for name in ctx.holdouts + ctx.negative_families:
         base = ctx.base_rtl(name)
-        for variant in range(ctx.suspects_per_design):
+        for variant in range(variants):
             seed = ctx.suspect_seed("unrelated", name, variant)
             yield Suspect(
                 name=f"unrelated/{name}.rtl{variant}",

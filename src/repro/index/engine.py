@@ -101,7 +101,9 @@ class QueryHit:
 
     Under structural rank fusion ``score`` is always the whole-suspect
     vs whole-design cosine (the only pairing comparable to ``delta``),
-    even when a chunk pairing is the evidence ``via`` points at.
+    even when a chunk pairing is the evidence ``via`` points at; the
+    design's structural reverse-containment score rides along in
+    ``struct`` (``None`` outside fusion) as calibration evidence.
     """
 
     name: str
@@ -113,6 +115,7 @@ class QueryHit:
     region: dict = None
     query_region: dict = None
     coverage: float = None
+    struct: float = None
 
 
 @dataclass
@@ -1023,7 +1026,8 @@ class QueryEngine:
                      else "design"),
                 region=row_entry.get("region"),
                 query_region=group_regions[int(best_part[u])],
-                coverage=float(coverage[u])))
+                coverage=float(coverage[u]),
+                struct=float(struct[u])))
         return hits
 
     def _hits(self, rows, scores, delta):

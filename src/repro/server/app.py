@@ -428,6 +428,14 @@ class ReproServer:
         corpus = session.corpus
         self.batch_jobs.observe(len(jobs))
         out = [None] * len(jobs)
+        # The corpus's calibration annotates merged results identically
+        # to in-process serving (annotation is a pure function of the
+        # final match list).  A stale artifact fails the gulp loudly —
+        # silently dropping probabilities would hide the problem.
+        try:
+            calibration = corpus.calibration()
+        except ReproError as exc:
+            return [exc] * len(jobs)
         # Per job: flat part vectors, group prefix offsets (one group =
         # one suspect), and per-part region descriptors.  On a chunk-less
         # index every suspect is a single part and the engine call below
@@ -548,8 +556,12 @@ class ReproServer:
                 count = len(offsets_by_job[idx]) - 1
                 per_suspect = hit_lists[cursor:cursor + count]
                 cursor += count
-                out[idx] = [
+                results = [
                     QueryResult(label=label,
                                 matches=matches_from_hits(hits))
                     for label, hits in zip(jobs[idx].labels, per_suspect)]
+                if calibration is not None:
+                    for result in results:
+                        calibration.annotate_matches(result.matches)
+                out[idx] = results
         return out
