@@ -42,6 +42,23 @@ FLOORS = {
     "netlist_obfuscate_s3": 0.9,
     "resynthesis": 0.9,
     "partial_theft": 0.9,
+    # Staged attack pipelines (ISSUE 10).  Same bar as the other
+    # semantics-preserving attacks; the trojan only perturbs one output
+    # cone, so the fingerprint should still match.
+    "retime": 0.9,
+    "fsm_reencode": 0.9,
+    "wrapper": 0.9,
+    "trojan": 0.9,
+}
+
+#: Target floors the detector does NOT clear yet: recorded as open
+#: baselines in ``bench_eval.json`` (under ``open_baselines``), never
+#: asserted.  ``tech_remap`` rewrites every gate into an alternate cell
+#: vocabulary (NAND-only / NOR-only / AIG), which defeats the
+#: cell-type-based netlist featurization — closing that gap is tracked
+#: in ROADMAP.md.  Move an entry into FLOORS once it clears its target.
+OPEN_BASELINES = {
+    "tech_remap": 0.9,
 }
 
 #: Fractions below this are out of scope for the partial-theft floor
@@ -97,6 +114,12 @@ def bench_eval_detection_floor():
         "partial_theft_min_fraction": PARTIAL_THEFT_MIN_FRACTION,
         "recalls_at_10": recalls,
         "partial_theft_by_fraction": partial.get("recall_by_fraction"),
+        # Recorded-not-enforced: target floor vs measured recall@10 for
+        # scenarios the detector does not clear yet.  Tracked so the gap
+        # (and any progress) is visible per run without gating CI.
+        "open_baselines": {
+            name: {"target": target, "recall_at_10": recalls.get(name)}
+            for name, target in OPEN_BASELINES.items()},
         "overall": {k: data["overall"][k] for k in ("auc", "confusion")},
         "total_seconds": total_seconds,
         "timings": data["timings"],
@@ -108,6 +131,8 @@ def bench_eval_detection_floor():
     lines = [f"{name:24s} recall@10 = "
              + (f"{value:.3f}" if value is not None else "n/a")
              + (f"  (floor {FLOORS[name]})" if name in FLOORS else "")
+             + (f"  (open baseline, target {OPEN_BASELINES[name]})"
+                if name in OPEN_BASELINES else "")
              for name, value in sorted(recalls.items())]
     for fraction, by_k in sorted(
             (partial.get("recall_by_fraction") or {}).items()):
@@ -128,6 +153,66 @@ def bench_eval_detection_floor():
         f"{equivalence_failures}"
     failures = _check_floors(data)
     assert not failures, "detection floors broken: " + "; ".join(failures)
+
+
+def bench_attacks_smoke():
+    """Reduced staged-attack gate: just the five attack scenarios.
+
+    CI runs this as its own ``attacks-smoke`` step (``--scenarios``
+    subset, smaller corpus) so a broken attack pipeline or a recall
+    regression on the enforced attack scenarios fails loudly even when
+    the full floor benchmark is skipped or times out.  ``tech_remap``
+    stays recorded-not-enforced (see OPEN_BASELINES).  The report lands
+    in ``benchmarks/out/attacks_smoke.json``.
+    """
+    attack_scenarios = ("tech_remap", "retime", "fsm_reencode",
+                        "wrapper", "trojan")
+    config = EvalConfig(scenarios=attack_scenarios,
+                        suspects_per_design=1)
+    start = time.time()
+    result = run_evaluation(config)
+    total_seconds = time.time() - start
+
+    data = result.as_dict()
+    recalls = {name: data["scenarios"][name]
+               .get("recall_at_k", {}).get("10")
+               for name in attack_scenarios}
+    suspects = {name: data["scenarios"][name].get("suspects")
+                for name in attack_scenarios}
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "floors": {name: FLOORS[name] for name in attack_scenarios
+                   if name in FLOORS},
+        "open_baselines": {
+            name: {"target": target, "recall_at_10": recalls.get(name)}
+            for name, target in OPEN_BASELINES.items()},
+        "recalls_at_10": recalls,
+        "suspects": suspects,
+        "total_seconds": total_seconds,
+        "full": FULL,
+    }
+    with open(OUT_DIR / "attacks_smoke.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    lines = [f"{name:16s} n={suspects[name]:<3d} recall@10 = "
+             + (f"{recalls[name]:.3f}" if recalls[name] is not None
+                else "n/a")
+             + (f"  (floor {FLOORS[name]})" if name in FLOORS
+                else f"  (open baseline, target {OPEN_BASELINES[name]})")
+             for name in attack_scenarios]
+    lines.append(f"total {total_seconds:.1f}s")
+    report("bench_attacks_smoke", "\n".join(lines))
+
+    for name in attack_scenarios:
+        assert suspects[name], f"{name}: no suspects generated"
+    failures = [
+        f"{name}: recall@10 = {recalls[name]} < {FLOORS[name]}"
+        for name in attack_scenarios
+        if name in FLOORS
+        and (recalls[name] is None or recalls[name] < FLOORS[name])]
+    assert not failures, \
+        "attack-scenario floors broken: " + "; ".join(failures)
 
 
 def bench_partial_theft_smoke():

@@ -1,0 +1,108 @@
+"""Composable, seeded attack pipelines for the widened threat model.
+
+Five staged attacks, each an explicit multi-stage flow with per-stage
+artifacts and an equivalence-checked provenance chain
+(:mod:`repro.attacks.pipeline`):
+
+==============  ====================================================
+attack          what the thief does
+==============  ====================================================
+tech_remap      re-map onto an alternate cell library, then rename
+retime          move registers backward across combinational gates
+fsm_reencode    invertible linear re-encoding of the state registers
+wrapper         inline the core in a generated top with decoy ports
+trojan          rare-trigger payload XORed onto a stolen output
+==============  ====================================================
+
+Use :func:`run_attack` (or the ``gnn4ip attack`` CLI) to stage one
+attack on a netlist; the evaluation scenarios in
+:mod:`repro.eval.scenarios` drive the same registry.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.attacks import fsm, remap, retime, trojan, wrapper
+from repro.attacks.pipeline import (AttackNotApplicable, AttackPipeline,
+                                    artifact_hash, chain_hash,
+                                    derive_stage_seed, netlist_hash,
+                                    verify_provenance)
+from repro.errors import EvalError
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one staged attack.
+
+    Attributes:
+        attack: registry name.
+        netlist: the final artifact (what the thief ships).
+        provenance: seeds, stage chain, chain hash, attack extras.
+        comparison: netlist to equivalence-check against the base when
+            the artifact's interface differs from it (the wrapper's
+            core view); ``None`` means the artifact itself compares.
+        semantics_preserving: whether the final artifact preserves the
+            base design's behaviour (False for the Trojan).
+        trigger: Trojan only — ``{input: value}`` asserting the payload.
+    """
+
+    attack: str
+    netlist: object
+    provenance: dict = field(default_factory=dict)
+    comparison: object = None
+    semantics_preserving: bool = True
+    trigger: dict = None
+
+    @property
+    def check_netlist(self):
+        """The netlist equivalence checks should compare to the base."""
+        return self.comparison if self.comparison is not None \
+            else self.netlist
+
+
+#: Registry of staged attacks, in report order.
+ATTACKS = {
+    "tech_remap": remap.run,
+    "retime": retime.run,
+    "fsm_reencode": fsm.run,
+    "wrapper": wrapper.run,
+    "trojan": trojan.run,
+}
+
+
+def attack_names():
+    """All registered attack names, in order."""
+    return list(ATTACKS)
+
+
+def run_attack(attack, netlist, seed, check=False, vectors=24, **options):
+    """Stage one named attack on a netlist.
+
+    Args:
+        attack: an :data:`ATTACKS` key.
+        netlist: the base (stolen) netlist; never mutated.
+        seed: parent seed; stages derive child seeds from it.
+        check: run generation-time equivalence (or trojan on/off)
+            checks; failures raise ``EvalError``.
+        vectors: vectors per check.
+        options: attack-specific knobs (``library=``, ``max_moves=``,
+            ``trigger_width=``, ``name=``...).
+
+    Returns:
+        :class:`AttackResult`.
+
+    Raises:
+        EvalError: unknown attack name, or a failed check.
+        AttackNotApplicable: the design cannot host this attack.
+    """
+    if attack not in ATTACKS:
+        raise EvalError(
+            f"unknown attack {attack!r}; known: {attack_names()}")
+    return ATTACKS[attack](netlist, seed, check=check, vectors=vectors,
+                           **options)
+
+
+__all__ = [
+    "ATTACKS", "AttackNotApplicable", "AttackPipeline", "AttackResult",
+    "artifact_hash", "attack_names", "chain_hash", "derive_stage_seed",
+    "netlist_hash", "run_attack", "verify_provenance",
+]

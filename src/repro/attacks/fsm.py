@@ -1,0 +1,197 @@
+"""FSM re-encoding attack: invertible linear re-encoding of state bits.
+
+The thief detects the state registers (flops that feed other flops'
+next-state logic through combinational paths) and replaces their
+encoding ``q`` with ``p = A q`` for a random invertible matrix ``A``
+over GF(2): the new flops register XOR combinations of the original
+next-state nets, and XOR/buf decode gates reconstruct every original
+state bit for the untouched downstream logic.  Because ``A`` is linear
+and invertible the reset state maps to itself (``A 0 = 0``) and the
+machine is cycle-for-cycle equivalent — but the state registers, their
+feedback structure, and the gate texture around them all change.
+"""
+
+import numpy as np
+
+from repro.attacks.pipeline import AttackNotApplicable, AttackPipeline
+from repro.netlist.cells import DFF
+from repro.netlist.netlist import Netlist
+from repro.obfuscate.transforms import obfuscate
+
+
+def detect_state_registers(netlist):
+    """Flops that participate in state feedback, grouped by clock.
+
+    A flop is a *state register* when its output reaches some flop's D
+    input through combinational logic (including itself — a counter bit
+    feeding its own increment).  Falls back to all flops of the largest
+    clock group when no feedback exists.
+
+    Returns:
+        list of DFF gates (netlist order), all sharing one clock.
+    """
+    drivers = netlist.drivers()
+    flops = [g for g in netlist.gates if g.cell == DFF]
+    if not flops:
+        return []
+    flop_outputs = {g.output for g in flops}
+    state = set()
+    for flop in flops:
+        stack = [flop.inputs[0]]
+        seen = set()
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in flop_outputs:
+                state.add(net)
+                continue
+            driver = drivers.get(net)
+            if driver is not None and driver.cell != DFF:
+                stack.extend(driver.inputs)
+    regs = [g for g in flops if g.output in state]
+    if not regs:
+        regs = flops
+    by_clock = {}
+    for gate in regs:
+        by_clock.setdefault(gate.inputs[1], []).append(gate)
+    # Largest clock group wins; ties break on clock name for determinism.
+    best = max(sorted(by_clock), key=lambda clk: len(by_clock[clk]))
+    return by_clock[best]
+
+
+def _gf2_invertible(rng, n):
+    """A random invertible n x n matrix over GF(2) and its inverse."""
+    for _ in range(256):
+        matrix = rng.integers(0, 2, size=(n, n), dtype=np.int64)
+        inverse = _gf2_inverse(matrix)
+        if inverse is not None:
+            return matrix, inverse
+    raise AttackNotApplicable(
+        f"could not draw an invertible GF(2) matrix of size {n}")
+
+
+def _gf2_inverse(matrix):
+    """Inverse of a GF(2) matrix via Gaussian elimination, or None."""
+    n = matrix.shape[0]
+    work = matrix.copy() % 2
+    inv = np.eye(n, dtype=np.int64)
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            return None
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        for row in range(n):
+            if row != col and work[row, col]:
+                work[row] = (work[row] + work[col]) % 2
+                inv[row] = (inv[row] + inv[col]) % 2
+    return inv
+
+
+def reencode_state(netlist, seed, max_group=8, name=None):
+    """Re-encode up to ``max_group`` state registers linearly.
+
+    Returns:
+        ``(reencoded_netlist, record)`` where ``record`` describes the
+        group and the encoding matrix (rows as bitmask ints).
+
+    Raises:
+        AttackNotApplicable: fewer than two state registers share a
+            clock (a 1-bit "re-encoding" would be the identity or an
+            inverter pair — not a meaningful attack).
+    """
+    group = detect_state_registers(netlist)[:max_group]
+    if len(group) < 2:
+        raise AttackNotApplicable(
+            f"design {netlist.name!r} has fewer than two state registers")
+    rng = np.random.default_rng(seed)
+    n = len(group)
+    matrix, inverse = _gf2_invertible(rng, n)
+    clk = group[0].inputs[1]
+    d_nets = [gate.inputs[0] for gate in group]
+    q_nets = [gate.output for gate in group]
+
+    used = netlist.nets() | set(netlist.clocks)
+    counter = 0
+
+    def fresh(hint):
+        nonlocal counter
+        net = f"fsm_{hint}_{counter}"
+        counter += 1
+        while net in used:
+            net = f"fsm_{hint}_{counter}"
+            counter += 1
+        used.add(net)
+        return net
+
+    removed = {id(gate) for gate in group}
+    out = Netlist(name or f"{netlist.name}_fsm", list(netlist.inputs),
+                  list(netlist.outputs))
+    for gate in netlist.gates:
+        if id(gate) not in removed:
+            out.add_gate(gate.cell, gate.output, list(gate.inputs),
+                         name=gate.name)
+    gate_counter = 0
+
+    def gate_name():
+        nonlocal gate_counter
+        gate_counter += 1
+        return f"fsg{gate_counter - 1}"
+
+    # Encode: p_i registers the XOR of the original next-state nets
+    # selected by row i of A.
+    p_nets = []
+    for i in range(n):
+        terms = [d_nets[j] for j in range(n) if matrix[i, j]]
+        if len(terms) == 1:
+            d_in = terms[0]
+        else:
+            d_in = out.add_gate("xor", fresh("d"), terms, name=gate_name())
+        p_nets.append(out.add_gate(DFF, fresh("p"), [d_in, clk],
+                                   name=gate_name()))
+    # Decode: each original state net is the XOR of the new registers
+    # selected by row i of A^-1 (buf when a single register suffices).
+    for i in range(n):
+        terms = [p_nets[j] for j in range(n) if inverse[i, j]]
+        cell = "buf" if len(terms) == 1 else "xor"
+        out.add_gate(cell, q_nets[i], terms, name=gate_name())
+    out.validate()
+    record = {
+        "registers": q_nets,
+        "group_size": n,
+        "matrix_rows": [int(sum(int(matrix[i, j]) << j for j in range(n)))
+                        for i in range(n)],
+    }
+    return out, record
+
+
+def run(netlist, seed, check=False, vectors=24, max_group=8, name=None):
+    """Stage the FSM re-encoding attack; returns an ``AttackResult``."""
+    from repro.attacks import AttackResult
+
+    pipe = AttackPipeline("fsm_reencode", netlist, seed, check=check,
+                          vectors=vectors)
+    final_name = name or f"{netlist.name}_fsm"
+    holder = {}
+
+    def _reencode(nl, stage_seed):
+        reencoded, record = reencode_state(nl, stage_seed,
+                                           max_group=max_group,
+                                           name=final_name)
+        holder["record"] = record
+        return reencoded
+
+    pipe.run_stage("reencode", _reencode)
+    pipe.run_stage("rename",
+                   lambda nl, s: obfuscate(nl, seed=s, transforms=[],
+                                           name=final_name))
+    return AttackResult(attack="fsm_reencode", netlist=pipe.netlist,
+                        provenance=pipe.provenance(
+                            reencoding=holder["record"]))

@@ -1,0 +1,165 @@
+"""Staged attack pipelines with equivalence-checked provenance.
+
+Every attack in :mod:`repro.attacks` is an explicit multi-stage flow:
+named stages, one artifact per stage, and a provenance chain recording
+each stage's derived seed, gate count, and artifact hash.  The chain
+serves two purposes:
+
+* **auditability** — :func:`verify_provenance` recomputes the final
+  artifact hash and the chain hash, refusing loudly (``EvalError``)
+  when a suspect's source or its recorded history has been tampered
+  with;
+* **seed hygiene** — each stage draws its randomness from
+  :func:`derive_stage_seed` (a hash of the parent seed and the stage
+  *name*), so two stages of one pipeline can never consume identical
+  RNG streams even when they share transform code.
+
+Semantics-preserving stages are random-vector equivalence-checked at
+run time when the pipeline is constructed with ``check=True``; a failed
+check aborts generation rather than emitting a mislabeled suspect.
+"""
+
+import hashlib
+import json
+
+from repro.errors import EvalError
+from repro.netlist.verilog_io import write_netlist
+from repro.sim.equivalence import check_netlists_equivalent
+
+
+class AttackNotApplicable(EvalError):
+    """The attack cannot be staged on this design (e.g. retiming a
+    combinational netlist).  Scenario generators skip such designs."""
+
+
+def derive_stage_seed(parent_seed, stage_name):
+    """Child seed for one named stage of a pipeline.
+
+    Hash of ``parent_seed`` and the stage name — distinct stages of the
+    same pipeline get distinct, order-independent RNG streams.
+    """
+    digest = hashlib.blake2b(f"{parent_seed}:{stage_name}".encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") % (2 ** 31)
+
+
+def artifact_hash(source):
+    """sha256 hex digest of a Verilog artifact's text."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def netlist_hash(netlist):
+    """Artifact hash of a netlist as it would be written to Verilog."""
+    return artifact_hash(write_netlist(netlist))
+
+
+def chain_hash(stages):
+    """Order-sensitive digest over a pipeline's stage records."""
+    digest = hashlib.sha256()
+    for record in stages:
+        digest.update(json.dumps(record, sort_keys=True,
+                                 default=str).encode())
+    return digest.hexdigest()
+
+
+def verify_provenance(source, provenance):
+    """Check a suspect's source text against its provenance chain.
+
+    Raises:
+        EvalError: when the source does not hash to the final stage's
+            recorded artifact, or the chain hash does not match the
+            stage records — both mean the artifact or its history was
+            corrupted after generation.
+    """
+    stages = provenance.get("stages") or []
+    if not stages or "chain_hash" not in provenance:
+        raise EvalError("provenance has no stage chain to verify")
+    expected = stages[-1].get("artifact_sha256")
+    actual = artifact_hash(source)
+    if actual != expected:
+        raise EvalError(
+            f"corrupted attack artifact: source hashes to {actual[:12]}..., "
+            f"final stage {stages[-1].get('stage')!r} recorded "
+            f"{str(expected)[:12]}...")
+    recomputed = chain_hash(stages)
+    if recomputed != provenance["chain_hash"]:
+        raise EvalError(
+            f"provenance chain hash mismatch: recorded "
+            f"{provenance['chain_hash'][:12]}..., stage records hash to "
+            f"{recomputed[:12]}...")
+    return True
+
+
+class AttackPipeline:
+    """Runs named stages over a netlist, accumulating provenance.
+
+    Args:
+        attack: attack name (goes into the provenance record).
+        netlist: the base (stolen) netlist; never mutated.
+        seed: parent seed; every stage derives its own child seed.
+        check: when true, each semantics-preserving stage is
+            random-vector checked against its predecessor (or a
+            caller-supplied view) and a failure raises ``EvalError``.
+        vectors: vectors per equivalence check.
+    """
+
+    def __init__(self, attack, netlist, seed, check=False, vectors=24):
+        self.attack = attack
+        self.seed = int(seed)
+        self.check = bool(check)
+        self.vectors = int(vectors)
+        self.netlist = netlist
+        self.stages = []
+
+    def stage_seed(self, stage_name):
+        return derive_stage_seed(self.seed, stage_name)
+
+    def run_stage(self, stage_name, fn, preserving=True, check_view=None):
+        """Run ``fn(netlist, stage_seed) -> netlist`` as one stage.
+
+        Args:
+            preserving: whether the stage claims to preserve semantics
+                (a preserving stage is equivalence-checked when the
+                pipeline has ``check=True``).
+            check_view: optional ``(prev, new) -> (ref, view)`` mapping
+                the stage's artifacts onto comparable netlists (the
+                wrapper stage compares the core *view* of its top, not
+                the top itself).
+        """
+        seed = self.stage_seed(stage_name)
+        prev = self.netlist
+        new = fn(prev, seed)
+        record = {
+            "stage": stage_name,
+            "seed": seed,
+            "gates": new.num_gates,
+            "artifact_sha256": netlist_hash(new),
+            "equivalence": None,
+        }
+        if preserving and self.check:
+            ref, view = (prev, new) if check_view is None \
+                else check_view(prev, new)
+            report = check_netlists_equivalent(ref, view,
+                                               vectors=self.vectors,
+                                               seed=seed)
+            if not report.equivalent:
+                raise EvalError(
+                    f"attack {self.attack!r} stage {stage_name!r} broke "
+                    f"semantics (counterexample "
+                    f"{report.counterexample!r})")
+            record["equivalence"] = {"vectors": report.vectors,
+                                     "equivalent": True}
+        self.stages.append(record)
+        self.netlist = new
+        return new
+
+    def provenance(self, **extra):
+        """The finished provenance record (chain hash over all stages)."""
+        prov = {
+            "attack": self.attack,
+            "seed": self.seed,
+            "stages": [dict(record) for record in self.stages],
+            "chain_hash": chain_hash(self.stages),
+        }
+        prov.update(extra)
+        return prov

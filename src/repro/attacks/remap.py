@@ -1,0 +1,41 @@
+"""Technology-remapping attack: alternate cell vocabulary + rename.
+
+The thief re-maps the stolen netlist onto a different cell library
+(NAND-only, NOR-only, or AND/NOT "AIG" style — see
+:mod:`repro.synth.techmap`), then launders every internal name.  The
+function is preserved bit-for-bit but the gate-type histogram and the
+connectivity texture change completely — the classic between-synthesis
+laundering step.
+"""
+
+import numpy as np
+
+from repro.attacks.pipeline import AttackPipeline, derive_stage_seed
+from repro.obfuscate.transforms import obfuscate
+from repro.synth.techmap import map_netlist
+
+#: Deterministic library rotation order for seed-chosen remaps.
+LIB_ORDER = ("nand", "nor", "aig")
+
+
+def run(netlist, seed, check=False, vectors=24, library=None, name=None):
+    """Stage the tech-remap attack; returns an ``AttackResult``.
+
+    Args:
+        library: target vocabulary; ``None`` picks one from the seed.
+    """
+    from repro.attacks import AttackResult
+
+    pipe = AttackPipeline("tech_remap", netlist, seed, check=check,
+                          vectors=vectors)
+    if library is None:
+        rng = np.random.default_rng(derive_stage_seed(seed, "library"))
+        library = LIB_ORDER[int(rng.integers(0, len(LIB_ORDER)))]
+    final_name = name or f"{netlist.name}_tm"
+    pipe.run_stage(f"map:{library}",
+                   lambda nl, s: map_netlist(nl, library, name=final_name))
+    pipe.run_stage("rename",
+                   lambda nl, s: obfuscate(nl, seed=s, transforms=[],
+                                           name=final_name))
+    return AttackResult(attack="tech_remap", netlist=pipe.netlist,
+                        provenance=pipe.provenance(library=library))

@@ -1,0 +1,141 @@
+"""Backward-retiming attack: move registers across combinational gates.
+
+A register whose D input is computed by a single gate can be replaced
+by one register *per gate input* plus the same gate on the register
+outputs — the gate's evaluation moves from "before the clock edge" to
+"after it", which preserves the cycle-accurate behaviour as long as the
+reset states line up.  Under the repo's reset-to-0 model that holds
+exactly for gates with ``g(0, ..., 0) = 0``, so moves are restricted to
+``and`` / ``or`` / ``xor`` / ``buf`` / ``mux`` drivers (the classic
+forward-lag subset of Leiserson-Saxe retiming; a mux with all-zero
+inputs selects its zero d0 leg, so the synthesizer's folded synchronous
+resets retime safely too).
+
+The move changes the register count and the sequential structure while
+keeping I/O behaviour identical from reset — something plain netlist
+obfuscation never touches.
+"""
+
+import numpy as np
+
+from repro.attacks.pipeline import AttackNotApplicable, AttackPipeline
+from repro.netlist.cells import DFF
+from repro.netlist.netlist import Netlist
+from repro.obfuscate.transforms import obfuscate
+
+#: Gate types safe to retime across under reset-to-0 semantics
+#: (all satisfy g(0, ..., 0) = 0, so the moved registers' reset state
+#: reproduces the original register's reset state combinationally).
+RETIMABLE_CELLS = frozenset({"and", "or", "xor", "buf", "mux"})
+
+
+def retime_candidates(netlist):
+    """``(dff_gate, driver_gate)`` pairs eligible for a backward move.
+
+    Eligible: the DFF's D net is driven by a retimable gate, feeds only
+    that DFF, is not a primary output, and the driver reads no clock.
+    """
+    drivers = netlist.drivers()
+    readers = netlist.readers()
+    outputs = set(netlist.outputs)
+    clocks = set(netlist.clocks)
+    candidates = []
+    for gate in netlist.gates:
+        if gate.cell != DFF:
+            continue
+        d_net = gate.inputs[0]
+        driver = drivers.get(d_net)
+        if driver is None or driver.cell not in RETIMABLE_CELLS:
+            continue
+        if d_net in outputs or len(readers.get(d_net, [])) != 1:
+            continue
+        if any(net in clocks for net in driver.inputs):
+            continue
+        candidates.append((gate, driver))
+    return candidates
+
+
+def retime_backward(netlist, seed, max_moves=4, name=None):
+    """Apply up to ``max_moves`` backward register moves.
+
+    Returns:
+        ``(retimed_netlist, moves)`` where ``moves`` records each moved
+        register (original name, driver cell, registers created).
+
+    Raises:
+        AttackNotApplicable: when the design has no eligible register.
+    """
+    candidates = retime_candidates(netlist)
+    if not candidates:
+        raise AttackNotApplicable(
+            f"design {netlist.name!r} has no retimable register")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(candidates))
+    chosen = [candidates[int(i)] for i in order[:max_moves]]
+
+    used = netlist.nets() | set(netlist.clocks)
+    counter = 0
+
+    def fresh():
+        nonlocal counter
+        net = f"rt_{counter}"
+        counter += 1
+        while net in used:
+            net = f"rt_{counter}"
+            counter += 1
+        used.add(net)
+        return net
+
+    removed = {id(dff) for dff, _ in chosen} | {id(drv) for _, drv in chosen}
+    out = Netlist(name or f"{netlist.name}_rt", list(netlist.inputs),
+                  list(netlist.outputs))
+    for gate in netlist.gates:
+        if id(gate) not in removed:
+            out.add_gate(gate.cell, gate.output, list(gate.inputs),
+                         name=gate.name)
+    moves = []
+    gate_counter = 0
+
+    def gate_name():
+        nonlocal gate_counter
+        gate_counter += 1
+        return f"rtg{gate_counter - 1}"
+
+    for dff, driver in chosen:
+        clk = dff.inputs[1]
+        mapping = {}
+        for net in driver.inputs:
+            if net not in mapping:
+                mapping[net] = out.add_gate(DFF, fresh(), [net, clk],
+                                            name=gate_name())
+        out.add_gate(driver.cell, dff.output,
+                     [mapping[net] for net in driver.inputs],
+                     name=gate_name())
+        moves.append({"register": dff.output, "cell": driver.cell,
+                      "registers_created": len(mapping)})
+    out.validate()
+    return out, moves
+
+
+def run(netlist, seed, check=False, vectors=24, max_moves=4, name=None):
+    """Stage the retiming attack; returns an ``AttackResult``."""
+    from repro.attacks import AttackResult
+
+    pipe = AttackPipeline("retime", netlist, seed, check=check,
+                          vectors=vectors)
+    final_name = name or f"{netlist.name}_rt"
+    holder = {}
+
+    def _retime(nl, stage_seed):
+        retimed, moves = retime_backward(nl, stage_seed,
+                                         max_moves=max_moves,
+                                         name=final_name)
+        holder["moves"] = moves
+        return retimed
+
+    pipe.run_stage("retime", _retime)
+    pipe.run_stage("rename",
+                   lambda nl, s: obfuscate(nl, seed=s, transforms=[],
+                                           name=final_name))
+    return AttackResult(attack="retime", netlist=pipe.netlist,
+                        provenance=pipe.provenance(moves=holder["moves"]))

@@ -1,0 +1,164 @@
+"""Trojan-insertion attack: rare-trigger payload on a stolen design.
+
+The GNN4TJ sibling task's threat: the thief ships the stolen IP almost
+intact, but with a hidden modification — here a trigger (AND of a few
+primary-input literals) XORed onto one primary output.  Off-trigger the
+design is bit-for-bit the original (matched); under the trigger the
+payload flips the target output (modified).  The suspect is therefore
+labelled pirated but **not** semantics-preserving, and its checks are
+inverted: generation verifies the design is equivalent with the trigger
+held *off* and provably divergent with it held *on*, via the ``fixed``
+input pins of :func:`repro.sim.equivalence.check_netlists_equivalent`.
+"""
+
+import numpy as np
+
+from repro.attacks.pipeline import AttackNotApplicable, AttackPipeline
+from repro.errors import EvalError
+from repro.obfuscate.transforms import obfuscate
+from repro.sim.equivalence import check_netlists_equivalent
+
+
+def insert_trojan(netlist, seed, trigger_width=3, name=None):
+    """Graft a rare-trigger XOR payload onto one primary output.
+
+    Returns:
+        ``(trojaned_netlist, info)`` — ``info`` records the trigger
+        literals (``{input: asserted_value}``), the target output, and
+        the payload nets.
+
+    Raises:
+        AttackNotApplicable: no data inputs or no gate-driven output to
+            attack.
+    """
+    rng = np.random.default_rng(seed)
+    data_inputs = [n for n in netlist.inputs if n not in netlist.clocks]
+    drivers = netlist.drivers()
+    targets = [n for n in netlist.outputs if n in drivers]
+    if not data_inputs or not targets:
+        raise AttackNotApplicable(
+            f"design {netlist.name!r} has no input/output pair to trojan")
+    width = min(trigger_width, len(data_inputs))
+    picks = [data_inputs[int(i)]
+             for i in rng.permutation(len(data_inputs))[:width]]
+    polarities = {net: int(rng.integers(0, 2)) for net in picks}
+    target = targets[int(rng.integers(0, len(targets)))]
+
+    out = netlist.copy(name or f"{netlist.name}_tj")
+    used = out.nets() | set(out.clocks)
+    counter = 0
+
+    def fresh(hint):
+        nonlocal counter
+        net = f"tj_{hint}_{counter}"
+        counter += 1
+        while net in used:
+            net = f"tj_{hint}_{counter}"
+            counter += 1
+        used.add(net)
+        return net
+
+    # Divert the target's original cone onto a fresh core net: the
+    # driver and every internal reader move with it, so only the
+    # primary output sees the payload.
+    core = fresh("core")
+    for gate in out.gates:
+        if gate.output == target:
+            gate.output = core
+        gate.inputs = [core if net == target else net
+                       for net in gate.inputs]
+
+    gate_counter = 0
+
+    def gate_name():
+        nonlocal gate_counter
+        gate_counter += 1
+        return f"tjg{gate_counter - 1}"
+
+    literals = []
+    for net in picks:
+        if polarities[net]:
+            literals.append(net)
+        else:
+            inv = fresh("inv")
+            out.add_gate("not", inv, [net], name=gate_name())
+            literals.append(inv)
+    trig = fresh("trig")
+    out.add_gate("and", trig, literals, name=gate_name())
+    out.add_gate("xor", target, [core, trig], name=gate_name())
+    out.validate()
+    info = {
+        "trigger": {net: polarities[net] for net in sorted(polarities)},
+        "width": width,
+        "target": target,
+    }
+    return out, info
+
+
+def check_trojan(base, trojaned, trigger, vectors=24, seed=0):
+    """Verify the trojan's on/off-trigger contract against the base.
+
+    On-trigger (all literals pinned asserted) the designs must diverge;
+    off-trigger (one literal pinned deasserted, rest random) they must
+    be equivalent.
+
+    Returns:
+        dict summarizing both checks.
+
+    Raises:
+        EvalError: either contract is violated.
+    """
+    on = check_netlists_equivalent(base, trojaned, vectors=vectors,
+                                   seed=seed, fixed=trigger)
+    if on.equivalent:
+        raise EvalError(
+            "trojan payload is inert: designs equivalent under the "
+            f"asserted trigger {trigger}")
+    held_off = sorted(trigger)[0]
+    off_fixed = {held_off: trigger[held_off] ^ 1}
+    off = check_netlists_equivalent(base, trojaned, vectors=vectors,
+                                    seed=seed + 1, fixed=off_fixed)
+    if not off.equivalent:
+        raise EvalError(
+            "trojan is not stealthy: designs diverge with the trigger "
+            f"held off ({held_off}={off_fixed[held_off]}), "
+            f"counterexample {off.counterexample!r}")
+    return {"on_trigger_divergent": True, "off_trigger_equivalent": True,
+            "vectors": vectors, "held_off": held_off}
+
+
+def run(netlist, seed, check=False, vectors=24, trigger_width=3, name=None):
+    """Stage the Trojan attack; returns an ``AttackResult``.
+
+    The result's ``trigger`` is the ``{input: value}`` assignment that
+    activates the payload; ``semantics_preserving`` is False.
+    """
+    from repro.attacks import AttackResult
+
+    pipe = AttackPipeline("trojan", netlist, seed, check=check,
+                          vectors=vectors)
+    final_name = name or f"{netlist.name}_tj"
+    pipe.run_stage("launder",
+                   lambda nl, s: obfuscate(nl, seed=s, transforms=[],
+                                           name=netlist.name))
+    holder = {}
+
+    def _insert(nl, stage_seed):
+        trojaned, info = insert_trojan(nl, stage_seed,
+                                       trigger_width=trigger_width,
+                                       name=final_name)
+        holder["info"] = info
+        return trojaned
+
+    pipe.run_stage("trojan", _insert, preserving=False)
+    info = holder["info"]
+    trojan_check = None
+    if check:
+        trojan_check = check_trojan(netlist, pipe.netlist, info["trigger"],
+                                    vectors=vectors,
+                                    seed=pipe.stage_seed("trojan"))
+    return AttackResult(attack="trojan", netlist=pipe.netlist,
+                        provenance=pipe.provenance(
+                            trojan={**info, "check": trojan_check}),
+                        semantics_preserving=False,
+                        trigger=dict(info["trigger"]))

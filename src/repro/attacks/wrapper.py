@@ -1,0 +1,217 @@
+"""Wrapper-theft attack: the stolen core inlined in a generated top.
+
+The thief does not ship the stolen design as-is — they instantiate it
+inside a top module of their own: every port renamed and shuffled,
+buffer/double-inverter glue between the top's pins and the core, plus
+decoy ports wired to throwaway logic so the interface shape no longer
+matches the victim's.  The core logic survives intact underneath.
+
+:func:`core_view` undoes the wrapping for verification: renaming the
+wrapper's real ports back to the core's names (via the recorded
+``port_map``), tying decoy inputs to constant 0, and dropping decoy
+outputs yields a netlist with exactly the core's interface, so the
+standard equivalence checker can compare it against the original.
+"""
+
+import numpy as np
+
+from repro.attacks.pipeline import AttackPipeline
+from repro.errors import EvalError
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.obfuscate.transforms import obfuscate
+
+_CONSTS = (CONST0, CONST1)
+
+
+def _free_prefix(taken, base):
+    prefix = base
+    while any(net.startswith(prefix) for net in taken):
+        prefix = "x" + prefix
+    return prefix
+
+
+def wrap_core(netlist, seed, decoy_inputs=2, decoy_outputs=2, name=None):
+    """Build a wrapper top around ``netlist``.
+
+    Returns:
+        ``(wrapped_netlist, port_map)`` — ``port_map`` maps every real
+        wrapper port (inputs, outputs, clocks) to the core port it
+        carries; decoy ports are absent from the map.
+    """
+    rng = np.random.default_rng(seed)
+    core_nets = netlist.nets() | set(netlist.clocks)
+    prefix = _free_prefix(core_nets, "cw_")
+    port_prefix = _free_prefix(core_nets, "w")
+
+    data_inputs = [n for n in netlist.inputs if n not in netlist.clocks]
+    clock_inputs = [n for n in netlist.inputs if n in netlist.clocks]
+
+    out = Netlist(name or f"{netlist.name}_top")
+    port_map = {}
+
+    # Shuffled, renamed input pins with decoys mixed in.
+    total_in = len(data_inputs) + decoy_inputs
+    in_names = [f"{port_prefix}i{i}" for i in range(total_in)]
+    slots = [int(i) for i in rng.permutation(total_in)]
+    shuffled = [data_inputs[int(i)]
+                for i in rng.permutation(len(data_inputs))]
+    core_slot = dict(zip(slots[:len(shuffled)], shuffled))
+    decoy_in = []
+    for i, pin in enumerate(in_names):
+        out.add_input(pin)
+        if i in core_slot:
+            port_map[pin] = core_slot[i]
+        else:
+            decoy_in.append(pin)
+    clock_map = {}
+    for i, clk in enumerate(clock_inputs):
+        pin = f"{port_prefix}clk{i}"
+        out.add_input(pin)
+        port_map[pin] = clk
+        clock_map[clk] = pin
+
+    gate_counter = 0
+
+    def gate_name():
+        nonlocal gate_counter
+        gate_counter += 1
+        return f"wg{gate_counter - 1}"
+
+    used = {prefix + net for net in core_nets}
+    used.update(in_names)
+    net_counter = 0
+
+    def fresh():
+        nonlocal net_counter
+        net = f"{port_prefix}n{net_counter}"
+        net_counter += 1
+        while net in used:
+            net = f"{port_prefix}n{net_counter}"
+            net_counter += 1
+        used.add(net)
+        return net
+
+    # Input glue: buffer or double inverter between pin and core net.
+    for pin, core_in in sorted(port_map.items()):
+        if core_in in clock_map:
+            continue
+        if int(rng.integers(0, 2)):
+            mid = fresh()
+            out.add_gate("not", mid, [pin], name=gate_name())
+            out.add_gate("not", prefix + core_in, [mid], name=gate_name())
+        else:
+            out.add_gate("buf", prefix + core_in, [pin], name=gate_name())
+
+    # The core, inlined under the collision-free prefix (clocks pass
+    # straight through to the wrapper clock pins — no glue on clocks).
+    def core_net(net):
+        if net in _CONSTS:
+            return net
+        if net in clock_map:
+            return clock_map[net]
+        return prefix + net
+
+    for gate in netlist.gates:
+        out.add_gate(gate.cell, core_net(gate.output),
+                     [core_net(n) for n in gate.inputs],
+                     name=f"{prefix}{gate.name}")
+
+    # Shuffled, renamed output pins with decoys mixed in.
+    total_out = len(netlist.outputs) + decoy_outputs
+    out_names = [f"{port_prefix}o{i}" for i in range(total_out)]
+    oslots = [int(i) for i in rng.permutation(total_out)]
+    oshuffled = [netlist.outputs[int(i)]
+                 for i in rng.permutation(len(netlist.outputs))]
+    out_slot = dict(zip(oslots[:len(oshuffled)], oshuffled))
+    decoy_out = []
+    for i, pin in enumerate(out_names):
+        out.add_output(pin)
+        if i in out_slot:
+            core_out = out_slot[i]
+            port_map[pin] = core_out
+            if int(rng.integers(0, 2)):
+                mid = fresh()
+                out.add_gate("not", mid, [core_net(core_out)],
+                             name=gate_name())
+                out.add_gate("not", pin, [mid], name=gate_name())
+            else:
+                out.add_gate("buf", pin, [core_net(core_out)],
+                             name=gate_name())
+        else:
+            decoy_out.append(pin)
+
+    # Decoy outputs compute throwaway functions of the wrapper's own
+    # input pins (never core nets, so stripping them never cuts logic).
+    decoy_sources = decoy_in if decoy_in else in_names
+    for pin in decoy_out:
+        picks = [decoy_sources[int(i)]
+                 for i in rng.integers(0, len(decoy_sources), size=2)]
+        cell = ("xor", "nand", "nor")[int(rng.integers(0, 3))]
+        out.add_gate(cell, pin, picks, name=gate_name())
+
+    out.validate()
+    return out, port_map
+
+
+def core_view(wrapped, port_map, name=None):
+    """Project a wrapped netlist back onto the core's interface.
+
+    Renames real ports to their core names, ties decoy inputs to
+    constant 0, and keeps only mapped outputs — the result has exactly
+    the core's I/O and can be equivalence-checked against it.
+    """
+    missing = [pin for pin in port_map
+               if pin not in set(wrapped.inputs) | set(wrapped.outputs)]
+    if missing:
+        raise EvalError(f"port map names absent from the wrapper: "
+                        f"{sorted(missing)}")
+    decoys = {pin for pin in wrapped.inputs if pin not in port_map}
+
+    def rename(net):
+        if net in decoys:
+            return CONST0
+        return port_map.get(net, net)
+
+    view = Netlist(name or f"{wrapped.name}_core",
+                   [port_map[p] for p in wrapped.inputs if p in port_map],
+                   [port_map[p] for p in wrapped.outputs if p in port_map])
+    for gate in wrapped.gates:
+        view.add_gate(gate.cell, rename(gate.output),
+                      [rename(n) for n in gate.inputs], name=gate.name)
+    view.validate()
+    return view
+
+
+def run(netlist, seed, check=False, vectors=24, decoy_inputs=2,
+        decoy_outputs=2, name=None):
+    """Stage the wrapper attack; returns an ``AttackResult``.
+
+    The result's ``comparison`` is the :func:`core_view` of the wrapped
+    top, and ``port_map`` is stamped into the provenance.
+    """
+    from repro.attacks import AttackResult
+
+    pipe = AttackPipeline("wrapper", netlist, seed, check=check,
+                          vectors=vectors)
+    final_name = name or f"{netlist.name}_top"
+    pipe.run_stage("launder",
+                   lambda nl, s: obfuscate(nl, seed=s, transforms=[],
+                                           name=netlist.name))
+    holder = {}
+
+    def _wrap(nl, stage_seed):
+        wrapped, port_map = wrap_core(nl, stage_seed,
+                                      decoy_inputs=decoy_inputs,
+                                      decoy_outputs=decoy_outputs,
+                                      name=final_name)
+        holder["port_map"] = port_map
+        return wrapped
+
+    pipe.run_stage("wrap", _wrap,
+                   check_view=lambda prev, new: (
+                       prev, core_view(new, holder["port_map"])))
+    return AttackResult(attack="wrapper", netlist=pipe.netlist,
+                        provenance=pipe.provenance(
+                            port_map=holder["port_map"]),
+                        comparison=core_view(pipe.netlist,
+                                             holder["port_map"]))

@@ -510,6 +510,46 @@ def _cmd_eval(args):
     return 0
 
 
+def _cmd_attack(args):
+    from repro.attacks import run_attack
+    from repro.netlist.verilog_io import write_netlist
+    from repro.synth import synthesize_verilog
+
+    text = Path(args.file).read_text()
+    netlist = synthesize_verilog(text, top=args.top)
+    options = {}
+    if args.library:
+        options["library"] = args.library
+    if args.name:
+        options["name"] = args.name
+    result = run_attack(args.attack, netlist, seed=args.seed,
+                        check=args.check, vectors=args.vectors, **options)
+    source = write_netlist(result.netlist)
+    if args.out:
+        Path(args.out).write_text(source)
+        print(f"attacked netlist written to {args.out}", file=sys.stderr)
+    if args.provenance:
+        Path(args.provenance).write_text(
+            json.dumps(result.provenance, indent=1, sort_keys=True) + "\n")
+        print(f"provenance written to {args.provenance}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "attack": result.attack,
+            "base_gates": netlist.num_gates,
+            "gates": result.netlist.num_gates,
+            "semantics_preserving": result.semantics_preserving,
+            "provenance": result.provenance,
+        }, indent=1, sort_keys=True))
+    elif not args.out:
+        print(source, end="")
+    else:
+        stages = " -> ".join(s["stage"]
+                             for s in result.provenance["stages"])
+        print(f"{result.attack}: {netlist.num_gates} -> "
+              f"{result.netlist.num_gates} gates via {stages}")
+    return 0
+
+
 def _cmd_calibrate(args):
     from repro.calib import ARTIFACT_NAME
     from repro.eval import EvalConfig
@@ -816,6 +856,38 @@ def build_parser():
     p_eval.add_argument("--json", action="store_true",
                         help="print the machine-readable report")
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_attack = sub.add_parser(
+        "attack", help="stage a named attack pipeline on a Verilog design "
+                       "(emits the attacked netlist + provenance chain)")
+    p_attack.add_argument("attack",
+                          choices=("tech_remap", "retime", "fsm_reencode",
+                                   "wrapper", "trojan"),
+                          help="attack pipeline to stage")
+    p_attack.add_argument("file", help="Verilog source (RTL or netlist)")
+    p_attack.add_argument("--top", default=None, help="top module name")
+    p_attack.add_argument("--seed", type=int, default=0,
+                          help="pipeline seed (stages derive child seeds)")
+    p_attack.add_argument("--library",
+                          choices=("nand", "nor", "aig"), default=None,
+                          help="tech_remap target vocabulary "
+                               "(default: seed-chosen)")
+    p_attack.add_argument("--name", default=None,
+                          help="module name of the attacked netlist")
+    p_attack.add_argument("--check", action="store_true",
+                          help="run generation-time equivalence (or "
+                               "trojan on/off-trigger) checks")
+    p_attack.add_argument("--vectors", type=int, default=24,
+                          help="random vectors per check")
+    p_attack.add_argument("--out", default=None,
+                          help="write the attacked Verilog here "
+                               "(default: stdout)")
+    p_attack.add_argument("--provenance", default=None,
+                          help="write the provenance chain JSON here")
+    p_attack.add_argument("--json", action="store_true",
+                          help="machine-readable summary (includes the "
+                               "provenance chain)")
+    p_attack.set_defaults(func=_cmd_attack)
 
     p_calibrate = sub.add_parser(
         "calibrate",

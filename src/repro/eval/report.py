@@ -14,7 +14,9 @@ seconds); regression comparisons must exclude it.
 import json
 
 #: Bump when the report shape changes; consumers key on this.
-SCHEMA_VERSION = 1
+#: v2: staged-attack scenarios (tech_remap / retime / fsm_reencode /
+#: wrapper / trojan) with provenance chains in suspect records.
+SCHEMA_VERSION = 2
 
 #: Rounding applied to every float in the serialized report.
 FLOAT_DIGITS = 6

@@ -646,7 +646,12 @@ def evaluate_session(session, config=None):
     query_seconds = time.perf_counter() - query_start
 
     delta = session.delta
-    rows_by_scenario = {}
+    # Seed every requested scenario so one that generated no suspects
+    # (e.g. retime over an all-combinational family set) still reports
+    # an explicit empty block instead of silently vanishing.
+    rows_by_scenario = {
+        name: [] for name in SCENARIOS
+        if config.scenarios is None or name in config.scenarios}
     all_rows = []
     for suspect, result in zip(suspects, results):
         row = {

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.attacks import AttackNotApplicable, run_attack, verify_provenance
 from repro.designs.base import get_family
 from repro.designs.corpus import canonical_variant
 from repro.errors import EvalError
@@ -348,6 +349,45 @@ def _scenario_partial_theft(ctx):
                             "gates": graft.num_gates})
 
 
+def _scenario_attack(attack, tag, sequential_only=False):
+    """Generator factory for the staged pipelines in :mod:`repro.attacks`.
+
+    Each suspect is the final artifact of one seeded multi-stage attack;
+    its provenance carries the full stage chain (per-stage seeds,
+    artifact hashes, chain hash) and is re-verified by
+    :func:`generate_scenarios` before the suspect is released.  The
+    first ``ctx.equivalence_checks`` suspects run with in-pipeline
+    checks enabled: per-stage equivalence for preserving stages, the
+    on/off-trigger contract for the Trojan.
+    """
+    def generate(ctx):
+        checked = 0
+        for _, name, variant, seed in _per_design(ctx, attack):
+            base = ctx.base_netlist(name)
+            if sequential_only and base.is_combinational():
+                continue
+            check = (ctx.check_equivalence
+                     and checked < ctx.equivalence_checks)
+            try:
+                result = run_attack(attack, base, seed, check=check,
+                                    vectors=ctx.equivalence_vectors,
+                                    name=f"{name}_{tag}{variant}")
+            except AttackNotApplicable:
+                continue
+            if check:
+                checked += 1
+            yield Suspect(
+                name=f"{attack}/{name}.{variant}",
+                scenario=attack, source=write_netlist(result.netlist),
+                true_design=ctx.base_rtl(name).top, pirated=True,
+                provenance={**result.provenance,
+                            "gates": result.netlist.num_gates,
+                            "base_gates": base.num_gates},
+                check_pair=((base, result.check_netlist)
+                            if result.semantics_preserving else None))
+    return generate
+
+
 def _scenario_unrelated(ctx):
     """Negatives: designs from families the corpus has never seen, both
     as restyled RTL and as obfuscated netlists.
@@ -406,6 +446,22 @@ SCENARIOS = {spec.name: spec for spec in (
                  "RTL restyle, then resynthesize to a netlist"),
     ScenarioSpec("partial_theft", _scenario_partial_theft, True, False,
                  "stolen block grafted into a holdout host design"),
+    ScenarioSpec("tech_remap", _scenario_attack("tech_remap", "tm"),
+                 True, True,
+                 "staged attack: alternate cell-library remap + rename"),
+    ScenarioSpec("retime",
+                 _scenario_attack("retime", "rt", sequential_only=True),
+                 True, True,
+                 "staged attack: backward register retiming"),
+    ScenarioSpec("fsm_reencode",
+                 _scenario_attack("fsm_reencode", "fsm",
+                                  sequential_only=True),
+                 True, True,
+                 "staged attack: linear FSM state re-encoding"),
+    ScenarioSpec("wrapper", _scenario_attack("wrapper", "wr"), True, True,
+                 "staged attack: core wrapped in a decoy-port top"),
+    ScenarioSpec("trojan", _scenario_attack("trojan", "tj"), True, False,
+                 "staged attack: rare-trigger Trojan on a stolen design"),
     ScenarioSpec("unrelated", _scenario_unrelated, False, False,
                  "designs from families the corpus has never seen"),
 )}
@@ -470,5 +526,9 @@ def generate_scenarios(ctx, names=None):
             _spot_check(ctx, generated)
         for suspect in generated:
             suspect.check_pair = None  # drop netlists; keep records light
+            if "chain_hash" in suspect.provenance:
+                # Staged attacks ship a provenance chain; refuse loudly
+                # if the artifact or its history was corrupted.
+                verify_provenance(suspect.source, suspect.provenance)
         suspects.extend(generated)
     return suspects

@@ -92,6 +92,19 @@ class Netlist:
             driver_map[gate.output] = gate
         return driver_map
 
+    def readers(self):
+        """net -> list of ``(gate, pin_index)`` pairs reading it.
+
+        Primary outputs are not readers; combine with ``outputs`` when a
+        transform needs the full fanout of a net (the retiming and
+        Trojan attack stages do).
+        """
+        reader_map = {}
+        for gate in self.gates:
+            for pin, net in enumerate(gate.inputs):
+                reader_map.setdefault(net, []).append((gate, pin))
+        return reader_map
+
     def validate(self):
         """Check structural sanity; raises NetlistError on problems."""
         driver_map = self.drivers()

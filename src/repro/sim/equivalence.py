@@ -32,11 +32,18 @@ def _random_assignment(inputs, rng):
 
 
 def check_netlists_equivalent(netlist_a, netlist_b, vectors=256, seed=0,
-                              sequential_cycles=8):
+                              sequential_cycles=8, fixed=None):
     """Compare two netlists on random input vectors.
 
     Combinational netlists are compared pointwise; sequential ones are
     reset and driven with the same random stimulus for several cycles.
+
+    Args:
+        fixed: optional ``{input_net: 0/1}`` assignments pinned on every
+            vector (random stimulus fills the remaining inputs).  The
+            Trojan attack checks use this to hold a trigger condition
+            asserted (expecting a mismatch) or deasserted (expecting
+            equivalence); pins win over the random draw.
 
     Returns:
         :class:`EquivalenceReport`
@@ -45,6 +52,11 @@ def check_netlists_equivalent(netlist_a, netlist_b, vectors=256, seed=0,
         raise SimulationError("netlists have different inputs")
     if set(netlist_a.outputs) != set(netlist_b.outputs):
         raise SimulationError("netlists have different outputs")
+    fixed = dict(fixed) if fixed else {}
+    unknown = set(fixed) - set(netlist_a.inputs)
+    if unknown:
+        raise SimulationError(
+            f"fixed nets are not primary inputs: {sorted(unknown)}")
     rng = np.random.default_rng(seed)
     sim_a = NetlistSimulator(netlist_a)
     sim_b = NetlistSimulator(netlist_b)
@@ -58,6 +70,7 @@ def check_netlists_equivalent(netlist_a, netlist_b, vectors=256, seed=0,
             sim_b.reset()
             for _ in range(sequential_cycles):
                 stimulus = _random_assignment(data_inputs, rng)
+                stimulus.update(fixed)
                 sim_a.set_inputs(stimulus)
                 sim_b.set_inputs(stimulus)
                 if sim_a.outputs() != sim_b.outputs():
@@ -68,6 +81,7 @@ def check_netlists_equivalent(netlist_a, netlist_b, vectors=256, seed=0,
                     return EquivalenceReport(False, trial + 1, stimulus)
         else:
             stimulus = _random_assignment(data_inputs, rng)
+            stimulus.update(fixed)
             if sim_a.evaluate(stimulus) != sim_b.evaluate(stimulus):
                 return EquivalenceReport(False, trial + 1, stimulus)
     return EquivalenceReport(True, vectors)

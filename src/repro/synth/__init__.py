@@ -2,8 +2,10 @@
 
 from repro.synth.bitblast import BitLowering, const_bits, fit
 from repro.synth.synthesize import Synthesizer, synthesize, synthesize_verilog
+from repro.synth.techmap import LIBRARIES, map_netlist
 
 __all__ = [
     "BitLowering", "const_bits", "fit",
     "Synthesizer", "synthesize", "synthesize_verilog",
+    "LIBRARIES", "map_netlist",
 ]

@@ -697,10 +697,21 @@ def synthesize(module):
     return Synthesizer(module).synthesize()
 
 
-def synthesize_verilog(text, top=None):
-    """Parse + elaborate + synthesize Verilog text in one call."""
+def synthesize_verilog(text, top=None, library=None):
+    """Parse + elaborate + synthesize Verilog text in one call.
+
+    Args:
+        library: optional techmap vocabulary (see
+            :data:`repro.synth.techmap.LIBRARIES`); when given, the
+            synthesized netlist is remapped onto that cell library.
+    """
     from repro.dataflow.elaborate import elaborate
     from repro.verilog import parse_source
 
     source = parse_source(text)
-    return synthesize(elaborate(source, top=top))
+    netlist = synthesize(elaborate(source, top=top))
+    if library is not None:
+        from repro.synth.techmap import map_netlist
+
+        netlist = map_netlist(netlist, library)
+    return netlist

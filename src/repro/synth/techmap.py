@@ -1,0 +1,182 @@
+"""Technology remapping onto restricted cell vocabularies.
+
+A thief who re-maps a stolen netlist onto a different cell library keeps
+its function bit-for-bit while changing every gate type and the whole
+connectivity texture — the classic laundering step between synthesis
+runs.  :func:`map_netlist` rewrites a flat netlist so it uses only the
+cells of one of the :data:`LIBRARIES` below (DFFs pass through
+untouched; ``buf``/``not`` are in every library).
+
+Each library is defined by two binary emitters (AND2, OR2) plus NOT;
+variadic gates fold left over the binary form, and the derived gates
+(xor/xnor/nand/nor/mux) are expanded through verified boolean
+identities, so the mapped netlist is equivalent by construction and is
+re-checked by random-vector equivalence wherever the attack pipeline
+runs it.
+"""
+
+from repro.errors import SynthesisError
+from repro.netlist.cells import DFF
+from repro.netlist.netlist import Netlist
+
+#: Cell vocabularies a netlist can be mapped onto.  ``dff`` is implicitly
+#: allowed in every library (sequential state is not remapped).
+LIBRARIES = {
+    "nand": frozenset({"nand", "not", "buf"}),
+    "nor": frozenset({"nor", "not", "buf"}),
+    "aig": frozenset({"and", "not", "buf"}),
+}
+
+
+class _Mapper:
+    """Rewrites gates of one netlist into a target vocabulary."""
+
+    def __init__(self, source, library, name):
+        if library not in LIBRARIES:
+            raise SynthesisError(
+                f"unknown techmap library {library!r}; "
+                f"choose from {sorted(LIBRARIES)}")
+        self._library = library
+        self._cells = LIBRARIES[library]
+        self._source = source
+        self._out = Netlist(name or source.name, list(source.inputs),
+                            list(source.outputs))
+        self._used = set(source.nets())
+        self._counter = 0
+        self._gate_counter = 0
+
+    def _fresh(self, hint):
+        name = f"tm_{hint}_{self._counter}"
+        self._counter += 1
+        while name in self._used:
+            name = f"tm_{hint}_{self._counter}"
+            self._counter += 1
+        self._used.add(name)
+        return name
+
+    def _emit(self, cell_name, inputs, output=None):
+        if cell_name != DFF and cell_name not in self._cells:
+            raise SynthesisError(
+                f"cell {cell_name!r} is not in library {self._library!r}")
+        if output is None:
+            output = self._fresh(cell_name)
+        gate_name = f"tg{self._gate_counter}"
+        self._gate_counter += 1
+        self._out.add_gate(cell_name, output, inputs, name=gate_name)
+        return output
+
+    # -- library primitives ----------------------------------------------
+    def _not(self, a, out=None):
+        if "not" in self._cells:
+            return self._emit("not", [a], out)
+        raise SynthesisError("library has no inverter")  # pragma: no cover
+
+    def _and2(self, a, b, out=None):
+        if "and" in self._cells:
+            return self._emit("and", [a, b], out)
+        if "nand" in self._cells:
+            return self._not(self._emit("nand", [a, b]), out)
+        # nor library: a & b == ~(~a | ~b) == nor(~a, ~b)
+        return self._emit("nor", [self._not(a), self._not(b)], out)
+
+    def _or2(self, a, b, out=None):
+        if "nor" in self._cells:
+            return self._not(self._emit("nor", [a, b]), out)
+        if "nand" in self._cells:
+            # a | b == nand(~a, ~b)
+            return self._emit("nand", [self._not(a), self._not(b)], out)
+        # aig: a | b == ~(~a & ~b)
+        return self._not(self._emit("and", [self._not(a), self._not(b)]), out)
+
+    def _xor2(self, a, b, out=None):
+        if "nand" in self._cells:
+            # 4-NAND form: t = nand(a,b); xor = nand(nand(a,t), nand(b,t))
+            t = self._emit("nand", [a, b])
+            return self._emit(
+                "nand",
+                [self._emit("nand", [a, t]), self._emit("nand", [b, t])],
+                out)
+        if "nor" in self._cells:
+            # xor = ~xnor; xnor in 4 NORs: t = nor(a,b);
+            # xnor = nor(nor(a,t), nor(b,t))
+            return self._not(self._xnor2(a, b), out)
+        # aig: xor = ~(~(a & ~b) & ~(~a & b))
+        left = self._not(self._emit("and", [a, self._not(b)]))
+        right = self._not(self._emit("and", [self._not(a), b]))
+        return self._not(self._emit("and", [left, right]), out)
+
+    def _xnor2(self, a, b, out=None):
+        if "nor" in self._cells:
+            t = self._emit("nor", [a, b])
+            return self._emit(
+                "nor",
+                [self._emit("nor", [a, t]), self._emit("nor", [b, t])],
+                out)
+        return self._not(self._xor2(a, b), out)
+
+    # -- folds over variadic inputs --------------------------------------
+    def _fold(self, op, nets, out=None):
+        if len(nets) == 1:
+            return self._emit("buf", [nets[0]], out)
+        acc = nets[0]
+        for net in nets[1:-1]:
+            acc = op(acc, net)
+        return op(acc, nets[-1], out)
+
+    def _fold_inverted(self, op, nets, out=None):
+        if len(nets) == 1:
+            return self._not(nets[0], out)
+        acc = nets[0]
+        for net in nets[1:]:
+            acc = op(acc, net)
+        return self._not(acc, out)
+
+    # -- the rewrite ------------------------------------------------------
+    def _map_gate(self, gate):
+        ins, out = gate.inputs, gate.output
+        if gate.cell == DFF:
+            self._emit(DFF, list(ins), out)
+        elif gate.cell in ("buf", "not"):
+            self._emit(gate.cell, list(ins), out)
+        elif gate.cell == "and":
+            self._fold(self._and2, ins, out)
+        elif gate.cell == "or":
+            self._fold(self._or2, ins, out)
+        elif gate.cell == "xor":
+            self._fold(self._xor2, ins, out)
+        elif gate.cell == "nand":
+            self._fold_inverted(self._and2, ins, out)
+        elif gate.cell == "nor":
+            self._fold_inverted(self._or2, ins, out)
+        elif gate.cell == "xnor":
+            self._fold_inverted(self._xor2, ins, out)
+        elif gate.cell == "mux":
+            # (d0, d1, sel) -> d1 when sel: (d0 & ~sel) | (d1 & sel)
+            d0, d1, sel = ins
+            self._or2(self._and2(d0, self._not(sel)),
+                      self._and2(d1, sel), out)
+        else:
+            raise SynthesisError(
+                f"cannot techmap cell {gate.cell!r}")  # pragma: no cover
+
+    def run(self):
+        for gate in self._source.gates:
+            self._map_gate(gate)
+        self._out.validate()
+        return self._out
+
+
+def map_netlist(netlist, library, name=None):
+    """Remap ``netlist`` onto a restricted cell ``library``.
+
+    Args:
+        netlist: source :class:`~repro.netlist.Netlist`.
+        library: one of :data:`LIBRARIES` (``"nand"``, ``"nor"``,
+            ``"aig"``).
+        name: optional name for the mapped netlist.
+
+    Returns:
+        A new validated netlist using only the library's cells (plus
+        DFFs), with identical primary I/O and identical behaviour.
+    """
+    return _Mapper(netlist, library, name).run()

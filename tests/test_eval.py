@@ -54,14 +54,30 @@ class TestScenarioGeneration:
         by_scenario = {}
         for suspect in suspects:
             by_scenario.setdefault(suspect.scenario, []).append(suspect)
-        assert sorted(by_scenario) == sorted(scenario_names())
+        # retime / fsm_reencode need registers; the tiny families are
+        # combinational, so those two legitimately emit nothing here.
+        sequential_only = {"retime", "fsm_reencode"}
+        assert sorted(by_scenario) == \
+            sorted(set(scenario_names()) - sequential_only)
         for name in ("rtl_variant", "netlist_obfuscate_s2",
-                     "resynthesis"):
+                     "resynthesis", "tech_remap", "wrapper", "trojan"):
             assert len(by_scenario[name]) == len(FAMILIES)
         # partial_theft sweeps every configured theft fraction.
         fractions = tiny_context().theft_fractions
         assert len(by_scenario["partial_theft"]) == \
             len(FAMILIES) * len(fractions)
+
+    def test_sequential_scenarios_emit_with_sequential_family(self):
+        ctx = tiny_context(families=("adder8", "counter8"))
+        suspects = generate_scenarios(ctx,
+                                      names=["retime", "fsm_reencode"])
+        by_scenario = {}
+        for suspect in suspects:
+            by_scenario.setdefault(suspect.scenario, []).append(suspect)
+        assert sorted(by_scenario) == ["fsm_reencode", "retime"]
+        for group in by_scenario.values():
+            assert all(s.true_design == "counter8" for s in group)
+            assert all(s.pirated for s in group)
 
     def test_deterministic(self):
         first = generate_scenarios(tiny_context())

@@ -24,12 +24,18 @@ GOLDEN_PATH = Path(__file__).parent / "data" / "eval_report_golden.json"
 
 #: The fixture's exact configuration — fully seeded, untrained (model
 #: weights come from the seed alone), single-process extraction.
+#: ``counter8`` is the one sequential family: it keeps the
+#: registers-only attack scenarios (retime / fsm_reencode) populated.
 GOLDEN_CONFIG = dict(
-    families=("adder8", "cmp8"), holdouts=("satadd8",),
+    families=("adder8", "cmp8", "counter8"), holdouts=("satadd8",),
     corpus_instances=2, suspects_per_design=1,
     epochs=0, allow_untrained=True,
     equivalence_checks=1, equivalence_vectors=8,
     seed=1, jobs=1)
+
+#: The staged-attack scenarios introduced with report schema v2.
+ATTACK_SCENARIOS = ("tech_remap", "retime", "fsm_reencode", "wrapper",
+                    "trojan")
 
 
 def current_report_dict():
@@ -46,6 +52,52 @@ def test_report_matches_golden_field_for_field():
         "evaluation report drifted from tests/data/eval_report_golden.json"
         " — if the change is intentional, regenerate with:\n"
         "  PYTHONPATH=src python tests/test_eval_golden.py regenerate")
+
+
+def test_golden_schema_version_is_v2():
+    """v2 = staged-attack scenarios with provenance chains."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["schema_version"] == 2
+
+
+def test_golden_attack_scenario_labels():
+    """Label counts of the staged-attack scenarios, field for field."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    scenarios = golden["scenarios"]
+    for name in ATTACK_SCENARIOS:
+        assert name in scenarios, f"golden is missing scenario {name!r}"
+    families = GOLDEN_CONFIG["families"]
+    # Attacks needing registers only apply to the sequential family.
+    sequential = ("counter8",)
+    expected_counts = {
+        "tech_remap": len(families), "wrapper": len(families),
+        "trojan": len(families),
+        "retime": len(sequential), "fsm_reencode": len(sequential)}
+    for name, count in expected_counts.items():
+        block = scenarios[name]
+        assert block["suspects"] == count
+        assert block["pirated"] == count, \
+            f"{name}: every staged-attack suspect is a pirated copy"
+    assert scenarios["trojan"]["semantics_preserving"] is False
+    for name in ("tech_remap", "retime", "fsm_reencode", "wrapper"):
+        assert scenarios[name]["semantics_preserving"] is True
+
+
+def test_golden_attack_provenance_fields():
+    """Every staged-attack suspect carries a verifiable chain."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for name in ATTACK_SCENARIOS:
+        for row in golden["scenarios"][name]["suspect_results"]:
+            provenance = row["provenance"]
+            assert provenance["attack"] == name
+            assert len(provenance["chain_hash"]) == 64
+            stages = provenance["stages"]
+            assert len(stages) >= 2, "attacks are multi-stage flows"
+            for record in stages:
+                assert set(record) >= {"stage", "seed", "gates",
+                                       "artifact_sha256"}
+            assert row["true_design"] in GOLDEN_CONFIG["families"]
+            assert row["pirated"] is True
 
 
 def test_golden_serialization_is_canonical():
